@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+it; pytest-benchmark times the regeneration.  Set ``RUPAM_BENCH_SCALE=paper``
+for the full 5-trial protocol (slow); the default ``smoke`` tier runs the
+identical code on fewer trials/seeds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("RUPAM_BENCH_SCALE", "smoke")
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table/figure under the benchmark output."""
+    print()
+    print(text)

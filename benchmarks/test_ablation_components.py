@@ -1,0 +1,53 @@
+"""Ablation: contribution of RUPAM's individual mechanisms.
+
+Runs PageRank (the paper's headline workload) with one mechanism disabled at
+a time and reports the slowdown relative to full RUPAM.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+
+ABLATIONS: dict[str, dict] = {
+    "full": {},
+    "no-stage-learning": {"stage_learning": False},
+    "no-gpu-race": {"gpu_race_enabled": False},
+    "no-memory-straggler": {"memory_straggler_enabled": False},
+    "no-locking": {"lock_after_runs": 10_000},
+}
+
+
+def run_ablation(workload: str = "pagerank", seed: int = 7) -> dict[str, float]:
+    out = {}
+    for name, overrides in ABLATIONS.items():
+        res = run_once(
+            RunSpec(
+                workload=workload,
+                scheduler="rupam",
+                seed=seed,
+                monitor_interval=None,
+                rupam_overrides=overrides,
+            )
+        )
+        out[name] = res.runtime_s
+    return out
+
+
+def test_ablation_components(benchmark):
+    runtimes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    spark = run_once(
+        RunSpec(workload="pagerank", scheduler="spark", seed=7, monitor_interval=None)
+    ).runtime_s
+    rows = [
+        (name, f"{t:.1f}", f"{t / runtimes['full']:.2f}x")
+        for name, t in runtimes.items()
+    ]
+    rows.append(("stock spark", f"{spark:.1f}", f"{spark / runtimes['full']:.2f}x"))
+    emit(render_table(["variant", "runtime (s)", "vs full RUPAM"], rows,
+                      title="Ablation - PageRank under RUPAM variants"))
+    # Full RUPAM should be at least as good as the worst ablation, and stock
+    # Spark should trail full RUPAM.
+    assert runtimes["full"] <= max(runtimes.values()) * 1.001
+    assert spark > runtimes["full"]

@@ -1,0 +1,47 @@
+"""Ablation: stock Spark's locality-wait knob vs RUPAM (Section IV-C).
+
+The paper argues RUPAM's locality trade-off is justified because faster time
+to solution beats preserving locality for its own sake.  Sweeping
+spark.locality.wait shows stock Spark cannot close the gap by tuning it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+
+WAITS = (0.0, 1.0, 3.0, 10.0)
+
+
+def run_sweep(workload: str = "lr", seed: int = 7) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for wait in WAITS:
+        res = run_once(
+            RunSpec(
+                workload=workload,
+                scheduler="spark",
+                seed=seed,
+                monitor_interval=None,
+                conf_overrides={"locality_wait_s": wait},
+            )
+        )
+        out[f"spark wait={wait}"] = res.runtime_s
+    rupam = run_once(
+        RunSpec(workload=workload, scheduler="rupam", seed=seed, monitor_interval=None)
+    )
+    out["rupam"] = rupam.runtime_s
+    return out
+
+
+def test_ablation_locality_wait(benchmark):
+    runtimes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["configuration", "LR runtime (s)"],
+            [(k, f"{v:.1f}") for k, v in runtimes.items()],
+            title="Ablation - locality wait sweep vs RUPAM",
+        )
+    )
+    best_spark = min(v for k, v in runtimes.items() if k.startswith("spark"))
+    assert runtimes["rupam"] < best_spark

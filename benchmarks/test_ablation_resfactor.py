@@ -1,0 +1,44 @@
+"""Ablation: sensitivity of Algorithm 1's Res_factor knob.
+
+Res_factor controls how decisively a task is classified CPU- vs
+shuffle-bound (the paper exposes it as the user-tunable sensitivity).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+
+FACTORS = (1.0, 2.0, 4.0, 8.0)
+
+
+def run_sweep(workload: str = "terasort", seed: int = 7) -> dict[float, float]:
+    out = {}
+    for f in FACTORS:
+        res = run_once(
+            RunSpec(
+                workload=workload,
+                scheduler="rupam",
+                seed=seed,
+                monitor_interval=None,
+                rupam_overrides={"res_factor": f},
+            )
+        )
+        out[f] = res.runtime_s
+    return out
+
+
+def test_ablation_resfactor(benchmark):
+    runtimes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["Res_factor", "TeraSort runtime (s)"],
+            [(f, f"{t:.1f}") for f, t in runtimes.items()],
+            title="Ablation - Res_factor sensitivity (Algorithm 1)",
+        )
+    )
+    # The knob must not destabilize the scheduler: all settings complete and
+    # stay within 2x of the best.
+    best = min(runtimes.values())
+    assert all(t < 2.0 * best for t in runtimes.values())

@@ -1,0 +1,18 @@
+"""Figure 2: resource utilization of 4K x 4K matrix multiplication."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.fig2 import run_fig2, shape_checks
+
+
+def test_fig2_matmul_utilization(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    emit(result.render())
+    checks = shape_checks(result)
+    emit(f"shape checks: {checks}")
+    # The paper's qualitative observations must hold.
+    assert checks["memory_ramps_up"]
+    assert checks["cpu_peaks_late"]
+    assert checks["disk_writes_exceed_reads"]
+    assert checks["network_spikes_at_edges"]

@@ -1,0 +1,17 @@
+"""Figure 3: PageRank task skew on the 2-node motivational cluster."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_pagerank_skew(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    emit(result.render())
+    # Tasks in one stage differ wildly (paper: ~31x spread).
+    assert result.spread > 10.0
+    # Both nodes get work, unevenly (paper: 10 vs 15).
+    counts = sorted(result.task_counts.values())
+    assert len(counts) == 2 and counts[0] >= 1
+    assert sum(counts) == 25

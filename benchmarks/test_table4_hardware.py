@@ -1,0 +1,14 @@
+"""Table IV: hardware characteristics of the Hydra node classes."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.table4 import run_table4, shape_checks
+
+
+def test_table4_hardware(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=3, iterations=1)
+    emit(result.render())
+    checks = shape_checks(result)
+    emit(f"shape checks: {checks}")
+    assert all(checks.values()), checks

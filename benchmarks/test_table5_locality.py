@@ -1,0 +1,23 @@
+"""Table V: task counts per data-locality level under both schedulers."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_locality(benchmark, bench_scale):
+    result = benchmark.pedantic(run_table5, args=(bench_scale,), rounds=1, iterations=1)
+    emit(result.render())
+    proc_spark = sum(r.spark["PROCESS_LOCAL"] for r in result.rows)
+    proc_rupam = sum(r.rupam["PROCESS_LOCAL"] for r in result.rows)
+    # Stock Spark optimizes locality and nothing else: in aggregate it holds
+    # at least as many PROCESS_LOCAL tasks as RUPAM (paper: per workload).
+    assert proc_spark >= proc_rupam
+    # RUPAM trades locality away somewhere (more ANY tasks in aggregate).
+    any_spark = sum(r.spark["ANY"] for r in result.rows)
+    any_rupam = sum(r.rupam["ANY"] for r in result.rows)
+    assert any_rupam >= any_spark * 0.8
+    # Zero RACK_LOCAL everywhere (single rack, no topology script).
+    for r in result.rows:
+        assert "RACK_LOCAL" not in r.spark or r.spark.get("RACK_LOCAL", 0) == 0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""PageRank memory fragility: why stock Spark loses 2.5x (and sometimes
+crashes) and how RUPAM avoids it.
+
+Runs the skewed-graph PageRank workload under both schedulers across a few
+seeds and reports OOM task failures, executor losses, and runtimes — the
+mechanism behind the paper's Figure 5 error bars for PR.
+
+Usage::
+
+    python examples/memory_fragility.py [n_seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    seeds = [7 + 1000 * i for i in range(n_seeds)]
+    rows = []
+    spark_times, rupam_times = [], []
+    for seed in seeds:
+        for sched in ("spark", "rupam"):
+            res = run_once(
+                RunSpec(workload="pagerank", scheduler=sched, seed=seed,
+                        monitor_interval=None)
+            )
+            rows.append(
+                (seed, sched, f"{res.runtime_s:.1f}", res.oom_task_failures,
+                 res.executor_kills, "yes" if res.aborted else "no")
+            )
+            (spark_times if sched == "spark" else rupam_times).append(res.runtime_s)
+
+    print(render_table(
+        ["seed", "scheduler", "runtime (s)", "OOM task fails", "executor kills", "aborted"],
+        rows,
+        title="PageRank (0.95 GB skewed graph, 5 iterations) on Hydra",
+    ))
+    s, r = np.array(spark_times), np.array(rupam_times)
+    print()
+    print(f"spark: mean {s.mean():.0f}s  std {s.std():.0f}s   "
+          f"rupam: mean {r.mean():.0f}s  std {r.std():.0f}s")
+    print(f"mean speedup {s.mean() / r.mean():.2f}x (paper: ~2.5x with a large "
+          "Spark-side error bar)")
+    print()
+    print("Stock Spark sizes every executor for the smallest node (14 GB) and")
+    print("packs tasks by free cores alone, so skewed partitions overcommit the")
+    print("heap: tasks die of OOM, sometimes the OS kills the whole JVM.")
+    print("RUPAM checks observed peak memory against each node's free memory at")
+    print("dispatch, sizes executors per node, and kills-and-relocates memory")
+    print("stragglers before the OS does.")
+
+
+if __name__ == "__main__":
+    main()

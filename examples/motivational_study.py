@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Section II motivational study.
+
+Two experiments on the 2-node heterogeneous cluster (node-1: fast CPU + slow
+network; node-2: the reverse):
+
+1. Figure 2 — resource utilization over time while multiplying two 4K x 4K
+   matrices: multiple resources are exercised and the dominant one changes
+   with the execution phase.
+2. Figure 3 — per-task breakdown of a PageRank stage: tasks of one stage
+   differ wildly (data skew), and the locality-only scheduler assigns them
+   obliviously to node capabilities.
+
+Usage::
+
+    python examples/motivational_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import run_fig2, shape_checks
+from repro.experiments.fig3 import run_fig3
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Motivational study 1: matrix-multiplication resource dynamics (Fig 2)")
+    print("=" * 72)
+    fig2 = run_fig2()
+    print(fig2.render())
+    print()
+    checks = shape_checks(fig2)
+    for name, ok in checks.items():
+        print(f"  [{'ok' if ok else '??'}] {name}")
+
+    print()
+    print("=" * 72)
+    print("Motivational study 2: PageRank task skew on 2 nodes (Fig 3)")
+    print("=" * 72)
+    fig3 = run_fig3()
+    print(fig3.render())
+    print()
+    print(
+        f"observations: duration spread {fig3.spread:.0f}x across tasks of one "
+        f"stage (paper: ~31x); task counts per node {fig3.task_counts} "
+        "(paper: 10 vs 15) - the stock scheduler neither balances the load "
+        "nor matches task character to node capability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: run one workload under stock Spark and under RUPAM.
+
+Builds the paper's 12-node heterogeneous Hydra cluster in simulation, runs
+SparkBench KMeans (GPU-accelerated, iterative) under both schedulers, and
+prints runtimes, speedup, locality mix, and the execution-time breakdown.
+
+Usage::
+
+    python examples/quickstart.py [workload] [seed]
+
+where ``workload`` is one of: lr, sql, terasort, pagerank, triangle_count,
+gramian, kmeans (default: kmeans).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.breakdown import total_breakdown
+from repro.analysis.locality import locality_table_row
+from repro.analysis.stats import improvement_pct, speedup
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "kmeans"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    print(f"workload={workload} seed={seed} cluster=Hydra (6 thor / 4 hulk / 2 stack)")
+    results = {}
+    for sched in ("spark", "rupam"):
+        print(f"running under {sched} ...", flush=True)
+        results[sched] = run_once(
+            RunSpec(workload=workload, scheduler=sched, seed=seed, monitor_interval=None)
+        )
+
+    spark, rupam = results["spark"], results["rupam"]
+    print()
+    print(
+        render_table(
+            ["scheduler", "runtime (s)", "task attempts", "OOM fails", "executor kills"],
+            [
+                ("spark", f"{spark.runtime_s:.1f}", len(spark.task_metrics),
+                 spark.oom_task_failures, spark.executor_kills),
+                ("rupam", f"{rupam.runtime_s:.1f}", len(rupam.task_metrics),
+                 rupam.oom_task_failures, rupam.executor_kills),
+            ],
+        )
+    )
+    print()
+    print(f"speedup:      {speedup(spark.runtime_s, rupam.runtime_s):.2f}x")
+    print(f"improvement:  {improvement_pct(spark.runtime_s, rupam.runtime_s):.1f}%")
+    print()
+    print("locality (launched tasks):")
+    for sched, res in results.items():
+        print(f"  {sched}: {locality_table_row(res)}")
+    print()
+    print("time breakdown (seconds summed over tasks):")
+    for sched, res in results.items():
+        b = total_breakdown(res)
+        parts = "  ".join(f"{k}={v:.1f}" for k, v in b.items())
+        print(f"  {sched}: {parts}")
+
+
+if __name__ == "__main__":
+    main()

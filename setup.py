@@ -1,0 +1,16 @@
+"""Legacy setup shim (the environment's setuptools predates PEP 660)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "RUPAM: a heterogeneity-aware task scheduler for Spark - "
+        "full simulation-based reproduction (CLUSTER 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

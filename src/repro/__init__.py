@@ -1,0 +1,22 @@
+"""RUPAM reproduction: a heterogeneity-aware task scheduler for Spark.
+
+Public entry points:
+
+* :class:`repro.core.RupamScheduler` -- the paper's scheduler.
+* :class:`repro.spark.DefaultScheduler` -- the stock Spark 2.2 baseline.
+* :func:`repro.experiments.run_once` / :class:`repro.experiments.RunSpec` --
+  run any registered workload on a simulated cluster under either scheduler.
+* :mod:`repro.experiments.fig2` ... ``fig9`` / ``table4`` / ``table5`` --
+  regenerate each figure/table of the paper.
+
+Quick start::
+
+    from repro.experiments import RunSpec, run_once
+    spark = run_once(RunSpec(workload="kmeans", scheduler="spark"))
+    rupam = run_once(RunSpec(workload="kmeans", scheduler="rupam"))
+    print(spark.runtime_s / rupam.runtime_s)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

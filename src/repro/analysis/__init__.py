@@ -1,0 +1,24 @@
+"""Post-run analysis: breakdowns, locality, utilization, speedups."""
+
+from repro.analysis.breakdown import (
+    breakdown_by_node,
+    stage_breakdowns,
+    total_breakdown,
+)
+from repro.analysis.locality import locality_table_row
+from repro.analysis.stats import improvement_pct, speedup
+from repro.analysis.utilization import (
+    average_utilization_row,
+    utilization_stddev_series,
+)
+
+__all__ = [
+    "average_utilization_row",
+    "breakdown_by_node",
+    "improvement_pct",
+    "locality_table_row",
+    "speedup",
+    "stage_breakdowns",
+    "total_breakdown",
+    "utilization_stddev_series",
+]

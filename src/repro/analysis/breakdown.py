@@ -1,0 +1,49 @@
+"""Execution-time breakdowns (Figures 3 and 7)."""
+
+from __future__ import annotations
+
+from repro.spark.driver import AppResult
+from repro.spark.metrics import TaskMetrics
+
+FIG7_CATEGORIES = ("compute", "gc", "shuffle_net", "shuffle_disk", "scheduler_delay")
+FIG3_CATEGORIES = ("compute", "shuffle", "serialization", "scheduler_delay")
+
+
+def total_breakdown(result: AppResult) -> dict[str, float]:
+    """Figure 7 categories summed over all successful tasks (seconds)."""
+    totals = {k: 0.0 for k in FIG7_CATEGORIES}
+    for m in result.successful_metrics():
+        for k, v in m.breakdown().items():
+            totals[k] += v
+    return totals
+
+
+def stage_breakdowns(result: AppResult) -> dict[int, dict[str, float]]:
+    """Per-stage Figure 7 breakdowns."""
+    out: dict[int, dict[str, float]] = {}
+    for m in result.successful_metrics():
+        agg = out.setdefault(m.stage_id, {k: 0.0 for k in FIG7_CATEGORIES})
+        for k, v in m.breakdown().items():
+            agg[k] += v
+    return out
+
+
+def breakdown_by_node(
+    metrics: list[TaskMetrics], successful_only: bool = True
+) -> dict[str, list[tuple[int, dict[str, float]]]]:
+    """Figure 3's view: per node, (task index, fig3-breakdown) tuples
+    ordered by launch time."""
+    out: dict[str, list[tuple[int, dict[str, float]]]] = {}
+    selected = [m for m in metrics if m.succeeded or not successful_only]
+    for m in sorted(selected, key=lambda m: m.launch_time):
+        out.setdefault(m.node, []).append((m.index, m.breakdown_fig3()))
+    return out
+
+
+def duration_spread(metrics: list[TaskMetrics]) -> float:
+    """max/min duration ratio among successful tasks (the paper reports a
+    31x spread for PageRank's skewed stage)."""
+    durations = [m.duration for m in metrics if m.succeeded and m.duration > 0]
+    if not durations:
+        return 1.0
+    return max(durations) / min(durations)

@@ -1,0 +1,22 @@
+"""Locality accounting (Table V)."""
+
+from __future__ import annotations
+
+from repro.spark.driver import AppResult
+
+TABLE5_LEVELS = ("PROCESS_LOCAL", "NODE_LOCAL", "ANY")
+
+
+def locality_table_row(result: AppResult) -> dict[str, int]:
+    """Launched-task counts at each level (includes retried attempts, as the
+    paper's Table V counts do; RACK_LOCAL is always zero on one rack)."""
+    counts = result.locality_counts()
+    return {lvl: counts.get(lvl, 0) for lvl in TABLE5_LEVELS}
+
+
+def process_local_fraction(result: AppResult) -> float:
+    counts = result.locality_counts()
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return counts.get("PROCESS_LOCAL", 0) / total

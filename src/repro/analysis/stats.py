@@ -1,0 +1,28 @@
+"""Speedup and improvement helpers."""
+
+from __future__ import annotations
+
+
+def speedup(baseline_s: float, improved_s: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved_s <= 0:
+        raise ValueError("improved runtime must be positive")
+    return baseline_s / improved_s
+
+
+def improvement_pct(baseline_s: float, improved_s: float) -> float:
+    """Percentage reduction in execution time (the paper's 37.7% metric)."""
+    if baseline_s <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return 100.0 * (baseline_s - improved_s) / baseline_s
+
+
+def geometric_mean(values: list[float]) -> float:
+    if not values:
+        raise ValueError("no values")
+    prod = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        prod *= v
+    return prod ** (1.0 / len(values))

@@ -1,0 +1,115 @@
+"""Task-timeline export in Chrome trace-event format.
+
+``to_chrome_trace`` converts an :class:`AppResult` into the JSON array
+format understood by ``chrome://tracing`` and Perfetto: one row ("thread")
+per executor slot, one duration event per task attempt, colored by outcome.
+Useful for eyeballing exactly how the two schedulers packed the cluster.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.spark.driver import AppResult
+from repro.spark.metrics import TaskMetrics
+
+_US = 1_000_000  # trace events are in microseconds
+
+_OUTCOME_COLOR = {
+    "ok": "good",
+    "oom": "terrible",
+    "killed": "grey",
+    "failed": "bad",
+}
+
+
+def _outcome(m: TaskMetrics) -> str:
+    if m.succeeded:
+        return "ok"
+    if m.failed_oom:
+        return "oom"
+    if m.killed:
+        return "killed"
+    return "failed"
+
+
+def timeline_events(result: AppResult) -> list[dict[str, Any]]:
+    """Duration events (one per attempt) plus thread/process metadata."""
+    events: list[dict[str, Any]] = []
+    nodes = sorted({m.node for m in result.task_metrics if m.node})
+    for pid, node in enumerate(nodes):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"node {node}"},
+            }
+        )
+    pid_of = {node: pid for pid, node in enumerate(nodes)}
+    # Lay attempts out on per-node "lanes" so overlapping tasks stay visible.
+    lanes: dict[str, list[float]] = {n: [] for n in nodes}
+    for m in sorted(result.task_metrics, key=lambda m: m.launch_time):
+        if not m.node:
+            continue
+        node_lanes = lanes[m.node]
+        for tid, busy_until in enumerate(node_lanes):
+            if m.launch_time >= busy_until - 1e-12:
+                node_lanes[tid] = m.finish_time
+                break
+        else:
+            tid = len(node_lanes)
+            node_lanes.append(m.finish_time)
+        outcome = _outcome(m)
+        events.append(
+            {
+                "name": m.task_key + (" (spec)" if m.speculative else ""),
+                "cat": outcome,
+                "ph": "X",
+                "pid": pid_of[m.node],
+                "tid": tid,
+                "ts": m.launch_time * _US,
+                "dur": max(m.duration, 1e-6) * _US,
+                "cname": _OUTCOME_COLOR[outcome],
+                "args": {
+                    "attempt": m.attempt,
+                    "locality": m.locality.name,
+                    "outcome": outcome,
+                    "compute_s": round(m.compute_time, 3),
+                    "gc_s": round(m.gc_time, 3),
+                    "shuffle_net_s": round(m.fetch_wait_time, 3),
+                    "shuffle_disk_s": round(m.shuffle_disk_time, 3),
+                    "peak_memory_mb": round(m.peak_memory_mb, 1),
+                    "used_gpu": m.used_gpu,
+                },
+            }
+        )
+    return events
+
+
+def to_chrome_trace(result: AppResult, path: str | Path) -> int:
+    """Write the trace file; returns the number of task events written."""
+    events = timeline_events(result)
+    Path(path).write_text(json.dumps({"traceEvents": events}, indent=None))
+    return sum(1 for e in events if e.get("ph") == "X")
+
+
+def summarize_lanes(result: AppResult) -> dict[str, int]:
+    """Peak concurrent attempts per node (the lanes the trace would show)."""
+    peaks: dict[str, int] = {}
+    by_node: dict[str, list[TaskMetrics]] = {}
+    for m in result.task_metrics:
+        if m.node:
+            by_node.setdefault(m.node, []).append(m)
+    for node, ms in by_node.items():
+        points = sorted(
+            [(m.launch_time, 1) for m in ms] + [(m.finish_time, -1) for m in ms]
+        )
+        cur = peak = 0
+        for _, delta in points:
+            cur += delta
+            peak = max(peak, cur)
+        peaks[node] = peak
+    return peaks

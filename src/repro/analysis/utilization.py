@@ -1,0 +1,58 @@
+"""Cluster-utilization analyses (Figures 2, 8, 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.monitor import ClusterMonitor
+
+GB = 1024.0
+
+
+def average_utilization_row(monitor: ClusterMonitor) -> dict[str, float]:
+    """Figure 8's four panels for one run: averages over nodes and time."""
+    # Network/disk rates are derived from cumulative counters per node.
+    net_rates: list[float] = []
+    disk_rates: list[float] = []
+    for series in monitor.node_series.values():
+        if len(series.samples) < 2:
+            continue
+        net = series.rate_series("net_in_mb") + series.rate_series("net_out_mb")
+        disk = series.rate_series("disk_read_mb") + series.rate_series("disk_write_mb")
+        net_rates.append(float(net.mean()))
+        disk_rates.append(float(disk.mean()))
+    return {
+        "cpu_user_pct": 100.0 * monitor.cluster_mean("cpu"),
+        "memory_used_gb": monitor.cluster_mean("memory_mb") / GB,
+        "network_mb_s": float(np.mean(net_rates)) if net_rates else 0.0,
+        "disk_kb_s": 1024.0 * float(np.mean(disk_rates)) if disk_rates else 0.0,
+    }
+
+
+def utilization_stddev_series(
+    monitor: ClusterMonitor, field: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 9: (times, stddev across nodes) for a sampled field."""
+    any_series = next(iter(monitor.node_series.values()))
+    times = any_series.times()
+    std = monitor.stddev_over_nodes(field)
+    n = min(len(times), len(std))
+    return times[:n], std[:n]
+
+
+def node_timeseries(
+    monitor: ClusterMonitor, node: str
+) -> dict[str, np.ndarray]:
+    """Figure 2's panels for one node: CPU %, memory GB, and network/disk
+    rates (MB/s) derived from cumulative counters."""
+    s = monitor.node_series[node]
+    t = s.times()
+    return {
+        "time": t,
+        "cpu_pct": 100.0 * s.series("cpu"),
+        "memory_gb": s.series("memory_mb") / GB,
+        "net_in_mb_s": s.rate_series("net_in_mb"),
+        "net_out_mb_s": s.rate_series("net_out_mb"),
+        "disk_read_mb_s": s.rate_series("disk_read_mb"),
+        "disk_write_mb_s": s.rate_series("disk_write_mb"),
+    }

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run`` — run one workload under one scheduler and print a summary.
+* ``compare`` — run a workload under both schedulers and print the speedup.
+* ``figure`` — regenerate one of the paper's figures/tables.
+* ``list`` — list registered workloads and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis.breakdown import total_breakdown
+from repro.analysis.locality import locality_table_row
+from repro.experiments.report import render_table
+from repro.experiments.runner import CLUSTERS, RunSpec, run_once
+from repro.workloads.registry import WORKLOADS, workload_names
+
+FIGURES: dict[str, str] = {
+    "fig2": "repro.experiments.fig2:run_fig2",
+    "fig3": "repro.experiments.fig3:run_fig3",
+    "table4": "repro.experiments.table4:run_table4",
+    "fig5": "repro.experiments.fig5:run_fig5",
+    "fig6": "repro.experiments.fig6:run_fig6",
+    "table5": "repro.experiments.table5:run_table5",
+    "fig7": "repro.experiments.fig7:run_fig7",
+    "fig8": "repro.experiments.fig8:run_fig8",
+    "fig9": "repro.experiments.fig9:run_fig9",
+}
+
+SCALED_FIGURES = {"fig5", "fig6", "table5", "fig7", "fig8", "fig9"}
+
+
+def _resolve(spec: str) -> Callable:
+    module_name, func_name = spec.split(":")
+    module = __import__(module_name, fromlist=[func_name])
+    return getattr(module, func_name)
+
+
+def _summary(res) -> str:
+    rows = [
+        ("runtime (s)", f"{res.runtime_s:.1f}"),
+        ("task attempts", len(res.task_metrics)),
+        ("successful tasks", len(res.successful_metrics())),
+        ("OOM task failures", res.oom_task_failures),
+        ("executor kills", res.executor_kills),
+        ("aborted", "yes" if res.aborted else "no"),
+    ]
+    out = [render_table(["metric", "value"], rows)]
+    out.append("locality: " + str(locality_table_row(res)))
+    b = total_breakdown(res)
+    out.append(
+        "breakdown (s): " + "  ".join(f"{k}={v:.1f}" for k, v in b.items())
+    )
+    return "\n".join(out)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        workload=args.workload,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        cluster=args.cluster,
+        monitor_interval=None,
+    )
+    res = run_once(spec)
+    print(f"{args.workload} under {args.scheduler} (seed {args.seed}):")
+    print(_summary(res))
+    if args.trace_out:
+        from repro.analysis.timeline import to_chrome_trace
+
+        n = to_chrome_trace(res, args.trace_out)
+        print(f"wrote {n} task events to {args.trace_out} "
+              "(open in chrome://tracing or Perfetto)")
+    return 1 if res.aborted else 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    runtimes = {}
+    for sched in ("spark", "rupam"):
+        res = run_once(
+            RunSpec(
+                workload=args.workload,
+                scheduler=sched,
+                seed=args.seed,
+                cluster=args.cluster,
+                monitor_interval=None,
+            )
+        )
+        runtimes[sched] = res.runtime_s
+        print(f"{sched:>6}: {res.runtime_s:9.1f}s  "
+              f"(oom={res.oom_task_failures}, kills={res.executor_kills})")
+    print(f"speedup: {runtimes['spark'] / runtimes['rupam']:.2f}x")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    fn = _resolve(FIGURES[args.name])
+    result = fn(args.scale) if args.name in SCALED_FIGURES else fn()
+    print(result.render())
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in workload_names(include_matmul=True):
+        _, defaults = WORKLOADS[name]
+        print(f"  {name:<16} defaults: {defaults}")
+    print("clusters: " + ", ".join(sorted(CLUSTERS)))
+    print("figures:  " + ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="RUPAM reproduction: simulate Spark task scheduling on a "
+        "heterogeneous cluster.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload under one scheduler")
+    run_p.add_argument("workload", choices=workload_names(include_matmul=True))
+    run_p.add_argument("--scheduler", choices=("spark", "rupam"), default="rupam")
+    run_p.add_argument("--seed", type=int, default=7)
+    run_p.add_argument("--cluster", choices=sorted(CLUSTERS), default="hydra")
+    run_p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event timeline of all task attempts",
+    )
+    run_p.set_defaults(fn=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run under both schedulers")
+    cmp_p.add_argument("workload", choices=workload_names(include_matmul=True))
+    cmp_p.add_argument("--seed", type=int, default=7)
+    cmp_p.add_argument("--cluster", choices=sorted(CLUSTERS), default="hydra")
+    cmp_p.set_defaults(fn=cmd_compare)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig_p.add_argument("name", choices=sorted(FIGURES))
+    fig_p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    fig_p.set_defaults(fn=cmd_figure)
+
+    list_p = sub.add_parser("list", help="list workloads, clusters, figures")
+    list_p.set_defaults(fn=cmd_list)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

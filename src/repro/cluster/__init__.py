@@ -1,0 +1,43 @@
+"""Heterogeneous cluster substrate.
+
+Static hardware descriptions (:mod:`repro.cluster.hardware`), runtime node
+state backed by fluid resources (:mod:`repro.cluster.node`), cluster/topology
+(:mod:`repro.cluster.cluster`), the Hydra testbed and motivational presets
+(:mod:`repro.cluster.presets`), a utilization sampler
+(:mod:`repro.cluster.monitor`), and SysBench/Iperf-analog microbenchmarks of
+the node models (:mod:`repro.cluster.microbench`).
+
+Units used throughout the project:
+
+* time — seconds
+* data — megabytes (MB)
+* compute work — gigacycles (1 GHz-second of a reference core)
+* bandwidth — MB/s;  compute rate — gigacycles/s
+* memory — MB
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.hardware import CpuSpec, DiskSpec, GpuSpec, NodeSpec
+from repro.cluster.monitor import ClusterMonitor, UtilizationSample
+from repro.cluster.node import Node
+from repro.cluster.presets import (
+    hydra_cluster,
+    hydra_node_specs,
+    motivational_cluster,
+    motivational_node_specs,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterMonitor",
+    "CpuSpec",
+    "DiskSpec",
+    "GpuSpec",
+    "Node",
+    "NodeSpec",
+    "UtilizationSample",
+    "hydra_cluster",
+    "hydra_node_specs",
+    "motivational_cluster",
+    "motivational_node_specs",
+]

@@ -1,0 +1,90 @@
+"""Cluster container and rack topology helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.node import Node
+from repro.simulate.engine import Simulator
+
+
+class Cluster:
+    """A set of live nodes plus rack topology lookups.
+
+    ``inter_rack_factor`` models oversubscribed rack uplinks: bytes crossing
+    racks cost that many times more NIC work than intra-rack bytes (1.0 =
+    flat network, the paper's single-rack testbed).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        specs: Iterable[NodeSpec],
+        inter_rack_factor: float = 1.0,
+    ):
+        if inter_rack_factor < 1.0:
+            raise ValueError("inter_rack_factor must be >= 1")
+        self.inter_rack_factor = inter_rack_factor
+        self.sim = sim
+        self.nodes: list[Node] = [Node(sim, s) for s in specs]
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names in cluster: {names}")
+        self._by_name = {n.name: n for n in self.nodes}
+        self._racks: dict[str, list[Node]] = {}
+        for n in self.nodes:
+            self._racks.setdefault(n.spec.rack, []).append(n)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, name: str) -> Node:
+        return self._by_name[name]
+
+    def has_node(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def racks(self) -> dict[str, list[Node]]:
+        return self._racks
+
+    def rack_of(self, name: str) -> str:
+        return self._by_name[name].spec.rack
+
+    def same_rack(self, a: str, b: str) -> bool:
+        return self.rack_of(a) == self.rack_of(b)
+
+    def transfer_cost_factor(self, src: str, dst: str) -> float:
+        """NIC-work multiplier for bytes moving src -> dst."""
+        if src == dst or self.same_rack(src, dst):
+            return 1.0
+        return self.inter_rack_factor
+
+    def groups(self) -> dict[str, list[Node]]:
+        """Nodes keyed by hardware group (thor/hulk/stack...)."""
+        out: dict[str, list[Node]] = {}
+        for n in self.nodes:
+            out.setdefault(n.spec.group or n.name, []).append(n)
+        return out
+
+    def total_cores(self) -> int:
+        return sum(n.spec.cpu.cores for n in self.nodes)
+
+    def total_memory_mb(self) -> float:
+        return sum(n.spec.memory_mb for n in self.nodes)
+
+    def min_memory_mb(self) -> float:
+        return min(n.spec.memory_mb for n in self.nodes)
+
+    def gpu_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.spec.has_gpu]
+
+    def ssd_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.spec.has_ssd]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Cluster {len(self.nodes)} nodes, {self.total_cores()} cores>"

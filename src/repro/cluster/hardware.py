@@ -1,0 +1,130 @@
+"""Static hardware descriptions of cluster nodes.
+
+A :class:`NodeSpec` captures everything RUPAM's Resource Monitor reports as
+*static* properties (Table I, left): CPU frequency/core count, memory size,
+NIC bandwidth, SSD-or-not, and GPU count.  Dynamic quantities (utilization,
+free memory) live on the runtime :class:`repro.cluster.node.Node`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """CPU package description.
+
+    ``efficiency`` converts nominal GHz into delivered gigacycles/s per core
+    (an IPC-like factor) so that node classes with equal clocks can still
+    differ, as the paper's SysBench results show (thor's FX cores are ~5x
+    faster than hulk/stack cores at similar clocks).
+    """
+
+    cores: int
+    freq_ghz: float
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        if self.efficiency <= 0:
+            raise ValueError("efficiency must be positive")
+
+    @property
+    def core_rate(self) -> float:
+        """Delivered gigacycles/s of one core."""
+        return self.freq_ghz * self.efficiency
+
+    @property
+    def total_rate(self) -> float:
+        """Delivered gigacycles/s of the whole package."""
+        return self.core_rate * self.cores
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Storage device used for Spark local dirs (shuffle spill, block store)."""
+
+    read_mbps: float
+    write_mbps: float
+    is_ssd: bool = False
+
+    def __post_init__(self) -> None:
+        if self.read_mbps <= 0 or self.write_mbps <= 0:
+            raise ValueError("disk bandwidths must be positive")
+
+    @property
+    def write_cost_factor(self) -> float:
+        """Work multiplier so writes on a read-calibrated resource take
+        ``bytes / write_mbps`` seconds."""
+        return self.read_mbps / self.write_mbps
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Out-of-core accelerator attached to a node.
+
+    ``kernel_speedup`` is the throughput of one GPU relative to one CPU core
+    of the *same node* for GPU-capable kernels (e.g. NVBLAS vs OpenBLAS);
+    ``transfer_overhead_s`` is a fixed host<->device staging cost per task.
+    """
+
+    count: int
+    kernel_speedup: float
+    transfer_overhead_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("gpu count must be positive")
+        if self.kernel_speedup <= 0:
+            raise ValueError("kernel_speedup must be positive")
+        if self.transfer_overhead_s < 0:
+            raise ValueError("transfer_overhead_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Full static description of one cluster node."""
+
+    name: str
+    cpu: CpuSpec
+    memory_mb: float
+    net_mbps: float
+    disk: DiskSpec
+    gpu: GpuSpec | None = None
+    rack: str = "rack0"
+    group: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if self.net_mbps <= 0:
+            raise ValueError("net_mbps must be positive")
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    @property
+    def has_ssd(self) -> bool:
+        return self.disk.is_ssd
+
+    def describe(self) -> dict[str, object]:
+        """Static registration payload, as a Spark worker would send."""
+        return {
+            "name": self.name,
+            "cores": self.cpu.cores,
+            "cpufreq": self.cpu.freq_ghz,
+            "core_rate": self.cpu.core_rate,
+            "memory_mb": self.memory_mb,
+            "netbandwidth": self.net_mbps,
+            "ssd": self.disk.is_ssd,
+            "gpus": self.gpu.count if self.gpu else 0,
+            "rack": self.rack,
+            "group": self.group or self.name,
+        }

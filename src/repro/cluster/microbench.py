@@ -1,0 +1,116 @@
+"""SysBench / Iperf analog microbenchmarks of the node *models* (Table IV).
+
+These run tiny single-purpose simulations against one node each, measuring
+what the paper measured: time to crunch a fixed CPU workload, sequential
+direct-I/O read/write bandwidth on a 1 GB file, and UDP-like point-to-point
+network throughput to the master node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.node import Node
+from repro.simulate.engine import Simulator
+
+# SysBench's prime test sized so a reference 1 GHz core takes ~20 s; the test
+# uses all cores, so per-node time = work / total_rate.
+CPU_BENCH_GIGACYCLES_PER_CORE = 20.0
+IO_BENCH_FILE_MB = 1024.0
+NET_BENCH_MB = 512.0
+
+
+@dataclass(frozen=True)
+class HardwareBenchResult:
+    """One column of Table IV."""
+
+    group: str
+    cpu_seconds: float
+    cpu_latency_ms: float
+    io_read_mbps: float
+    io_write_mbps: float
+    net_mbits: float
+
+
+def _timed_run(sim: Simulator, start_fn) -> float:
+    """Run ``start_fn(finish_callback)`` to completion, return elapsed time."""
+    t0 = sim.now
+    done: list[float] = []
+    start_fn(lambda _flow: done.append(sim.now))
+    sim.run()
+    if not done:
+        raise RuntimeError("microbenchmark did not complete")
+    return done[-1] - t0
+
+
+def bench_cpu(spec: NodeSpec) -> tuple[float, float]:
+    """(seconds, latency_ms) of the SysBench prime test on all cores."""
+    sim = Simulator()
+    node = Node(sim, spec)
+    total = CPU_BENCH_GIGACYCLES_PER_CORE * spec.cpu.cores
+    elapsed = _timed_run(
+        sim, lambda cb: node.compute(total, cb, cpus=spec.cpu.cores)
+    )
+    # Per-event latency scales with per-core service time.
+    latency_ms = 1000.0 * (CPU_BENCH_GIGACYCLES_PER_CORE / 16.0) / spec.cpu.core_rate
+    return elapsed, latency_ms
+
+
+def bench_io(spec: NodeSpec) -> tuple[float, float]:
+    """(read_mbps, write_mbps) for a 1 GB direct-I/O sequential test."""
+    sim = Simulator()
+    node = Node(sim, spec)
+    t_read = _timed_run(sim, lambda cb: node.read_disk(IO_BENCH_FILE_MB, cb))
+    sim2 = Simulator()
+    node2 = Node(sim2, spec)
+    t_write = _timed_run(sim2, lambda cb: node2.write_disk(IO_BENCH_FILE_MB, cb))
+    return IO_BENCH_FILE_MB / t_read, IO_BENCH_FILE_MB / t_write
+
+
+def bench_net(spec: NodeSpec, master: NodeSpec) -> float:
+    """Mbit/s of a point-to-point transfer to the master node.
+
+    The stream is limited by the slower of the two NICs (the paper's 1 GbE
+    switch makes every pair look alike).
+    """
+    sim = Simulator()
+    receiver = Node(sim, master)
+    sender = Node(sim, spec)
+    effective = min(spec.net_mbps, master.net_mbps)
+    # Receive through a NIC capped at the path bandwidth.
+    t = _timed_run(
+        sim,
+        lambda cb: receiver.net.acquire(
+            NET_BENCH_MB * receiver.spec.net_mbps / effective, on_complete=cb
+        ),
+    )
+    return (NET_BENCH_MB / t) * 8.0  # MB/s -> Mbit/s
+
+
+def bench_node_class(spec: NodeSpec, master: NodeSpec) -> HardwareBenchResult:
+    cpu_s, lat_ms = bench_cpu(spec)
+    rd, wr = bench_io(spec)
+    net = bench_net(spec, master)
+    return HardwareBenchResult(
+        group=spec.group or spec.name,
+        cpu_seconds=cpu_s,
+        cpu_latency_ms=lat_ms,
+        io_read_mbps=rd,
+        io_write_mbps=wr,
+        net_mbits=net,
+    )
+
+
+def bench_table4(specs: list[NodeSpec]) -> list[HardwareBenchResult]:
+    """One result per hardware group, master = first 'stack' node (stack1)."""
+    master = next((s for s in specs if s.group == "stack"), specs[0])
+    seen: set[str] = set()
+    out = []
+    for spec in specs:
+        group = spec.group or spec.name
+        if group in seen:
+            continue
+        seen.add(group)
+        out.append(bench_node_class(spec, master))
+    return out

@@ -1,0 +1,127 @@
+"""Periodic utilization sampling (the Ganglia analog).
+
+:class:`ClusterMonitor` samples every node at a fixed simulated interval and
+keeps the per-node time series that Figures 2, 8, and 9 are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.simulate.engine import Simulator
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    time: float
+    cpu: float       # fraction of CPU capacity in use [0,1]
+    memory_mb: float  # MB in use
+    net_in_mb: float  # cumulative MB received
+    net_out_mb: float  # cumulative MB sent
+    disk_read_mb: float  # cumulative MB read
+    disk_write_mb: float  # cumulative MB written
+    net_util: float  # instantaneous NIC utilization [0,1]
+    disk_util: float  # instantaneous disk utilization [0,1]
+    gpu: float       # instantaneous GPU utilization [0,1]
+
+
+class NodeSeries:
+    """Samples for a single node, with rate (per-second) derivations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[UtilizationSample] = []
+
+    def append(self, s: UtilizationSample) -> None:
+        self.samples.append(s)
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.samples])
+
+    def series(self, field: str) -> np.ndarray:
+        return np.array([getattr(s, field) for s in self.samples])
+
+    def rate_series(self, cumulative_field: str) -> np.ndarray:
+        """Per-interval MB/s derived from a cumulative counter (len = n-1)."""
+        cum = self.series(cumulative_field)
+        t = self.times()
+        if len(cum) < 2:
+            return np.zeros(0)
+        dt = np.diff(t)
+        dt[dt <= 0] = 1.0
+        return np.diff(cum) / dt
+
+    def mean(self, field: str) -> float:
+        vals = self.series(field)
+        return float(vals.mean()) if len(vals) else 0.0
+
+
+class ClusterMonitor:
+    """Samples all nodes every ``interval`` seconds until stopped."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.cluster = cluster
+        self.interval = interval
+        self.node_series: dict[str, NodeSeries] = {
+            n.name: NodeSeries(n.name) for n in cluster
+        }
+        self._stopped = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("monitor already started")
+        self._started = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.sample_now()
+        self.sim.after(self.interval, self._tick)
+
+    def sample_now(self) -> None:
+        for node in self.cluster:
+            snap = node.utilization_snapshot()
+            self.node_series[node.name].append(
+                UtilizationSample(
+                    time=self.sim.now,
+                    cpu=snap["cpu"],
+                    memory_mb=snap["mem_used_mb"],
+                    net_in_mb=node.net_in_mb,
+                    net_out_mb=node.net_out_mb,
+                    disk_read_mb=node.disk_read_mb,
+                    disk_write_mb=node.disk_write_mb,
+                    net_util=snap["net"],
+                    disk_util=snap["disk"],
+                    gpu=snap["gpu"],
+                )
+            )
+
+    # -- aggregations used by Figures 8 and 9 --------------------------------
+
+    def cluster_mean(self, field: str) -> float:
+        """Average of a sampled field over all nodes and all samples."""
+        vals = [s.mean(field) for s in self.node_series.values() if s.samples]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def stddev_over_nodes(self, field: str) -> np.ndarray:
+        """Per-sample-instant standard deviation of a field across nodes.
+
+        Assumes all nodes were sampled at the same instants (true here).
+        """
+        series = [s.series(field) for s in self.node_series.values() if s.samples]
+        if not series:
+            return np.zeros(0)
+        n = min(len(x) for x in series)
+        stacked = np.stack([x[:n] for x in series])
+        return stacked.std(axis=0)

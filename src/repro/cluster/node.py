@@ -1,0 +1,155 @@
+"""Runtime state of a cluster node.
+
+Each node owns four fluid resources (CPU, NIC, disk, optional GPU) plus a RAM
+pool.  Task phases acquire flows on these resources; contention between
+co-located tasks emerges from the max-min fair sharing in
+:class:`repro.simulate.resources.FluidResource`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.hardware import NodeSpec
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import FlowHandle, FluidResource, MemoryPool
+
+
+class Node:
+    """A live node: spec + fluid resources + accounting ledgers."""
+
+    def __init__(self, sim: Simulator, spec: NodeSpec):
+        self.sim = sim
+        self.spec = spec
+        self.name = spec.name
+        # A drag multiplier in (0,1] applied to CPU flows; the Spark executor
+        # installs a GC-pressure function here.
+        self.compute_drag: Callable[[], float] | None = None
+        # Live memory usage reporter (the executor's actual working set);
+        # when unset, the node reports raw reservations.
+        self.memory_report: Callable[[], float] | None = None
+        self.cpu = FluidResource(
+            sim,
+            capacity=spec.cpu.total_rate,
+            name=f"{spec.name}.cpu",
+            rate_scale=self._cpu_scale,
+        )
+        self.net = FluidResource(sim, capacity=spec.net_mbps, name=f"{spec.name}.net")
+        self.disk = FluidResource(
+            sim, capacity=spec.disk.read_mbps, name=f"{spec.name}.disk"
+        )
+        self.gpu: FluidResource | None = None
+        if spec.gpu is not None:
+            per_gpu_rate = spec.cpu.core_rate * spec.gpu.kernel_speedup
+            self.gpu = FluidResource(
+                sim,
+                capacity=per_gpu_rate * spec.gpu.count,
+                name=f"{spec.name}.gpu",
+            )
+        self.memory = MemoryPool(spec.memory_mb, name=f"{spec.name}.mem")
+        # Ledgers (MB moved), for utilization figures.
+        self.net_in_mb = 0.0
+        self.net_out_mb = 0.0
+        self.disk_read_mb = 0.0
+        self.disk_write_mb = 0.0
+
+    # -- resource helpers ----------------------------------------------------
+
+    def _cpu_scale(self) -> float:
+        if self.compute_drag is None:
+            return 1.0
+        return max(1e-3, min(1.0, self.compute_drag()))
+
+    @property
+    def core_rate(self) -> float:
+        return self.spec.cpu.core_rate
+
+    @property
+    def gpu_task_rate(self) -> float:
+        """Delivered gigacycles/s for one task on one GPU (0 if no GPU)."""
+        if self.spec.gpu is None:
+            return 0.0
+        return self.core_rate * self.spec.gpu.kernel_speedup
+
+    def compute(
+        self,
+        gigacycles: float,
+        on_complete: Callable[[FlowHandle], None],
+        cpus: int = 1,
+    ) -> FlowHandle:
+        """Run a CPU phase capped at ``cpus`` cores' worth of rate."""
+        return self.cpu.acquire(
+            gigacycles, cap=self.core_rate * cpus, on_complete=on_complete
+        )
+
+    def compute_gpu(
+        self, gigacycles: float, on_complete: Callable[[FlowHandle], None]
+    ) -> FlowHandle:
+        if self.gpu is None:
+            raise ValueError(f"{self.name} has no GPU")
+        return self.gpu.acquire(
+            gigacycles, cap=self.gpu_task_rate, on_complete=on_complete
+        )
+
+    def read_disk(
+        self, mb: float, on_complete: Callable[[FlowHandle], None]
+    ) -> FlowHandle:
+        self.disk_read_mb += mb
+        return self.disk.acquire(mb, on_complete=on_complete)
+
+    def write_disk(
+        self, mb: float, on_complete: Callable[[FlowHandle], None]
+    ) -> FlowHandle:
+        """Disk writes are scaled so they take ``mb / write_mbps`` seconds."""
+        self.disk_write_mb += mb
+        work = mb * self.spec.disk.write_cost_factor
+        return self.disk.acquire(work, on_complete=on_complete)
+
+    def receive(
+        self,
+        mb: float,
+        on_complete: Callable[[FlowHandle], None],
+        senders: list[tuple["Node", float]] | None = None,
+        work_mb: float | None = None,
+    ) -> FlowHandle:
+        """Receive ``mb`` over this node's NIC.
+
+        ``senders`` attributes outbound bytes to source nodes' ledgers; the
+        rate bottleneck is modelled at the receiver NIC (the common case for
+        shuffle fan-in on a switched network).  ``work_mb`` overrides the
+        NIC work when the path is slower than the NIC (e.g. oversubscribed
+        inter-rack uplinks) — ledgers still account the true ``mb``.
+        """
+        self.net_in_mb += mb
+        if senders:
+            for src, part in senders:
+                src.net_out_mb += part
+        return self.net.acquire(
+            mb if work_mb is None else work_mb, on_complete=on_complete
+        )
+
+    # -- monitoring snapshot ---------------------------------------------------
+
+    def gpus_idle(self) -> int:
+        """Number of GPUs with no active flow (approximated by load)."""
+        if self.gpu is None or self.spec.gpu is None:
+            return 0
+        busy = min(self.spec.gpu.count, self.gpu.active_flows)
+        return self.spec.gpu.count - busy
+
+    def utilization_snapshot(self) -> dict[str, float]:
+        """Instantaneous utilization of every resource, for heartbeats."""
+        used = (
+            self.memory_report() if self.memory_report is not None else self.memory.used
+        )
+        return {
+            "cpu": self.cpu.utilization(),
+            "net": self.net.utilization(),
+            "disk": self.disk.utilization(),
+            "gpu": self.gpu.utilization() if self.gpu is not None else 0.0,
+            "mem_used_mb": used,
+            "mem_free_mb": max(0.0, self.spec.memory_mb - used),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name} ({self.spec.group or 'node'})>"

@@ -1,0 +1,186 @@
+"""Cluster presets used by the paper's experiments.
+
+``hydra_*`` reproduces the 12-node heterogeneous testbed of Table II,
+calibrated against the SysBench/Iperf measurements of Table IV:
+
+* **thor** (x6): 8-core AMD FX-8320E, 16 GB RAM, 512 GB SSD, 1 GbE.  Fastest
+  cores (SysBench: ~5x faster than stack/hulk) and fastest storage.
+* **hulk** (x4): 32-core AMD Opteron 6380, 64 GB RAM (largest), HDD, 10 GbE
+  NIC behind the shared 1 GbE switch.
+* **stack** (x2): 16-core Intel Xeon E5620, 48 GB RAM, HDD, one NVIDIA Tesla
+  C2050 GPU each.
+
+All nodes sit in one rack on a 1 GbE switch, hence the paper's observation of
+similar Iperf numbers everywhere and zero RACK_LOCAL tasks in Table V.
+
+``motivational_*`` builds the 2-node setup of Section II (16 cores / 48 GB
+each, one node with the faster CPU and slower network, the other the
+reverse).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.hardware import CpuSpec, DiskSpec, GpuSpec, NodeSpec
+from repro.simulate.engine import Simulator
+
+GBE_MBPS = 117.0  # ~940 Mbit/s of goodput on 1 GbE
+TEN_GBE_MBPS = 1170.0
+GB = 1024.0  # MB per GB
+
+# Delivered per-core speed (gigacycles/s): thor ~5x stack, hulk slightly
+# above stack, per Table IV's SysBench CPU test.
+THOR_CPU = CpuSpec(cores=8, freq_ghz=3.2, efficiency=1.25)  # 4.0 / core
+HULK_CPU = CpuSpec(cores=32, freq_ghz=2.5, efficiency=0.34)  # 0.85 / core
+STACK_CPU = CpuSpec(cores=16, freq_ghz=2.4, efficiency=0.333)  # 0.8 / core
+
+THOR_DISK = DiskSpec(read_mbps=450.0, write_mbps=400.0, is_ssd=True)
+HDD_DISK = DiskSpec(read_mbps=140.0, write_mbps=120.0, is_ssd=False)
+
+STACK_GPU = GpuSpec(count=1, kernel_speedup=8.0, transfer_overhead_s=0.05)
+
+
+def hydra_node_specs() -> list[NodeSpec]:
+    """The 12 Hydra nodes of Table II (6 thor, 4 hulk, 2 stack)."""
+    specs: list[NodeSpec] = []
+    for i in range(6):
+        specs.append(
+            NodeSpec(
+                name=f"thor{i + 1}",
+                cpu=THOR_CPU,
+                memory_mb=16 * GB,
+                net_mbps=GBE_MBPS,
+                disk=THOR_DISK,
+                gpu=None,
+                rack="rack0",
+                group="thor",
+            )
+        )
+    for i in range(4):
+        specs.append(
+            NodeSpec(
+                name=f"hulk{i + 1}",
+                cpu=HULK_CPU,
+                memory_mb=64 * GB,
+                # 10 GbE NIC, but the shared switch is 1 GbE; the effective
+                # point-to-point bandwidth the paper measured was ~1 GbE for
+                # all machines, so we give hulk a modest edge only.
+                net_mbps=GBE_MBPS * 1.15,
+                disk=HDD_DISK,
+                gpu=None,
+                rack="rack0",
+                group="hulk",
+            )
+        )
+    for i in range(2):
+        specs.append(
+            NodeSpec(
+                name=f"stack{i + 1}",
+                cpu=STACK_CPU,
+                memory_mb=48 * GB,
+                net_mbps=GBE_MBPS,
+                disk=HDD_DISK,
+                gpu=STACK_GPU,
+                rack="rack0",
+                group="stack",
+            )
+        )
+    return specs
+
+
+def hydra_cluster(sim: Simulator) -> Cluster:
+    """Instantiate Hydra on a simulator."""
+    return Cluster(sim, hydra_node_specs())
+
+
+def motivational_node_specs() -> list[NodeSpec]:
+    """Section II's 2-node study: 16 cores / 48 GB each.
+
+    node-1 has the higher CPU capacity and lower network throughput; node-2
+    the reverse (the configuration behind Figures 2 and 3).
+    """
+    return [
+        NodeSpec(
+            name="node-1",
+            cpu=CpuSpec(cores=16, freq_ghz=2.4, efficiency=1.0),
+            memory_mb=48 * GB,
+            net_mbps=GBE_MBPS,
+            disk=HDD_DISK,
+            rack="rack0",
+            group="node-1",
+        ),
+        NodeSpec(
+            name="node-2",
+            cpu=CpuSpec(cores=16, freq_ghz=1.6, efficiency=1.0),
+            memory_mb=48 * GB,
+            net_mbps=TEN_GBE_MBPS,
+            disk=HDD_DISK,
+            rack="rack0",
+            group="node-2",
+        ),
+    ]
+
+
+def motivational_cluster(sim: Simulator) -> Cluster:
+    return Cluster(sim, motivational_node_specs())
+
+
+def multirack_node_specs(racks: int = 3) -> list[NodeSpec]:
+    """A larger-scale topology (the paper's Section IV-A outlook): each rack
+    holds two thor-class, two hulk-class, and one GPU stack-class node."""
+    if racks < 1:
+        raise ValueError("need at least one rack")
+    specs: list[NodeSpec] = []
+    for r in range(racks):
+        rack = f"rack{r}"
+        for i in range(2):
+            specs.append(NodeSpec(
+                name=f"r{r}-thor{i + 1}", cpu=THOR_CPU, memory_mb=16 * GB,
+                net_mbps=GBE_MBPS, disk=THOR_DISK, rack=rack, group="thor",
+            ))
+        for i in range(2):
+            specs.append(NodeSpec(
+                name=f"r{r}-hulk{i + 1}", cpu=HULK_CPU, memory_mb=64 * GB,
+                net_mbps=GBE_MBPS * 1.15, disk=HDD_DISK, rack=rack, group="hulk",
+            ))
+        specs.append(NodeSpec(
+            name=f"r{r}-stack1", cpu=STACK_CPU, memory_mb=48 * GB,
+            net_mbps=GBE_MBPS, disk=HDD_DISK, gpu=STACK_GPU, rack=rack,
+            group="stack",
+        ))
+    return specs
+
+
+def multirack_cluster(
+    sim: Simulator, racks: int = 3, inter_rack_factor: float = 2.5
+) -> Cluster:
+    """Multi-rack Hydra-style cluster with oversubscribed rack uplinks."""
+    return Cluster(
+        sim, multirack_node_specs(racks), inter_rack_factor=inter_rack_factor
+    )
+
+
+def describe_table2() -> list[dict[str, object]]:
+    """Rows of Table II (one per hardware group)."""
+    rows = []
+    seen: set[str] = set()
+    counts: dict[str, int] = {}
+    for spec in hydra_node_specs():
+        counts[spec.group] = counts.get(spec.group, 0) + 1
+    for spec in hydra_node_specs():
+        if spec.group in seen:
+            continue
+        seen.add(spec.group)
+        rows.append(
+            {
+                "Name": spec.group,
+                "CPU (GHz)": spec.cpu.freq_ghz,
+                "Cores": spec.cpu.cores,
+                "Memory (GB)": spec.memory_mb / GB,
+                "Network (GbE)": round(spec.net_mbps / GBE_MBPS),
+                "SSD": "Y" if spec.disk.is_ssd else "N",
+                "GPU": "Y" if spec.gpu else "N",
+                "#": counts[spec.group],
+            }
+        )
+    return rows

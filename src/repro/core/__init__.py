@@ -1,0 +1,43 @@
+"""RUPAM: the heterogeneity-aware task scheduler (the paper's contribution).
+
+Components map one-to-one onto Figure 4 of the paper:
+
+* :class:`ResourceMonitor` — heartbeat-piggybacked node metrics (Table I left)
+  feeding per-resource-type priority queues of nodes;
+* :class:`TaskManager` — Algorithm 1 task characterization backed by
+  ``DB_task_char`` (:class:`TaskCharDB`) and per-resource task queues;
+* :class:`Dispatcher` — Algorithm 2: round-robin over resource types, best
+  node per type, best-locality memory-fitting task per node;
+* straggler handling — stock speculation plus GPU/CPU racing and
+  memory-straggler termination;
+* dynamic executor sizing — per-node heaps and resource-based availability.
+
+The public entry point is :class:`RupamScheduler`, a drop-in
+:class:`repro.spark.scheduler.TaskScheduler`.
+"""
+
+from repro.core.config import RupamConfig
+from repro.core.characterize import classify_record, classify_task_end
+from repro.core.dispatcher import Dispatcher
+from repro.core.nodeinfo import NodeMetrics, ResourceKind
+from repro.core.queues import ResourceQueues, TaskQueues
+from repro.core.resource_monitor import ResourceMonitor
+from repro.core.rupam import RupamScheduler
+from repro.core.task_manager import TaskManager
+from repro.core.taskdb import TaskCharDB, TaskRecord
+
+__all__ = [
+    "Dispatcher",
+    "NodeMetrics",
+    "ResourceKind",
+    "ResourceMonitor",
+    "ResourceQueues",
+    "RupamConfig",
+    "RupamScheduler",
+    "TaskCharDB",
+    "TaskManager",
+    "TaskQueues",
+    "TaskRecord",
+    "classify_record",
+    "classify_task_end",
+]

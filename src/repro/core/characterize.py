@@ -1,0 +1,75 @@
+"""Task characterization — Algorithm 1 of the paper.
+
+Given a task's observed metrics, decide its dominant resource bottleneck:
+
+1. a task observed on a GPU is GPU-bound;
+2. else if its peak memory is large relative to the reference executor heap
+   it is MEM-bound (the Fig. 4 MEM queue; the paper leaves the rule implicit);
+3. else if compute time exceeds ``res_factor`` x max(shuffle read, shuffle
+   write) it is CPU-bound;
+4. else if shuffle read exceeds ``res_factor`` x shuffle write it is
+   NET-bound;
+5. otherwise DISK-bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import RupamConfig
+from repro.core.nodeinfo import ResourceKind
+from repro.core.taskdb import TaskRecord
+from repro.spark.metrics import TaskMetrics
+
+
+def classify_metrics(
+    compute_time: float,
+    shuffle_read_time: float,
+    shuffle_write_time: float,
+    peak_memory_mb: float,
+    gpu: bool,
+    cfg: RupamConfig,
+    reference_heap_mb: float,
+) -> ResourceKind:
+    """Algorithm 1 on raw metrics."""
+    if gpu:
+        return ResourceKind.GPU
+    if peak_memory_mb > cfg.mem_bound_fraction * reference_heap_mb:
+        return ResourceKind.MEM
+    if compute_time > cfg.res_factor * max(shuffle_read_time, shuffle_write_time):
+        return ResourceKind.CPU
+    if shuffle_read_time > cfg.res_factor * shuffle_write_time:
+        return ResourceKind.NET
+    return ResourceKind.DISK
+
+
+def classify_record(
+    record: TaskRecord, cfg: RupamConfig, reference_heap_mb: float
+) -> ResourceKind:
+    """Classify a task from its DB_task_char record."""
+    return classify_metrics(
+        compute_time=record.compute_time,
+        shuffle_read_time=record.shuffle_read_time,
+        shuffle_write_time=record.shuffle_write_time,
+        peak_memory_mb=record.peak_memory_mb,
+        gpu=record.gpu,
+        cfg=cfg,
+        reference_heap_mb=reference_heap_mb,
+    )
+
+
+def classify_task_end(
+    metrics: TaskMetrics, cfg: RupamConfig, reference_heap_mb: float
+) -> ResourceKind:
+    """Classify a just-finished attempt from its measured metrics.
+
+    Per the paper's convention ``computeTime`` includes (de)serialization;
+    GC stalls are JVM work and count toward compute as well.
+    """
+    return classify_metrics(
+        compute_time=metrics.compute_with_ser + metrics.gc_time,
+        shuffle_read_time=metrics.fetch_wait_time,
+        shuffle_write_time=metrics.shuffle_disk_time,
+        peak_memory_mb=metrics.peak_memory_mb,
+        gpu=metrics.used_gpu,
+        cfg=cfg,
+        reference_heap_mb=reference_heap_mb,
+    )

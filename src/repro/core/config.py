@@ -1,0 +1,73 @@
+"""RUPAM configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RupamConfig:
+    """Tunables of the RUPAM scheduler.
+
+    ``res_factor`` is Algorithm 1's sensitivity parameter: a task is
+    CPU-bound if its compute time exceeds ``res_factor`` times its largest
+    shuffle time, and NET-bound if shuffle-read exceeds ``res_factor`` times
+    shuffle-write (the paper's example uses 2).
+    """
+
+    res_factor: float = 2.0
+    # A task is memory-bound when its observed peak exceeds this fraction of
+    # the reference (stock-Spark) executor's usable heap.  Algorithm 1 has no
+    # MEM rule, so we reserve Fig. 4's MEM queue for tasks that cannot fit a
+    # standard executor at all — for everything else memory is a fit
+    # constraint (Algorithm 2), not a bottleneck class.
+    mem_bound_fraction: float = 1.0
+    # Memory estimate used for never-before-seen tasks when checking fit.
+    default_task_memory_mb: float = 512.0
+    # Locking: after this many observations the task is pinned to its
+    # best-observed executor ("optExecutor"), cf. Algorithm 2 lines 13-16.
+    lock_after_runs: int = 3
+    # A locked task waits this long for its best node before accepting any
+    # other (prevents both starvation and ping-ponging between nodes).
+    lock_break_wait_s: float = 20.0
+    # Lock only when the best-observed run beat the latest run by at least
+    # this factor; otherwise the task keeps flowing through its bottleneck
+    # queue (which already seeks the best node for that resource).
+    lock_advantage: float = 0.8
+    # Per-node concurrency caps: CPU-bound tasks are capped at the core
+    # count; every other class may overlap on top of it.
+    overlap_tasks_per_kind: int = 4
+    overlap_extra_slots: int = 6
+    # Memory-straggler detection (Section III-C3).
+    memory_straggler_enabled: bool = True
+    low_memory_fraction: float = 0.08
+    memory_straggler_cooldown_s: float = 5.0
+    # GPU/CPU racing for accelerator-capable stragglers.
+    gpu_race_enabled: bool = True
+    gpu_wait_before_cpu_s: float = 2.0
+    gpu_race_min_remaining_s: float = 1.0
+    # Dynamic executor sizing: leave this much of node RAM to OS/daemons.
+    executor_memory_headroom_mb: float = 2048.0
+    # Extra dispatch latency of RUPAM's bookkeeping per task (the paper's
+    # "moderate scheduler delay").
+    extra_dispatch_delay_s: float = 0.003
+    # Within-stage learning: the paper marks a whole stage GPU-bound once one
+    # task is seen using a GPU ("tasks in the same stage usually perform the
+    # same computation"); we apply the same inference to every bottleneck
+    # class after this many sibling completions.  Set the threshold to a huge
+    # value (or disable) to ablate.
+    stage_learning: bool = True
+    stage_learn_threshold: int = 3
+    # DB_task_char helper-thread drain batch per scheduling round.
+    db_drain_batch: int = 64
+
+    def with_overrides(self, **kwargs) -> "RupamConfig":
+        return replace(self, **kwargs)
+
+    def __post_init__(self) -> None:
+        if self.res_factor < 1.0:
+            raise ValueError("res_factor must be >= 1")
+        if not 0 < self.mem_bound_fraction <= 1:
+            raise ValueError("mem_bound_fraction must be in (0, 1]")
+        if self.lock_after_runs < 1:
+            raise ValueError("lock_after_runs must be >= 1")

@@ -1,0 +1,291 @@
+"""RUPAM's Dispatcher — Algorithm 2 plus the racing/speculation fallbacks.
+
+Each dispatch round: drain a batch of DB writes, snapshot the available
+nodes into the per-resource priority queues, then cycle resource types
+round-robin (so no task class starves).  For the best node of a type, scan
+that type's task queue for the best launchable task:
+
+* a task whose observed peak memory does not fit the node's free memory is
+  skipped — unless the task is fully characterized and this node is its
+  best-observed executor (the "locking" rule);
+* a fitting task locked to this node, or offering PROCESS_LOCAL locality,
+  is taken immediately; otherwise the best-locality fitting task wins.
+
+When a type's queue has nothing launchable the Dispatcher falls back to
+(1) stragglers from the speculative set and (2) the GPU/CPU racing policy:
+GPU-capable work waiting too long runs on a strong idle CPU, and an idle GPU
+node picks up a running CPU copy as a speculative race.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.config import RupamConfig
+from repro.core.nodeinfo import ALL_KINDS, NodeMetrics, ResourceKind
+from repro.core.queues import QueuedTask, ResourceQueues
+from repro.core.resource_monitor import ResourceMonitor
+from repro.core.task_manager import TaskManager
+from repro.spark.locality import Locality
+from repro.spark.scheduler import SchedulerContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.executor import Executor
+    from repro.spark.task import TaskSpec
+    from repro.spark.taskset import TaskSetManager
+
+
+class Dispatcher:
+    """Matches tasks to nodes using the Task/Resource queues."""
+
+    def __init__(
+        self,
+        ctx: SchedulerContext,
+        cfg: RupamConfig,
+        rm: ResourceMonitor,
+        tm: TaskManager,
+        executors: Callable[[], dict[str, "Executor"]],
+        available_for: Callable[["Executor", ResourceKind], bool],
+        launch: Callable[..., None],
+        active_tasksets: Callable[[], list["TaskSetManager"]],
+        load_hint: Callable[[str, ResourceKind], float] | None = None,
+    ):
+        self.ctx = ctx
+        self.cfg = cfg
+        self.rm = rm
+        self.tm = tm
+        self._executors = executors
+        self._available_for = available_for
+        self._launch = launch
+        self._active_tasksets = active_tasksets
+        self._load_hint = load_hint
+        self.resource_queues = ResourceQueues()
+        self._rr = 0
+        self.launches = 0
+        self.gpu_cpu_races = 0
+
+    # -- main loop ----------------------------------------------------------------
+
+    def dispatch(self) -> int:
+        """Run rounds until no task can be placed.  Returns launches made."""
+        total = 0
+        while True:
+            launched = self._dispatch_round()
+            total += launched
+            if launched == 0:
+                break
+        self.launches += total
+        return total
+
+    def _dispatch_round(self) -> int:
+        self.tm.db.drain(self.cfg.db_drain_batch)
+        # Refresh heartbeat data each round: launches made in the previous
+        # round change utilization and free memory.
+        self.rm.collect_now()
+        executors = self._executors()
+        metrics: list[NodeMetrics] = []
+        for name, ex in executors.items():
+            if not ex.alive:
+                continue
+            m = self.rm.metrics_for(name)
+            if m is not None:
+                metrics.append(m)
+        if not metrics:
+            return 0
+        self.resource_queues.populate(metrics, load_hint=self._load_hint)
+        launched = 0
+        for _ in range(len(ALL_KINDS)):
+            kind = ALL_KINDS[self._rr % len(ALL_KINDS)]
+            self._rr += 1
+            # Walk down this kind's queue until something launches: the
+            # best node may lack the free memory the queued tasks need,
+            # while a lesser node has room.
+            while True:
+                node_metrics = self._pop_available(kind, executors)
+                if node_metrics is None:
+                    break
+                ex = executors[node_metrics.name]
+                if self._try_node(kind, ex):
+                    # One task per node per round keeps utilization honest.
+                    self.resource_queues.remove_node(node_metrics.name)
+                    launched += 1
+                    break
+        return launched
+
+    def _pop_available(
+        self, kind: ResourceKind, executors: dict[str, "Executor"]
+    ) -> NodeMetrics | None:
+        while True:
+            m = self.resource_queues.pop(kind)
+            if m is None:
+                return None
+            ex = executors.get(m.name)
+            if ex is not None and ex.alive and self._available_for(ex, kind):
+                return m
+
+    # -- Algorithm 2 core -------------------------------------------------------------
+
+    def _try_node(self, kind: ResourceKind, ex: "Executor") -> bool:
+        # A task locked to this node takes priority regardless of which
+        # queue its bottleneck put it in.
+        locked = self.tm.queues.find_for_node(
+            ex.node.name, self.tm.locked_node_of
+        )
+        if locked is not None and (
+            self.tm.memory_estimate_mb(locked.spec) <= ex.free_memory_mb
+        ):
+            loc = self.ctx.blocks.locality_for(locked.spec, ex.node.name)
+            self._launch(locked.ts, locked.spec, ex, loc, kind)
+            return True
+        sel = self.schedule_task(kind, ex)
+        if sel is not None:
+            ts, spec, loc = sel
+            self._launch(ts, spec, ex, loc, kind)
+            return True
+        # Nothing pending of this kind: consider stragglers (speculative set).
+        if self._try_speculative(ex, kind):
+            return True
+        # GPU/CPU racing fallbacks.
+        if self.cfg.gpu_race_enabled:
+            if kind is ResourceKind.CPU and self._try_gpu_task_on_cpu(ex):
+                return True
+            if kind is ResourceKind.GPU and self._try_race_on_gpu(ex):
+                return True
+        return False
+
+    def schedule_task(
+        self, kind: ResourceKind, ex: "Executor"
+    ) -> tuple["TaskSetManager", "TaskSpec", Locality] | None:
+        """Algorithm 2's schedule_task(): best launchable task of this kind."""
+        blocks = self.ctx.blocks
+        node = ex.node.name
+        free_mb = ex.free_memory_mb
+        # best = (entry, locality, memory_estimate); ties on locality go to
+        # the most memory-demanding fitting task (decreasing first-fit), so
+        # heavyweights claim still-empty nodes before small tasks fill them.
+        best: tuple[QueuedTask, Locality, float] | None = None
+        now = self.ctx.now
+        for entry in self.tm.queues.entries(kind):
+            if entry.ts.blocked:
+                continue
+            spec = entry.spec
+            est_mb = self.tm.memory_estimate_mb(spec)
+            fits = est_mb <= free_mb
+            locked_here = self.tm.is_locked_to(spec, node)
+            if not fits:
+                # Only the fully-characterized best-on-this-node task may
+                # override the memory check (Algorithm 2 lines 12-16).
+                if locked_here:
+                    return entry.ts, spec, blocks.locality_for(spec, node)
+                continue
+            # A task locked to a *different* node waits for it rather than
+            # run here (bounded by lock_break_wait_s to avoid starvation).
+            if (
+                not locked_here
+                and self.tm.locked_node_of(spec) is not None
+                and now - entry.enqueued_at < self.cfg.lock_break_wait_s
+            ):
+                continue
+            loc = blocks.locality_for(spec, node)
+            if locked_here or loc is Locality.PROCESS_LOCAL:
+                return entry.ts, spec, loc
+            if best is None or loc < best[1] or (loc == best[1] and est_mb > best[2]):
+                best = (entry, loc, est_mb)
+        if best is None:
+            return None
+        entry, loc, _ = best
+        return entry.ts, entry.spec, loc
+
+    # -- fallbacks ----------------------------------------------------------------------
+
+    def _try_speculative(self, ex: "Executor", kind: ResourceKind) -> bool:
+        """Race a straggler copy here — but only if this node actually
+        remedies the task's bottleneck (Section III-C3's resource stragglers:
+        relocating to an equivalent node buys nothing) and the task fits."""
+        for ts in self._active_tasksets():
+            if not ts.has_speculatable():
+                continue
+            for spec, loc, running_nodes in ts.speculative_candidates(ex):
+                if self.tm.memory_estimate_mb(spec) > ex.free_memory_mb:
+                    continue
+                task_kind = self._task_kind(spec)
+                if task_kind is not None and not self._node_improves(
+                    ex, running_nodes, task_kind
+                ):
+                    continue
+                self._launch(ts, spec, ex, loc, kind, speculative=True)
+                return True
+        return False
+
+    def _task_kind(self, spec: "TaskSpec") -> ResourceKind | None:
+        from repro.core.characterize import classify_record
+
+        rec = self.tm.record_for(spec)
+        if rec is None or rec.runs == 0:
+            return None
+        return classify_record(rec, self.cfg, self.tm.reference_heap_mb)
+
+    @staticmethod
+    def _node_capability(ex: "Executor", kind: ResourceKind) -> float:
+        spec = ex.node.spec
+        if kind is ResourceKind.CPU:
+            return spec.cpu.core_rate
+        if kind is ResourceKind.GPU:
+            return ex.node.gpu_task_rate
+        if kind is ResourceKind.DISK:
+            return spec.disk.read_mbps * (2.0 if spec.disk.is_ssd else 1.0)
+        if kind is ResourceKind.NET:
+            return spec.net_mbps
+        if kind is ResourceKind.MEM:
+            return ex.free_memory_mb
+        raise ValueError(kind)
+
+    def _node_improves(
+        self, ex: "Executor", running_nodes: list[str], kind: ResourceKind
+    ) -> bool:
+        executors = self._executors()
+        here = self._node_capability(ex, kind)
+        for name in running_nodes:
+            other = executors.get(name)
+            if other is None:
+                return True  # the original's executor is gone
+            if here > 1.1 * self._node_capability(other, kind):
+                return True
+        return False
+
+    def _try_gpu_task_on_cpu(self, ex: "Executor") -> bool:
+        """A GPU-class task starving in queue runs on a strong idle CPU."""
+        now = self.ctx.now
+        for entry in self.tm.queues.entries(ResourceKind.GPU):
+            if entry.ts.blocked:
+                continue
+            if now - entry.enqueued_at < self.cfg.gpu_wait_before_cpu_s:
+                continue
+            if self.tm.memory_estimate_mb(entry.spec) > ex.free_memory_mb:
+                continue
+            loc = self.ctx.blocks.locality_for(entry.spec, ex.node.name)
+            self._launch(entry.ts, entry.spec, ex, loc, ResourceKind.CPU)
+            self.gpu_cpu_races += 1
+            return True
+        return False
+
+    def _try_race_on_gpu(self, ex: "Executor") -> bool:
+        """An idle GPU node races a GPU-capable task currently on a CPU node."""
+        if ex.node.gpus_idle() <= 0:
+            return False
+        for ts in self._active_tasksets():
+            for st in ts.states:
+                if st.finished or st.speculated or not st.running:
+                    continue
+                if not st.spec.gpu_capable:
+                    continue
+                run = st.running[0]
+                if run.metrics.used_gpu or run.executor.node.name == ex.node.name:
+                    continue
+                if run.elapsed < self.cfg.gpu_race_min_remaining_s:
+                    continue
+                loc = self.ctx.blocks.locality_for(st.spec, ex.node.name)
+                self._launch(ts, st.spec, ex, loc, ResourceKind.GPU, speculative=True)
+                self.gpu_cpu_races += 1
+                return True
+        return False

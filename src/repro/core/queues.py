@@ -1,0 +1,180 @@
+"""RUPAM's per-resource priority queues (nodes) and task queues.
+
+Resource queues are rebuilt per offer round from heartbeat metrics, sorted
+most-capable first with lowest utilization as tie-breaker (Section III-B1);
+this keeps them small and cheap, exactly as the paper argues.  Task queues
+hold pending ``(taskset, spec)`` entries per resource kind with their enqueue
+time (the GPU/CPU racing policy needs queue age); entries are invalidated
+lazily once a task is no longer pending.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterator, NamedTuple
+
+from repro.core.nodeinfo import ALL_KINDS, NodeMetrics, ResourceKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.task import TaskSpec
+    from repro.spark.taskset import TaskSetManager
+
+
+class ResourceQueues:
+    """One priority queue of candidate nodes per resource kind."""
+
+    def __init__(self) -> None:
+        self._queues: dict[ResourceKind, list[NodeMetrics]] = {
+            k: [] for k in ALL_KINDS
+        }
+
+    def populate(
+        self,
+        metrics: list[NodeMetrics],
+        load_hint: "Callable[[str, ResourceKind], float] | None" = None,
+    ) -> None:
+        """Rebuild all queues from the current offer round's nodes.
+
+        Nodes are ranked by *effective available capability* — capability
+        scaled by how idle the resource is (the paper sorts on capacity
+        descending and utilization ascending; combining them multiplicatively
+        realizes both and keeps a loaded fast node below an idle slower one).
+        ``load_hint`` lets the scheduler fold in already-assigned-but-not-yet
+        -visible tasks so one dispatch round does not flood a single node.
+        """
+        unit_kinds = (ResourceKind.CPU, ResourceKind.GPU)
+        for kind in ALL_KINDS:
+            eligible = [m for m in metrics if m.has(kind)]
+
+            def load(m: NodeMetrics, kind: ResourceKind = kind) -> float:
+                util = m.utilization(kind)
+                if load_hint is not None:
+                    util = max(util, load_hint(m.name, kind))
+                return util
+
+            def eff(m: NodeMetrics, kind: ResourceKind = kind) -> float:
+                if kind in unit_kinds:
+                    # CPU/GPU are unit-granular: a new task gets a whole
+                    # core/device, so the per-unit rate is what it will see
+                    # as long as one is free (availability gates the rest).
+                    return m.capability(kind)
+                return m.capability(kind) * max(0.0, 1.0 - load(m))
+
+            eligible.sort(key=lambda m: (-eff(m), load(m), m.name))
+            self._queues[kind] = eligible
+
+    def pop(self, kind: ResourceKind) -> NodeMetrics | None:
+        q = self._queues[kind]
+        return q.pop(0) if q else None
+
+    def peek(self, kind: ResourceKind) -> NodeMetrics | None:
+        q = self._queues[kind]
+        return q[0] if q else None
+
+    def size(self, kind: ResourceKind) -> int:
+        return len(self._queues[kind])
+
+    def clear(self) -> None:
+        for q in self._queues.values():
+            q.clear()
+
+    def remove_node(self, name: str) -> None:
+        """Drop a node from every queue (it just received a task)."""
+        for kind in ALL_KINDS:
+            self._queues[kind] = [m for m in self._queues[kind] if m.name != name]
+
+
+class QueuedTask(NamedTuple):
+    ts: "TaskSetManager"
+    spec: "TaskSpec"
+    enqueued_at: float
+
+
+class TaskQueues:
+    """Pending tasks bucketed by their characterized bottleneck."""
+
+    def __init__(self) -> None:
+        self._queues: dict[ResourceKind, deque[QueuedTask]] = {
+            k: deque() for k in ALL_KINDS
+        }
+
+    def enqueue(
+        self,
+        kind: ResourceKind,
+        ts: "TaskSetManager",
+        spec: "TaskSpec",
+        now: float,
+    ) -> None:
+        self._queues[kind].append(QueuedTask(ts, spec, now))
+
+    def enqueue_all_kinds(
+        self, ts: "TaskSetManager", spec: "TaskSpec", now: float
+    ) -> None:
+        """First-seen map tasks are considered bounded by every resource."""
+        for kind in ALL_KINDS:
+            self._queues[kind].append(QueuedTask(ts, spec, now))
+
+    @staticmethod
+    def _live(entry: QueuedTask) -> bool:
+        return entry.ts.is_active() and entry.spec.index in entry.ts.pending
+
+    def entries(self, kind: ResourceKind) -> Iterator[QueuedTask]:
+        """Live (still-pending) entries in FIFO order, pruning stale ones."""
+        q = self._queues[kind]
+        alive = [e for e in q if self._live(e)]
+        q.clear()
+        q.extend(alive)
+        return iter(list(alive))
+
+    def oldest_waiting(self, kind: ResourceKind) -> QueuedTask | None:
+        for e in self.entries(kind):
+            return e
+        return None
+
+    def find_for_node(
+        self, node_name: str, locked_node_of: "Callable[[TaskSpec], str | None]"
+    ) -> QueuedTask | None:
+        """First live entry (any kind) locked to ``node_name``.
+
+        Locked tasks live in whatever queue their bottleneck classifies them
+        into, which may never rank their best node first; this cross-queue
+        lookup realizes the paper's "this node is used to schedule the task".
+        """
+        seen: set[tuple[int, int]] = set()
+        for kind in ALL_KINDS:
+            for e in self.entries(kind):
+                key = (id(e.ts), e.spec.index)
+                if key in seen or e.ts.blocked:
+                    continue
+                seen.add(key)
+                if locked_node_of(e.spec) == node_name:
+                    return e
+        return None
+
+    def remove_task(self, ts: "TaskSetManager", spec: "TaskSpec") -> int:
+        """Drop every queued entry for one task (before re-classification)."""
+        removed = 0
+        for kind in ALL_KINDS:
+            q = self._queues[kind]
+            kept = [e for e in q if not (e.ts is ts and e.spec.index == spec.index)]
+            removed += len(q) - len(kept)
+            q.clear()
+            q.extend(kept)
+        return removed
+
+    def total_pending(self) -> int:
+        """Distinct pending tasks across all queues."""
+        seen: set[tuple[int, int]] = set()
+        for kind in ALL_KINDS:
+            for e in self._queues[kind]:
+                if self._live(e):
+                    seen.add((id(e.ts), e.spec.index))
+        return len(seen)
+
+    def prune(self) -> None:
+        for kind in ALL_KINDS:
+            self.entries(kind)
+
+    def clear(self) -> None:
+        for q in self._queues.values():
+            q.clear()

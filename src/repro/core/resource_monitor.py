@@ -1,0 +1,99 @@
+"""RUPAM's Resource Monitor (RM).
+
+A central Monitor on the master collects per-node Collectors' reports.
+Static capabilities arrive once at registration; dynamic utilization rides
+the existing worker heartbeats (no extra messages — the paper's
+"piggy-backed" design, modelled here by sampling node state on the heartbeat
+period).  The latest report per node is kept in ``executor_data``, RUPAM's
+reuse of Spark's ``executorDataMap``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.nodeinfo import NodeMetrics
+from repro.spark.scheduler import SchedulerContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.executor import Executor
+
+
+class ResourceMonitor:
+    """Collects NodeMetrics for every live executor's node."""
+
+    def __init__(
+        self,
+        ctx: SchedulerContext,
+        executors: Callable[[], list["Executor"]],
+        on_beat: Callable[[], None] | None = None,
+    ):
+        self.ctx = ctx
+        self._executors = executors
+        self._on_beat = on_beat
+        self.executor_data: dict[str, NodeMetrics] = {}
+        self._stopped = False
+        self.beats = 0
+        # Low-memory notifications for the memory-straggler path.
+        self.low_memory_nodes: set[str] = set()
+        self.low_memory_fraction = 0.08
+
+    def start(self) -> None:
+        self._beat()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def collect_now(self) -> None:
+        """One collection round (also usable without the periodic loop)."""
+        self.low_memory_nodes.clear()
+        for ex in self._executors():
+            if not ex.alive:
+                continue
+            self.executor_data[ex.node.name] = self._collect(ex)
+            usable = ex.memory.usable_mb
+            # Flag only genuine OOM danger (overcommitted heap), not a heap
+            # that is merely well-used by tasks that fit.
+            if (
+                usable > 0
+                and ex.memory.free_mb < self.low_memory_fraction * usable
+                and ex.memory.overcommit_ratio() > 1.0
+            ):
+                self.low_memory_nodes.add(ex.node.name)
+        self.beats += 1
+
+    def _collect(self, ex: "Executor") -> NodeMetrics:
+        node = ex.node
+        snap = node.utilization_snapshot()
+        spec = node.spec
+        return NodeMetrics(
+            name=node.name,
+            time=self.ctx.now,
+            core_rate=spec.cpu.core_rate,
+            cores=spec.cpu.cores,
+            gpus=spec.gpu.count if spec.gpu else 0,
+            ssd=spec.disk.is_ssd,
+            netbandwidth=spec.net_mbps,
+            disk_bandwidth=spec.disk.read_mbps,
+            memory_mb=spec.memory_mb,
+            cpuutil=snap["cpu"],
+            diskutil=snap["disk"],
+            netutil=snap["net"],
+            gpus_idle=node.gpus_idle(),
+            freememory_mb=ex.memory.free_mb,
+        )
+
+    def _beat(self) -> None:
+        if self._stopped:
+            return
+        self.collect_now()
+        if self._on_beat is not None:
+            self._on_beat()
+        self.ctx.sim.after(self.ctx.conf.heartbeat_interval_s, self._beat)
+
+    def metrics_for(self, node_name: str) -> NodeMetrics | None:
+        return self.executor_data.get(node_name)
+
+    def forget(self, node_name: str) -> None:
+        self.executor_data.pop(node_name, None)
+        self.low_memory_nodes.discard(node_name)

@@ -1,0 +1,62 @@
+"""RUPAM's memory-straggler handling (Section III-C3).
+
+When the Resource Monitor flags a node as low on free memory, the Task
+Manager terminates the highest-memory-consumption task on that node before
+the OS can kill the whole JVM; the task is requeued and re-dispatched to a
+node with room.  A per-node cooldown prevents kill storms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import RupamConfig
+from repro.spark.scheduler import SchedulerContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.executor import Executor
+
+
+class MemoryStragglerHandler:
+    """Kills the biggest memory consumer on memory-starved nodes."""
+
+    def __init__(self, ctx: SchedulerContext, cfg: RupamConfig):
+        self.ctx = ctx
+        self.cfg = cfg
+        self._last_kill: dict[str, float] = {}
+        self.kills = 0
+
+    def check(
+        self, low_memory_nodes: set[str], executors: dict[str, "Executor"]
+    ) -> int:
+        """One pass over flagged nodes; returns number of tasks terminated."""
+        if not self.cfg.memory_straggler_enabled:
+            return 0
+        killed = 0
+        now = self.ctx.now
+        # Killing a task triggers a dispatch that refreshes the monitor's
+        # low-memory set; iterate over a snapshot.
+        for name in sorted(low_memory_nodes):
+            ex = executors.get(name)
+            if ex is None or not ex.alive:
+                continue
+            last = self._last_kill.get(name, -1e18)
+            if now - last < self.cfg.memory_straggler_cooldown_s:
+                continue
+            # Keep at least one task running: killing the sole task on a node
+            # cannot relieve co-location pressure, only thrash.
+            if len(ex.running) < 2:
+                continue
+            victim = max(ex.running, key=lambda r: r.peak_memory_mb)
+            self._last_kill[name] = now
+            self.ctx.trace.record(
+                now,
+                "memory_straggler_kill",
+                node=name,
+                key=victim.task.key,
+                peak_mb=victim.peak_memory_mb,
+            )
+            victim.kill(reason="memory-straggler")
+            self.kills += 1
+            killed += 1
+        return killed

@@ -1,0 +1,193 @@
+"""DB_task_char: the task-characteristics database (Table I, right side).
+
+Keyed by the stable task identity (stage template + partition), it survives
+across iterations and job runs within one scheduler instance — and can be
+carried across applications, modelling the paper's observation that data
+centers run the same app on similarly-shaped inputs periodically.
+
+Write requests are queued and applied by a helper "thread" (the paper's
+design to keep DB access off the critical path); reads consult the pending
+queue first so the scheduler always sees its own writes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.nodeinfo import ResourceKind
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Accumulated knowledge about one task identity."""
+
+    key: str
+    compute_time: float = 0.0
+    shuffle_read_time: float = 0.0
+    shuffle_write_time: float = 0.0
+    peak_memory_mb: float = 0.0
+    gpu: bool = False
+    runs: int = 0
+    best_node: str | None = None       # "optExecutor"
+    best_runtime: float = float("inf")
+    last_runtime: float = float("inf")
+    history_resources: frozenset[ResourceKind] = field(default_factory=frozenset)
+    last_bottleneck: ResourceKind | None = None
+
+    def updated_with(
+        self,
+        compute_time: float,
+        shuffle_read_time: float,
+        shuffle_write_time: float,
+        peak_memory_mb: float,
+        gpu: bool,
+        node: str,
+        runtime: float,
+        bottleneck: ResourceKind,
+    ) -> "TaskRecord":
+        """Fold one finished run into the record (latest metrics win, best
+        runtime/node and the bottleneck history accumulate)."""
+        best_node, best_runtime = self.best_node, self.best_runtime
+        if runtime < best_runtime:
+            best_node, best_runtime = node, runtime
+        return replace(
+            self,
+            compute_time=compute_time,
+            shuffle_read_time=shuffle_read_time,
+            shuffle_write_time=shuffle_write_time,
+            peak_memory_mb=max(self.peak_memory_mb, peak_memory_mb),
+            gpu=self.gpu or gpu,
+            runs=self.runs + 1,
+            best_node=best_node,
+            best_runtime=best_runtime,
+            last_runtime=runtime,
+            history_resources=self.history_resources | {bottleneck},
+            last_bottleneck=bottleneck,
+        )
+
+
+def memory_observation(
+    rec: "TaskRecord | None", key: str, peak_memory_mb: float
+) -> "TaskRecord":
+    """Fold a memory observation from a *failed/killed* attempt into a record.
+
+    The paper's memory-straggler path sends the terminated task back to TM
+    for analysis before requeueing it; recording its observed footprint is
+    what lets Algorithm 2's memory check route the retry to a node with
+    room (otherwise the kill-requeue-kill cycle never converges).
+    """
+    base = rec if rec is not None else TaskRecord(key=key)
+    return replace(base, peak_memory_mb=max(base.peak_memory_mb, peak_memory_mb))
+
+
+class TaskCharDB:
+    """The task DB with helper-thread write-queue semantics."""
+
+    def __init__(self) -> None:
+        self._db: dict[str, TaskRecord] = {}
+        self._write_queue: deque[TaskRecord] = deque()
+        self.reads = 0
+        self.writes = 0
+        self.queue_hits = 0
+
+    def __len__(self) -> int:
+        keys = {r.key for r in self._write_queue}
+        keys.update(self._db.keys())
+        return len(keys)
+
+    def lookup(self, key: str) -> TaskRecord | None:
+        """Read-your-writes: newest queued record wins over the stored one."""
+        self.reads += 1
+        for rec in reversed(self._write_queue):
+            if rec.key == key:
+                self.queue_hits += 1
+                return rec
+        return self._db.get(key)
+
+    def enqueue_update(self, record: TaskRecord) -> None:
+        """Queue a write for the helper thread."""
+        self.writes += 1
+        self._write_queue.append(record)
+
+    def drain(self, batch: int | None = None) -> int:
+        """Helper-thread progress: apply up to ``batch`` queued writes."""
+        n = len(self._write_queue) if batch is None else min(batch, len(self._write_queue))
+        for _ in range(n):
+            rec = self._write_queue.popleft()
+            self._db[rec.key] = rec
+        return n
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self._write_queue)
+
+    def clear(self) -> None:
+        """Wipe all knowledge (the paper clears DB_task_char between trials)."""
+        self._db.clear()
+        self._write_queue.clear()
+
+    def snapshot(self) -> dict[str, TaskRecord]:
+        """Consistent view after draining (for tests/analysis)."""
+        self.drain()
+        return dict(self._db)
+
+    # -- persistence (the paper's periodic-jobs scenario: knowledge gathered
+    # -- in one application run primes the next run of the same app) --------
+
+    def save(self, path: str | Path) -> int:
+        """Serialize all records to JSON; returns the number saved."""
+        records = self.snapshot()
+        payload = {
+            key: {
+                "compute_time": r.compute_time,
+                "shuffle_read_time": r.shuffle_read_time,
+                "shuffle_write_time": r.shuffle_write_time,
+                "peak_memory_mb": r.peak_memory_mb,
+                "gpu": r.gpu,
+                "runs": r.runs,
+                "best_node": r.best_node,
+                "best_runtime": None if math.isinf(r.best_runtime) else r.best_runtime,
+                "last_runtime": None if math.isinf(r.last_runtime) else r.last_runtime,
+                "history_resources": sorted(k.value for k in r.history_resources),
+                "last_bottleneck": r.last_bottleneck.value if r.last_bottleneck else None,
+            }
+            for key, r in records.items()
+        }
+        Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+        return len(payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TaskCharDB":
+        """Rebuild a database from :meth:`save` output."""
+        payload = json.loads(Path(path).read_text())
+        db = cls()
+        for key, d in payload.items():
+            db._db[key] = TaskRecord(
+                key=key,
+                compute_time=d["compute_time"],
+                shuffle_read_time=d["shuffle_read_time"],
+                shuffle_write_time=d["shuffle_write_time"],
+                peak_memory_mb=d["peak_memory_mb"],
+                gpu=d["gpu"],
+                runs=d["runs"],
+                best_node=d["best_node"],
+                best_runtime=(
+                    float("inf") if d["best_runtime"] is None else d["best_runtime"]
+                ),
+                last_runtime=(
+                    float("inf") if d["last_runtime"] is None else d["last_runtime"]
+                ),
+                history_resources=frozenset(
+                    ResourceKind(v) for v in d["history_resources"]
+                ),
+                last_bottleneck=(
+                    ResourceKind(d["last_bottleneck"])
+                    if d["last_bottleneck"]
+                    else None
+                ),
+            )
+        return db

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+:mod:`repro.experiments.runner` assembles a simulated application run
+(cluster + scheduler + workload); the ``fig*``/``table*`` modules regenerate
+the corresponding figure or table and return printable structures, which the
+``benchmarks/`` suite executes and renders.
+"""
+
+from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.trials import TrialStats, run_trials
+
+__all__ = ["RunSpec", "TrialStats", "run_once", "run_trials"]

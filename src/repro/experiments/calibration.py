@@ -1,0 +1,61 @@
+"""Shared experiment constants (Table III scale, trial counts, scale tiers).
+
+``SCALES`` lets the benchmark suite run the full paper-scale experiments or a
+reduced "smoke" tier that exercises identical code paths in seconds; the
+shape assertions hold at both tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# The seven Fig. 5 workloads in the paper's presentation order.
+FIG5_WORKLOADS: tuple[str, ...] = (
+    "lr",
+    "sql",
+    "terasort",
+    "pagerank",
+    "triangle_count",
+    "gramian",
+    "kmeans",
+)
+
+# Paper-reported shape targets used in EXPERIMENTS.md and sanity checks.
+PAPER_SPEEDUPS = {
+    "lr": 2.0,          # iterative; grows with iterations (Fig. 6)
+    "sql": 1.19,
+    "terasort": 1.32,
+    "pagerank": 2.5,    # the headline; large error bar under stock Spark
+    "triangle_count": 1.8,
+    "gramian": 1.014,   # "negligible 1.4%"
+    "kmeans": 2.49,
+}
+PAPER_AVG_IMPROVEMENT_PCT = 37.7
+FIG6_MAX_SPEEDUP = 3.4
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment size tier."""
+
+    trials: int
+    lr_iterations: tuple[int, ...]
+    seeds: tuple[int, ...]
+
+    @property
+    def base_seed(self) -> int:
+        return self.seeds[0]
+
+
+SCALES: dict[str, Scale] = {
+    # The paper's protocol: 5 runs per configuration, 95% CIs.
+    "paper": Scale(trials=5, lr_iterations=(1, 2, 4, 6, 8, 12, 16), seeds=(7, 11, 23, 41, 59)),
+    # Fast tier for CI and pytest-benchmark loops.
+    "smoke": Scale(trials=2, lr_iterations=(1, 4, 8), seeds=(7, 11)),
+}
+
+
+def get_scale(name: str = "smoke") -> Scale:
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; known: {sorted(SCALES)}")
+    return SCALES[name]

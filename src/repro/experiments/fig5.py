@@ -1,0 +1,99 @@
+"""Figure 5: overall performance of all workloads, Spark vs RUPAM.
+
+The paper's protocol: 5 runs per configuration with DB_task_char cleared
+between runs, mean + 95% CI.  Shape targets: every workload improves under
+RUPAM; PR gains the most (with a large Spark-side error bar from memory
+failures); single-pass workloads (SQL per query, TeraSort, GM) gain
+modestly; iterative ones (LR, PR, TC, KMeans) gain most; average improvement
+around 37.7%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import improvement_pct, speedup
+from repro.experiments.calibration import FIG5_WORKLOADS, get_scale
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec
+from repro.experiments.trials import TrialStats, run_trials
+from repro.workloads.registry import PAPER_NAMES
+
+
+@dataclass
+class Fig5Row:
+    workload: str
+    spark: TrialStats
+    rupam: TrialStats
+
+    @property
+    def speedup(self) -> float:
+        return speedup(self.spark.mean, self.rupam.mean)
+
+    @property
+    def improvement_pct(self) -> float:
+        return improvement_pct(self.spark.mean, self.rupam.mean)
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row]
+
+    @property
+    def average_improvement_pct(self) -> float:
+        return float(np.mean([r.improvement_pct for r in self.rows]))
+
+    @property
+    def max_speedup(self) -> float:
+        return max(r.speedup for r in self.rows)
+
+    def row(self, workload: str) -> Fig5Row:
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(workload)
+
+    def render(self) -> str:
+        table = render_table(
+            ["Workload", "Spark (s)", "+/-CI", "RUPAM (s)", "+/-CI", "Speedup", "Improv %"],
+            [
+                (
+                    PAPER_NAMES.get(r.workload, r.workload),
+                    f"{r.spark.mean:.1f}",
+                    f"{r.spark.ci95:.1f}",
+                    f"{r.rupam.mean:.1f}",
+                    f"{r.rupam.ci95:.1f}",
+                    f"{r.speedup:.2f}x",
+                    f"{r.improvement_pct:.1f}",
+                )
+                for r in self.rows
+            ],
+            title="Figure 5 - overall performance (mean of trials, 95% CI)",
+        )
+        return (
+            table
+            + f"\naverage improvement: {self.average_improvement_pct:.1f}%"
+            + f"  (paper: 37.7%)  max speedup: {self.max_speedup:.2f}x"
+        )
+
+
+def run_fig5(
+    scale: str = "smoke", workloads: tuple[str, ...] | None = None
+) -> Fig5Result:
+    sc = get_scale(scale)
+    rows = []
+    for wl in workloads or FIG5_WORKLOADS:
+        spark_stats, _ = run_trials(
+            RunSpec(workload=wl, scheduler="spark", monitor_interval=None),
+            trials=sc.trials,
+            base_seed=sc.base_seed,
+        )
+        rupam_stats, _ = run_trials(
+            RunSpec(workload=wl, scheduler="rupam", monitor_interval=None),
+            trials=sc.trials,
+            base_seed=sc.base_seed,
+        )
+        rows.append(Fig5Row(workload=wl, spark=spark_stats, rupam=rupam_stats))
+    return Fig5Result(rows=rows)

@@ -1,0 +1,74 @@
+"""Figure 6: LR speedup under RUPAM vs number of iterations.
+
+The paper's shape: speedup grows with iterations (DB_task_char learns more
+each pass), reaching ~3.4x, and RUPAM never loses to stock Spark regardless
+of iteration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import speedup
+from repro.experiments.calibration import get_scale
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+
+
+@dataclass
+class Fig6Point:
+    iterations: int
+    spark_s: float
+    rupam_s: float
+
+    @property
+    def speedup(self) -> float:
+        return speedup(self.spark_s, self.rupam_s)
+
+
+@dataclass
+class Fig6Result:
+    points: list[Fig6Point]
+
+    def speedups(self) -> list[float]:
+        return [p.speedup for p in self.points]
+
+    def render(self) -> str:
+        return render_table(
+            ["Iterations", "Spark (s)", "RUPAM (s)", "Speedup"],
+            [
+                (p.iterations, f"{p.spark_s:.1f}", f"{p.rupam_s:.1f}", f"{p.speedup:.2f}x")
+                for p in self.points
+            ],
+            title="Figure 6 - LR speedup vs workload iterations",
+        )
+
+
+def run_fig6(scale: str = "smoke", seed: int | None = None) -> Fig6Result:
+    sc = get_scale(scale)
+    seed = sc.base_seed if seed is None else seed
+    points = []
+    for iters in sc.lr_iterations:
+        overrides = {"iterations": iters}
+        spark = run_once(
+            RunSpec(
+                workload="lr",
+                scheduler="spark",
+                seed=seed,
+                monitor_interval=None,
+                workload_overrides=overrides,
+            )
+        )
+        rupam = run_once(
+            RunSpec(
+                workload="lr",
+                scheduler="rupam",
+                seed=seed,
+                monitor_interval=None,
+                workload_overrides=overrides,
+            )
+        )
+        points.append(
+            Fig6Point(iterations=iters, spark_s=spark.runtime_s, rupam_s=rupam.runtime_s)
+        )
+    return Fig6Result(points=points)

@@ -1,0 +1,66 @@
+"""Figure 7: execution-time breakdown of LR, SQL, and PR under both
+schedulers.
+
+Shape targets: RUPAM improves compute time for all three; LR sees *less* GC
+under RUPAM (bigger heaps cache the working set, no LRU churn); SQL sees
+*more* GC and more shuffle under RUPAM (node-sized heaps take longer to
+sweep, and locality was traded away); scheduler delay stays moderate under
+RUPAM despite the extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.breakdown import FIG7_CATEGORIES, total_breakdown
+from repro.experiments.calibration import get_scale
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+
+FIG7_WORKLOADS = ("lr", "sql", "pagerank")
+
+
+@dataclass
+class Fig7Result:
+    # workload -> scheduler -> category -> seconds
+    data: dict[str, dict[str, dict[str, float]]]
+    runtimes: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        out = []
+        for wl, per_sched in self.data.items():
+            rows = []
+            for cat in FIG7_CATEGORIES:
+                rows.append(
+                    (
+                        cat,
+                        f"{per_sched['spark'][cat]:.1f}",
+                        f"{per_sched['rupam'][cat]:.1f}",
+                    )
+                )
+            out.append(
+                render_table(
+                    ["category (s, summed)", "Spark", "RUPAM"],
+                    rows,
+                    title=f"Figure 7 - breakdown: {wl} "
+                    f"(runtimes {self.runtimes[wl]['spark']:.0f}s vs "
+                    f"{self.runtimes[wl]['rupam']:.0f}s)",
+                )
+            )
+        return "\n\n".join(out)
+
+
+def run_fig7(scale: str = "smoke") -> Fig7Result:
+    sc = get_scale(scale)
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    runtimes: dict[str, dict[str, float]] = {}
+    for wl in FIG7_WORKLOADS:
+        data[wl] = {}
+        runtimes[wl] = {}
+        for sched in ("spark", "rupam"):
+            res = run_once(
+                RunSpec(workload=wl, scheduler=sched, seed=sc.base_seed, monitor_interval=None)
+            )
+            data[wl][sched] = total_breakdown(res)
+            runtimes[wl][sched] = res.runtime_s
+    return Fig7Result(data=data, runtimes=runtimes)

@@ -1,0 +1,61 @@
+"""Plain-text rendering of tables and series (the benchmark harness output)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, times: np.ndarray, values: np.ndarray, width: int = 60
+) -> str:
+    """A coarse ASCII sparkline of a time series, plus summary stats."""
+    if len(values) == 0:
+        return f"{name}: (empty)"
+    v = np.asarray(values, dtype=float)
+    if len(v) > width:
+        # bucket-average down to the target width
+        edges = np.linspace(0, len(v), width + 1).astype(int)
+        v = np.array([v[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])])
+    lo, hi = float(v.min()), float(v.max())
+    chars = " .:-=+*#%@"
+    if hi - lo < 1e-12:
+        bar = chars[1] * len(v)
+    else:
+        idx = ((v - lo) / (hi - lo) * (len(chars) - 1)).astype(int)
+        bar = "".join(chars[i] for i in idx)
+    t_span = f"t=[{times[0]:.0f},{times[-1]:.0f}]s" if len(times) else ""
+    return f"{name:<22} [{bar}] min={lo:.2f} max={hi:.2f} mean={float(v.mean()):.2f} {t_span}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,112 @@
+"""Assemble and execute one simulated application run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.monitor import ClusterMonitor
+from repro.cluster.presets import (
+    hydra_cluster,
+    motivational_cluster,
+    multirack_cluster,
+)
+from repro.core.config import RupamConfig
+from repro.core.rupam import RupamScheduler
+from repro.core.taskdb import TaskCharDB
+from repro.simulate.engine import Simulator
+from repro.simulate.randomness import RandomSource
+from repro.simulate.trace import TraceRecorder
+from repro.spark.blocks import BlockManager
+from repro.spark.conf import SparkConf
+from repro.spark.default_scheduler import DefaultScheduler
+from repro.spark.driver import AppResult, Driver
+from repro.spark.scheduler import SchedulerContext, TaskScheduler
+from repro.spark.shuffle import ShuffleManager
+from repro.workloads.base import WorkloadEnv
+from repro.workloads.registry import build_workload
+
+CLUSTERS = {
+    "hydra": hydra_cluster,
+    "motivational": motivational_cluster,
+    "multirack": multirack_cluster,
+}
+
+# The paper runs the Spark master (and driver) on stack1, which is also a
+# worker; the motivational cluster drives from node-1.
+DRIVER_NODES = {
+    "hydra": "stack1",
+    "motivational": "node-1",
+    "multirack": "r0-stack1",
+}
+
+
+@dataclass
+class RunSpec:
+    """Everything defining one run (workload x scheduler x seed x knobs)."""
+
+    workload: str
+    scheduler: str = "spark"         # "spark" | "rupam"
+    seed: int = 0
+    cluster: str = "hydra"
+    monitor_interval: float | None = 1.0  # None disables utilization sampling
+    conf_overrides: dict[str, Any] = field(default_factory=dict)
+    rupam_overrides: dict[str, Any] = field(default_factory=dict)
+    workload_overrides: dict[str, Any] = field(default_factory=dict)
+    trace: bool = False
+    max_sim_time: float = 50_000.0
+
+    def make_conf(self) -> SparkConf:
+        return SparkConf().with_overrides(**self.conf_overrides)
+
+    def make_rupam_cfg(self) -> RupamConfig:
+        return RupamConfig().with_overrides(**self.rupam_overrides)
+
+
+def make_scheduler(spec: RunSpec, db: TaskCharDB | None = None) -> TaskScheduler:
+    if spec.scheduler == "spark":
+        return DefaultScheduler()
+    if spec.scheduler == "rupam":
+        return RupamScheduler(cfg=spec.make_rupam_cfg(), db=db)
+    raise ValueError(f"unknown scheduler {spec.scheduler!r}")
+
+
+def run_once(spec: RunSpec, db: TaskCharDB | None = None) -> AppResult:
+    """Build the cluster and workload, run the app, return its results.
+
+    ``db`` optionally carries RUPAM's task knowledge across runs (the paper
+    clears it between trials; ablations may not).
+    """
+    if spec.cluster not in CLUSTERS:
+        raise ValueError(f"unknown cluster {spec.cluster!r}")
+    sim = Simulator()
+    cluster: Cluster = CLUSTERS[spec.cluster](sim)
+    conf = spec.make_conf()
+    rng = RandomSource(spec.seed)
+    blocks = BlockManager(
+        {rack: [n.name for n in nodes] for rack, nodes in cluster.racks.items()},
+        # Rack-aware locality only matters once the network is not flat;
+        # Spark itself only resolves racks when given a topology script.
+        rack_aware=cluster.inter_rack_factor > 1.0,
+    )
+    env = WorkloadEnv(cluster=cluster, blocks=blocks, rng=rng)
+    app = build_workload(spec.workload, env, **spec.workload_overrides)
+    ctx = SchedulerContext(
+        sim=sim,
+        conf=conf,
+        cluster=cluster,
+        blocks=blocks,
+        shuffle=ShuffleManager(),
+        rng=rng,
+        trace=TraceRecorder(enabled=spec.trace),
+        driver_node=DRIVER_NODES[spec.cluster],
+    )
+    monitor = (
+        ClusterMonitor(sim, cluster, interval=spec.monitor_interval)
+        if spec.monitor_interval is not None
+        else None
+    )
+    scheduler = make_scheduler(spec, db=db)
+    driver = Driver(ctx, scheduler, monitor=monitor)
+    return driver.run(app, until=spec.max_sim_time)

@@ -1,0 +1,53 @@
+"""Table IV: SysBench/Iperf-analog hardware characteristics per node class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.microbench import HardwareBenchResult, bench_table4
+from repro.cluster.presets import hydra_node_specs
+from repro.experiments.report import render_table
+
+
+@dataclass
+class Table4Result:
+    rows: list[HardwareBenchResult]
+
+    def by_group(self) -> dict[str, HardwareBenchResult]:
+        return {r.group: r for r in self.rows}
+
+    def render(self) -> str:
+        return render_table(
+            ["SysBench", "stack", "hulk", "thor"],
+            [
+                ["CPU (sec)"] + [f"{self.by_group()[g].cpu_seconds:.2f}" for g in ("stack", "hulk", "thor")],
+                ["latency (ms)"] + [f"{self.by_group()[g].cpu_latency_ms:.2f}" for g in ("stack", "hulk", "thor")],
+                ["I/O read (MB/s)"] + [f"{self.by_group()[g].io_read_mbps:.0f}" for g in ("stack", "hulk", "thor")],
+                ["I/O write (MB/s)"] + [f"{self.by_group()[g].io_write_mbps:.0f}" for g in ("stack", "hulk", "thor")],
+                ["Network (Mbit/s)"] + [f"{self.by_group()[g].net_mbits:.0f}" for g in ("stack", "hulk", "thor")],
+            ],
+            title="Table IV - hardware characteristics benchmarks",
+        )
+
+
+def run_table4() -> Table4Result:
+    return Table4Result(rows=bench_table4(hydra_node_specs()))
+
+
+def shape_checks(result: Table4Result) -> dict[str, bool]:
+    """The paper's reading of Table IV."""
+    g = result.by_group()
+    thor, hulk, stack = g["thor"], g["hulk"], g["stack"]
+    return {
+        # thor ~5x faster than stack/hulk on the CPU test, lowest latency
+        "thor_cpu_5x": thor.cpu_seconds * 4.0 < min(hulk.cpu_seconds, stack.cpu_seconds),
+        "thor_lowest_latency": thor.cpu_latency_ms
+        < min(hulk.cpu_latency_ms, stack.cpu_latency_ms),
+        "hulk_slightly_beats_stack": hulk.cpu_seconds < stack.cpu_seconds,
+        # thor (SSD) best read and write bandwidth
+        "thor_best_io": thor.io_read_mbps > max(hulk.io_read_mbps, stack.io_read_mbps)
+        and thor.io_write_mbps > max(hulk.io_write_mbps, stack.io_write_mbps),
+        # 1 GbE switch makes network look alike everywhere
+        "network_similar": max(r.net_mbits for r in result.rows)
+        < 1.25 * min(r.net_mbits for r in result.rows),
+    }

@@ -1,0 +1,79 @@
+"""Table V: task counts per data-locality level, Spark vs RUPAM.
+
+Shape targets from the paper: zero RACK_LOCAL everywhere (no topology
+script); stock Spark achieves at least as many PROCESS_LOCAL tasks as RUPAM
+on every workload (it optimizes locality and nothing else); RUPAM trades
+locality for resource fit on some workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.locality import locality_table_row
+from repro.experiments.calibration import FIG5_WORKLOADS, get_scale
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec, run_once
+from repro.workloads.registry import PAPER_NAMES
+
+
+@dataclass
+class Table5Row:
+    workload: str
+    spark: dict[str, int]
+    rupam: dict[str, int]
+
+
+@dataclass
+class Table5Result:
+    rows: list[Table5Row]
+
+    def row(self, workload: str) -> Table5Row:
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(workload)
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "Workload",
+                "PROC spark", "PROC rupam",
+                "NODE spark", "NODE rupam",
+                "ANY spark", "ANY rupam",
+                "RACK spark", "RACK rupam",
+            ],
+            [
+                (
+                    PAPER_NAMES.get(r.workload, r.workload),
+                    r.spark["PROCESS_LOCAL"], r.rupam["PROCESS_LOCAL"],
+                    r.spark["NODE_LOCAL"], r.rupam["NODE_LOCAL"],
+                    r.spark["ANY"], r.rupam["ANY"],
+                    0, 0,
+                )
+                for r in self.rows
+            ],
+            title="Table V - tasks per locality level",
+        )
+
+
+def run_table5(
+    scale: str = "smoke", workloads: tuple[str, ...] | None = None
+) -> Table5Result:
+    sc = get_scale(scale)
+    rows = []
+    for wl in workloads or FIG5_WORKLOADS:
+        spark = run_once(
+            RunSpec(workload=wl, scheduler="spark", seed=sc.base_seed, monitor_interval=None)
+        )
+        rupam = run_once(
+            RunSpec(workload=wl, scheduler="rupam", seed=sc.base_seed, monitor_interval=None)
+        )
+        rows.append(
+            Table5Row(
+                workload=wl,
+                spark=locality_table_row(spark),
+                rupam=locality_table_row(rupam),
+            )
+        )
+    return Table5Result(rows=rows)

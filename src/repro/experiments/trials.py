@@ -1,0 +1,52 @@
+"""Multi-trial execution and confidence intervals (the paper uses 5 runs,
+95% CIs, clearing DB_task_char between runs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.experiments.runner import RunSpec, run_once
+from repro.spark.driver import AppResult
+
+# Two-sided 95% t critical values for small samples (df = n-1).
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365}
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Runtime statistics over repeated runs of one configuration."""
+
+    runtimes: tuple[float, ...]
+    mean: float
+    ci95: float
+
+    @property
+    def n(self) -> int:
+        return len(self.runtimes)
+
+
+def summarize(runtimes: list[float]) -> TrialStats:
+    arr = np.asarray(runtimes, dtype=float)
+    mean = float(arr.mean())
+    if len(arr) < 2:
+        return TrialStats(tuple(arr), mean, 0.0)
+    sem = float(arr.std(ddof=1) / np.sqrt(len(arr)))
+    t = _T95.get(len(arr) - 1, 1.96)
+    return TrialStats(tuple(arr), mean, t * sem)
+
+
+def run_trials(
+    spec: RunSpec, trials: int = 5, base_seed: int | None = None
+) -> tuple[TrialStats, list[AppResult]]:
+    """Run ``trials`` independent runs (fresh DB each — the paper clears
+    DB_task_char after every run) and summarize runtimes."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    seed0 = spec.seed if base_seed is None else base_seed
+    results: list[AppResult] = []
+    for t in range(trials):
+        res = run_once(replace(spec, seed=seed0 + 1000 * t))
+        results.append(res)
+    return summarize([r.runtime_s for r in results]), results

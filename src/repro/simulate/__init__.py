@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event engine and the fluid (rate-based) resource
+model that everything else in :mod:`repro` is built on.  Tasks in the Spark
+model execute as sequences of *phases*, each of which places demand on one
+shared node resource (CPU, GPU, NIC, disk); :class:`FluidResource` divides
+capacity among concurrent consumers max-min fairly and the engine advances
+simulated time to the next phase completion.
+"""
+
+from repro.simulate.engine import EventHandle, Simulator
+from repro.simulate.randomness import RandomSource
+from repro.simulate.resources import FlowHandle, FluidResource, MemoryPool
+from repro.simulate.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "EventHandle",
+    "FlowHandle",
+    "FluidResource",
+    "MemoryPool",
+    "RandomSource",
+    "Simulator",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,143 @@
+"""Event-driven simulation core.
+
+The engine is a classic calendar-queue loop: callbacks are scheduled at
+absolute simulated times and executed in time order (FIFO among equal
+times).  There is no wall-clock coupling anywhere; determinism is guaranteed
+by the (time, sequence) ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("fn", "args", "cancelled", "fired", "time")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<EventHandle t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """The simulation clock and event loop.
+
+    Components schedule work with :meth:`at` / :meth:`after` and the driver
+    calls :meth:`run`.  Callbacks may schedule further events, including at
+    the current time (they run later in the same instant, FIFO).
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Entry] = []
+        self._seq = 0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule event at NaN time")
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self._now}"
+            )
+        time = max(time, self._now)
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, _Entry(time, self._seq, handle))
+        return handle
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle.fired = True
+            self.events_processed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the event queue.
+
+        Args:
+            until: stop once the clock would pass this time (events exactly at
+                ``until`` still run).
+            max_events: safety valve against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0].time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (possible livelock)"
+                    )
+        finally:
+            self._running = False
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None if the queue is drained."""
+        while self._heap and not self._heap[0].handle.pending:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for e in self._heap if e.handle.pending)

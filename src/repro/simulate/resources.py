@@ -1,0 +1,323 @@
+"""Fluid-flow shared resources.
+
+A :class:`FluidResource` models a capacity (GHz of CPU, MB/s of NIC or disk
+bandwidth, ...) divided among concurrent consumers by *max-min fairness with
+per-consumer caps* (progressive water-filling).  Whenever the consumer set
+changes, remaining work is settled at the old rates and completion events are
+re-projected; this is the standard fluid approximation used by cluster
+simulators and keeps the event count proportional to the number of phase
+transitions rather than to time.
+
+:class:`MemoryPool` is the space (not rate) counterpart used for executor
+heaps and node RAM.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable
+
+from repro.simulate.engine import EventHandle, Simulator
+
+_EPS = 1e-12
+# Sub-nanosecond leftovers are treated as done.  A purely absolute work
+# epsilon is not enough: leftover work of ~1e-12 at high rates yields an eta
+# below the float ulp of the clock, so the completion event would re-fire at
+# the same instant forever.
+_TIME_EPS = 1e-9
+
+
+def _effectively_done(remaining: float, rate: float, now: float) -> bool:
+    """True when the flow's residual work cannot advance the clock."""
+    if remaining <= _EPS:
+        return True
+    if rate <= _EPS:
+        return False
+    eta = remaining / rate
+    return eta <= max(_TIME_EPS, 8.0 * math.ulp(max(1.0, now)))
+
+
+class FlowHandle:
+    """One consumer's claim on a :class:`FluidResource`."""
+
+    __slots__ = (
+        "resource",
+        "remaining",
+        "cap",
+        "rate",
+        "on_complete",
+        "done",
+        "aborted",
+        "started_at",
+        "_event",
+        "weight",
+    )
+
+    def __init__(
+        self,
+        resource: "FluidResource",
+        work: float,
+        cap: float | None,
+        on_complete: Callable[["FlowHandle"], None] | None,
+        weight: float,
+        now: float,
+    ):
+        self.resource = resource
+        self.remaining = work
+        self.cap = cap
+        self.rate = 0.0
+        self.on_complete = on_complete
+        self.done = False
+        self.aborted = False
+        self.started_at = now
+        self.weight = weight
+        self._event: EventHandle | None = None
+
+    @property
+    def active(self) -> bool:
+        return not (self.done or self.aborted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Flow {self.resource.name} remaining={self.remaining:.3g} "
+            f"rate={self.rate:.3g}>"
+        )
+
+
+def waterfill(capacity: float, caps: Iterable[float | None]) -> list[float]:
+    """Max-min fair allocation of ``capacity`` among consumers with caps.
+
+    ``None`` means uncapped.  Returns the per-consumer rates in input order.
+    """
+    caps = list(caps)
+    n = len(caps)
+    if n == 0:
+        return []
+    rates = [0.0] * n
+    remaining_cap = capacity
+    # Indices sorted so capped-small consumers are satisfied first.
+    order = sorted(range(n), key=lambda i: math.inf if caps[i] is None else caps[i])
+    remaining = n
+    for idx in order:
+        if remaining_cap <= _EPS:
+            break
+        fair = remaining_cap / remaining
+        cap = caps[idx]
+        alloc = fair if cap is None else min(cap, fair)
+        rates[idx] = alloc
+        remaining_cap -= alloc
+        remaining -= 1
+    return rates
+
+
+class FluidResource:
+    """A shared, rate-divisible resource attached to a simulator.
+
+    Args:
+        sim: the owning simulator (used to project completion events).
+        capacity: total service rate (units of work per simulated second).
+        name: used in traces and error messages.
+        rate_scale: callable returning a multiplier in (0, 1] applied to all
+            consumer rates — used to model e.g. GC drag on compute.  It is
+            re-read at every settle point.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        name: str = "resource",
+        rate_scale: Callable[[], float] | None = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self.rate_scale = rate_scale
+        self._flows: list[FlowHandle] = []
+        self._last_settle = sim.now
+        self.total_work_done = 0.0
+        # Integral of (allocated rate / capacity) dt, for average utilization.
+        self.busy_integral = 0.0
+        self._integral_t0 = sim.now
+
+    # -- public API ---------------------------------------------------------
+
+    def acquire(
+        self,
+        work: float,
+        cap: float | None = None,
+        on_complete: Callable[[FlowHandle], None] | None = None,
+        weight: float = 1.0,
+    ) -> FlowHandle:
+        """Start a flow needing ``work`` units; completion fires ``on_complete``."""
+        if work < 0:
+            raise ValueError(f"{self.name}: negative work {work}")
+        if cap is not None and cap <= 0:
+            raise ValueError(f"{self.name}: cap must be positive, got {cap}")
+        self._settle()
+        flow = FlowHandle(self, work, cap, on_complete, weight, self.sim.now)
+        if work <= _EPS:
+            # Zero-size work completes immediately but asynchronously, to keep
+            # callback ordering uniform with real flows.
+            flow.done = True
+            if on_complete is not None:
+                self.sim.after(0.0, on_complete, flow)
+            return flow
+        self._flows.append(flow)
+        self._refit()
+        return flow
+
+    def abort(self, flow: FlowHandle) -> None:
+        """Cancel a flow early (its completion callback never fires)."""
+        if not flow.active:
+            return
+        self._settle()
+        flow.aborted = True
+        self._detach(flow)
+        self._refit()
+
+    def current_rate_total(self) -> float:
+        """Sum of rates currently granted (work units per second)."""
+        return sum(f.rate for f in self._flows if f.active)
+
+    def utilization(self) -> float:
+        """Instantaneous fraction of capacity in use, in [0, 1]."""
+        return min(1.0, self.current_rate_total() / self.capacity)
+
+    def average_utilization(self) -> float:
+        """Time-averaged utilization since construction."""
+        self._settle()
+        span = self.sim.now - self._integral_t0
+        if span <= 0:
+            return self.utilization()
+        return self.busy_integral / span
+
+    @property
+    def active_flows(self) -> int:
+        return sum(1 for f in self._flows if f.active)
+
+    def progress(self, flow: FlowHandle) -> float:
+        """Work units completed so far for ``flow`` (settles first)."""
+        self._settle()
+        return max(0.0, flow.remaining)
+
+    # -- internals ----------------------------------------------------------
+
+    def _scale(self) -> float:
+        if self.rate_scale is None:
+            return 1.0
+        s = self.rate_scale()
+        if not (0.0 < s <= 1.0):
+            raise ValueError(f"{self.name}: rate_scale returned {s}, expected (0,1]")
+        return s
+
+    def _settle(self) -> None:
+        """Advance all flows' remaining work to the current instant."""
+        now = self.sim.now
+        dt = now - self._last_settle
+        if dt > 0:
+            used = 0.0
+            for f in self._flows:
+                if f.active and f.rate > 0:
+                    step = f.rate * dt
+                    f.remaining = max(0.0, f.remaining - step)
+                    self.total_work_done += step
+                    used += f.rate
+            self.busy_integral += min(1.0, used / self.capacity) * dt
+            self._last_settle = now
+        elif dt < -1e-9:  # pragma: no cover - engine guarantees monotonic time
+            raise RuntimeError(f"{self.name}: time went backwards")
+        else:
+            self._last_settle = now
+
+    def _detach(self, flow: FlowHandle) -> None:
+        if flow._event is not None:
+            flow._event.cancel()
+            flow._event = None
+        try:
+            self._flows.remove(flow)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def _refit(self) -> None:
+        """Recompute fair rates and re-project every flow's completion event."""
+        scale = self._scale()
+        active = [f for f in self._flows if f.active]
+        weighted_caps = []
+        for f in active:
+            weighted_caps.append(None if f.cap is None else f.cap * f.weight)
+        rates = waterfill(self.capacity, weighted_caps)
+        for f, rate in zip(active, rates):
+            f.rate = rate * scale
+            if f._event is not None:
+                f._event.cancel()
+                f._event = None
+            if f.rate > _EPS:
+                eta = f.remaining / f.rate
+                if _effectively_done(f.remaining, f.rate, self.sim.now):
+                    eta = 0.0
+                f._event = self.sim.after(eta, self._on_flow_deadline, f)
+            # A starved flow (rate 0) simply waits for the next refit.
+
+    def _on_flow_deadline(self, flow: FlowHandle) -> None:
+        if not flow.active:
+            return
+        self._settle()
+        if not _effectively_done(flow.remaining, flow.rate, self.sim.now):
+            # Rates changed since projection; re-project.
+            self._refit()
+            return
+        flow.remaining = 0.0
+        flow.done = True
+        flow._event = None
+        try:
+            self._flows.remove(flow)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._refit()
+        if flow.on_complete is not None:
+            flow.on_complete(flow)
+
+    def notify_scale_changed(self) -> None:
+        """Re-fit rates after an external change to ``rate_scale`` inputs."""
+        self._settle()
+        self._refit()
+
+
+class MemoryPool:
+    """Space-type resource: reserve/release with high-water tracking."""
+
+    def __init__(self, capacity: float, name: str = "memory"):
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive")
+        self.capacity = float(capacity)
+        self.name = name
+        self.used = 0.0
+        self.peak = 0.0
+
+    @property
+    def free(self) -> float:
+        return max(0.0, self.capacity - self.used)
+
+    def can_fit(self, amount: float) -> bool:
+        return amount <= self.free + _EPS
+
+    def reserve(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: negative reservation {amount}")
+        self.used += amount
+        self.peak = max(self.peak, self.used)
+
+    def release(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: negative release {amount}")
+        self.used = max(0.0, self.used - amount)
+
+    def pressure(self) -> float:
+        """Fraction of capacity in use, in [0, +inf) (over-commit possible)."""
+        return self.used / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemoryPool {self.name} {self.used:.2f}/{self.capacity:.2f}>"

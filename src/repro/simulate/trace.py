@@ -1,0 +1,48 @@
+"""Structured trace recording for simulations.
+
+Traces are append-only lists of :class:`TraceEvent`; analysis code filters by
+``kind``.  Recording can be disabled entirely for large benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records, optionally filtered by kind."""
+
+    def __init__(self, enabled: bool = True, kinds: set[str] | None = None):
+        self.enabled = enabled
+        self.kinds = kinds
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.events.append(TraceEvent(time, kind, data))
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.kind == kind)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

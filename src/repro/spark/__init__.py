@@ -1,0 +1,41 @@
+"""Spark execution-model substrate.
+
+This package models the task-level half of Spark that RUPAM replaces:
+applications made of jobs, jobs split into stages at shuffle boundaries,
+stages made of tasks; executors with heaps, GC pressure, and OOM semantics;
+an HDFS-style block store and RDD cache driving data locality; map-side
+shuffle files fetched over the network; delay scheduling; and speculative
+execution.  The stock scheduler (:mod:`repro.spark.default_scheduler`)
+reproduces Spark 2.2's locality-only policy; RUPAM plugs into the same
+:class:`repro.spark.scheduler.TaskScheduler` interface.
+"""
+
+from repro.spark.application import Application, Job
+from repro.spark.blocks import BlockManager
+from repro.spark.conf import SparkConf
+from repro.spark.default_scheduler import DefaultScheduler
+from repro.spark.driver import AppResult, Driver
+from repro.spark.executor import Executor
+from repro.spark.locality import Locality
+from repro.spark.metrics import TaskMetrics
+from repro.spark.scheduler import SchedulerContext, TaskScheduler
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+
+__all__ = [
+    "AppResult",
+    "Application",
+    "BlockManager",
+    "DefaultScheduler",
+    "Driver",
+    "Executor",
+    "Job",
+    "Locality",
+    "SchedulerContext",
+    "SparkConf",
+    "Stage",
+    "StageKind",
+    "TaskMetrics",
+    "TaskScheduler",
+    "TaskSpec",
+]

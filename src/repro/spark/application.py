@@ -1,0 +1,90 @@
+"""Jobs and applications.
+
+A job is a DAG of stages triggered by one action; an application is the
+ordered list of jobs a driver program runs (iterative workloads produce one
+job per iteration, so jobs execute sequentially while stages *within* a job
+run concurrently when their parents allow).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.spark.stage import Stage
+
+
+class Job:
+    """A DAG of stages; validated to be acyclic and internally consistent."""
+
+    _next_id = 0
+
+    def __init__(self, stages: Iterable[Stage], name: str = ""):
+        self.job_id = Job._next_id
+        Job._next_id += 1
+        self.name = name or f"job{self.job_id}"
+        self.stages: list[Stage] = list(stages)
+        if not self.stages:
+            raise ValueError("job has no stages")
+        ids = {s.stage_id for s in self.stages}
+        for s in self.stages:
+            for p in s.parents:
+                if p.stage_id not in ids:
+                    raise ValueError(
+                        f"stage {s.template_id} depends on {p.template_id} "
+                        f"which is not part of job {self.name}"
+                    )
+        self._check_acyclic()
+        result_stages = [s for s in self.stages if s.is_result]
+        if not result_stages:
+            raise ValueError(f"job {self.name} has no result stage")
+
+    def _check_acyclic(self) -> None:
+        state: dict[int, int] = {}
+
+        def visit(stage: Stage) -> None:
+            st = state.get(stage.stage_id, 0)
+            if st == 1:
+                raise ValueError(f"cycle through stage {stage.template_id}")
+            if st == 2:
+                return
+            state[stage.stage_id] = 1
+            for p in stage.parents:
+                visit(p)
+            state[stage.stage_id] = 2
+
+        for s in self.stages:
+            visit(s)
+
+    def roots(self) -> list[Stage]:
+        """Stages with no parents (runnable immediately)."""
+        return [s for s in self.stages if not s.parents]
+
+    def children_of(self, stage: Stage) -> list[Stage]:
+        return [s for s in self.stages if stage in s.parents]
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(s.num_tasks for s in self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Job {self.name}: {len(self.stages)} stages, {self.num_tasks} tasks>"
+
+
+class Application:
+    """An ordered list of jobs plus app-level metadata."""
+
+    def __init__(self, name: str, jobs: Iterable[Job]):
+        self.name = name
+        self.jobs: list[Job] = list(jobs)
+        if not self.jobs:
+            raise ValueError("application has no jobs")
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(j.num_tasks for j in self.jobs)
+
+    def all_stages(self) -> list[Stage]:
+        return [s for j in self.jobs for s in j.stages]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Application {self.name}: {len(self.jobs)} jobs>"

@@ -1,0 +1,151 @@
+"""Block store and RDD cache location tracking (the locality substrate).
+
+Input partitions live as replicated blocks on node disks (HDFS-style);
+cached RDD partitions live in a specific executor's storage memory.  The
+block manager answers the one question schedulers ask: *how local would this
+task be on that node?*
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.spark.locality import Locality
+from repro.spark.task import TaskSpec
+
+
+class BlockManager:
+    """Tracks block replicas, cached partitions, and rack membership."""
+
+    def __init__(self, racks: dict[str, Sequence[str]], rack_aware: bool = False):
+        # Spark only resolves racks when a topology script is configured; the
+        # paper's testbed has none (Table V shows zero RACK_LOCAL tasks).
+        self.rack_aware = rack_aware
+        # node -> rack
+        self._rack_of: dict[str, str] = {}
+        for rack, nodes in racks.items():
+            for n in nodes:
+                self._rack_of[n] = rack
+        self._block_locations: dict[str, tuple[str, ...]] = {}
+        # cache_key -> node holding the cached partition
+        self._cache_locations: dict[str, str] = {}
+
+    # -- placement ------------------------------------------------------------
+
+    def put_block(self, block_id: str, nodes: Iterable[str]) -> None:
+        locs = tuple(nodes)
+        if not locs:
+            raise ValueError(f"block {block_id}: at least one replica required")
+        for n in locs:
+            if n not in self._rack_of:
+                raise ValueError(f"block {block_id}: unknown node {n}")
+        self._block_locations[block_id] = locs
+
+    def place_dataset(
+        self,
+        prefix: str,
+        num_blocks: int,
+        nodes: Sequence[str],
+        rng: np.random.Generator,
+        replication: int = 2,
+    ) -> list[str]:
+        """HDFS-style placement: each block gets ``replication`` distinct
+        random nodes.  Returns the block ids."""
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        replication = min(replication, len(nodes))
+        ids = []
+        for i in range(num_blocks):
+            block_id = f"{prefix}:{i}"
+            chosen = rng.choice(len(nodes), size=replication, replace=False)
+            self.put_block(block_id, [nodes[j] for j in chosen])
+            ids.append(block_id)
+        return ids
+
+    def block_locations(self, block_id: str) -> tuple[str, ...]:
+        return self._block_locations.get(block_id, ())
+
+    # -- cache ------------------------------------------------------------------
+
+    def record_cached(self, cache_key: str, node: str) -> None:
+        self._cache_locations[cache_key] = node
+
+    def drop_cached(self, cache_key: str) -> None:
+        self._cache_locations.pop(cache_key, None)
+
+    def drop_cached_on_node(self, node: str) -> list[str]:
+        """Forget all cached partitions on ``node`` (executor loss)."""
+        lost = [k for k, n in self._cache_locations.items() if n == node]
+        for k in lost:
+            del self._cache_locations[k]
+        return lost
+
+    def cached_location(self, cache_key: str) -> str | None:
+        return self._cache_locations.get(cache_key)
+
+    def is_cached(self, cache_key: str) -> bool:
+        return cache_key in self._cache_locations
+
+    # -- locality ----------------------------------------------------------------
+
+    def rack_of(self, node: str) -> str:
+        return self._rack_of[node]
+
+    def preferred_nodes(self, task: TaskSpec) -> tuple[str, ...]:
+        """Spark's preferredLocations: cache location first, else replicas."""
+        if task.cache_key is not None:
+            cached = self._cache_locations.get(task.cache_key)
+            if cached is not None:
+                return (cached,)
+        nodes: list[str] = []
+        for b in task.input_blocks:
+            for n in self._block_locations.get(b, ()):
+                if n not in nodes:
+                    nodes.append(n)
+        return tuple(nodes)
+
+    def locality_for(self, task: TaskSpec, node: str) -> Locality:
+        """Locality level of running ``task`` on ``node`` right now.
+
+        Mirrors Spark: a cached partition is PROCESS_LOCAL on its executor's
+        node; an input replica on the node is NODE_LOCAL; a replica in the
+        same rack is RACK_LOCAL; tasks with no preferences (pure shuffle
+        reads) are ANY everywhere.
+        """
+        if task.cache_key is not None:
+            cached = self._cache_locations.get(task.cache_key)
+            if cached is not None:
+                if cached == node:
+                    return Locality.PROCESS_LOCAL
+                # Cached elsewhere: node holding an input replica still rates
+                # NODE_LOCAL, otherwise fall through to replica logic.
+        prefs = []
+        for b in task.input_blocks:
+            prefs.extend(self._block_locations.get(b, ()))
+        if not prefs and (task.cache_key is None or not self.is_cached(task.cache_key)):
+            return Locality.ANY
+        if node in prefs:
+            return Locality.NODE_LOCAL
+        cached = (
+            self._cache_locations.get(task.cache_key)
+            if task.cache_key is not None
+            else None
+        )
+        if self.rack_aware:
+            candidates = set(prefs)
+            if cached is not None:
+                candidates.add(cached)
+            my_rack = self._rack_of.get(node)
+            if any(self._rack_of.get(c) == my_rack for c in candidates):
+                return Locality.RACK_LOCAL
+        return Locality.ANY
+
+    def best_possible_locality(self, task: TaskSpec) -> Locality:
+        """The best level any node could offer this task right now."""
+        if task.cache_key is not None and self.is_cached(task.cache_key):
+            return Locality.PROCESS_LOCAL
+        if self.preferred_nodes(task):
+            return Locality.NODE_LOCAL
+        return Locality.ANY

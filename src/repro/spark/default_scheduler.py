@@ -1,0 +1,123 @@
+"""Spark 2.2's stock task scheduler: locality-only delay scheduling.
+
+One task slot per core; an executor is "available" iff it has a free slot;
+among pending tasks the best-locality one within the currently allowed level
+is launched.  Node capability, utilization, memory fit, and accelerators are
+all invisible to it — exactly the mismatch RUPAM targets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.simulate.engine import EventHandle
+from repro.spark.scheduler import TaskScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.executor import Executor
+    from repro.spark.runner import TaskRun
+    from repro.spark.taskset import TaskSetManager
+
+
+class DefaultScheduler(TaskScheduler):
+    """Locality-first FIFO scheduler (Spark standalone default)."""
+
+    name = "spark"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tasksets: list["TaskSetManager"] = []
+        self.executors: list["Executor"] = []
+        self._revive_timer: EventHandle | None = None
+        self._reviving = False
+
+    # -- event feed --------------------------------------------------------------
+
+    def submit_taskset(self, ts: "TaskSetManager") -> None:
+        if ts not in self.tasksets:  # re-submitted after shuffle loss
+            self.tasksets.append(ts)
+        self.revive()
+
+    def taskset_finished(self, ts: "TaskSetManager") -> None:
+        if ts in self.tasksets:
+            self.tasksets.remove(ts)
+
+    def on_executor_added(self, executor: "Executor") -> None:
+        self.executors.append(executor)
+        self.revive()
+
+    def on_executor_removed(self, executor: "Executor") -> None:
+        if executor in self.executors:
+            self.executors.remove(executor)
+
+    def on_task_end(self, run: "TaskRun") -> None:
+        self.revive()
+
+    # -- placement ----------------------------------------------------------------
+
+    def revive(self) -> None:
+        if self.ctx is None or self._reviving:
+            return
+        self._reviving = True
+        try:
+            launched = True
+            while launched:
+                launched = False
+                for ex in self._offer_order():
+                    if not ex.has_capacity():
+                        continue
+                    if self._offer_to(ex):
+                        launched = True
+            self._schedule_escalation_revive()
+        finally:
+            self._reviving = False
+
+    def _offer_order(self) -> list["Executor"]:
+        """Spark randomizes offers to spread load across the cluster."""
+        assert self.ctx is not None
+        order = list(self.executors)
+        self.ctx.rng.stream("spark-offers").shuffle(order)  # type: ignore[arg-type]
+        return order
+
+    def _offer_to(self, ex: "Executor") -> bool:
+        assert self.ctx is not None
+        driver = self.ctx.driver
+        assert driver is not None
+        now = self.ctx.now
+        for ts in self.tasksets:
+            if not ts.is_active():
+                continue
+            if ts.has_pending():
+                allowed = ts.allowed_locality(now)
+                sel = ts.select_task(ex, allowed)
+                if sel is not None:
+                    spec, loc = sel
+                    ts.note_launch(loc, now)
+                    driver.launch_task(ts, spec, ex, loc)
+                    return True
+            if ts.has_speculatable():
+                sel = ts.select_speculative(ex)
+                if sel is not None:
+                    spec, loc = sel
+                    driver.launch_task(ts, spec, ex, loc, speculative=True)
+                    return True
+        return False
+
+    def _schedule_escalation_revive(self) -> None:
+        """Wake up when some taskset's locality level will loosen."""
+        assert self.ctx is not None
+        times = [
+            t
+            for ts in self.tasksets
+            if ts.is_active() and ts.has_pending()
+            for t in [ts.next_escalation_time(self.ctx.now)]
+            if t is not None
+        ]
+        if not times:
+            return
+        when = max(min(times), self.ctx.now)
+        if self._revive_timer is not None and self._revive_timer.pending:
+            if self._revive_timer.time <= when + 1e-9:
+                return
+            self._revive_timer.cancel()
+        self._revive_timer = self.ctx.sim.at(when + 1e-6, self.revive)

@@ -1,0 +1,335 @@
+"""The application driver: DAG scheduling, executor management, results.
+
+The driver mirrors Spark's DAGScheduler + standalone master duties at the
+fidelity the paper's experiments need: it launches one executor per worker
+node (sized by the task scheduler's policy hook), submits jobs sequentially
+and stages in dependency order, relaunches executors the OOM model kills,
+and collects every task attempt's metrics into an :class:`AppResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.monitor import ClusterMonitor
+from repro.spark.application import Application, Job
+from repro.spark.executor import Executor
+from repro.spark.metrics import TaskMetrics
+from repro.spark.locality import Locality
+from repro.spark.runner import TaskRun
+from repro.spark.scheduler import SchedulerContext, TaskScheduler
+from repro.spark.speculation import SpeculationLoop
+from repro.spark.stage import Stage
+from repro.spark.task import TaskSpec
+from repro.spark.taskset import TaskSetAborted, TaskSetManager
+
+
+@dataclass
+class AppResult:
+    """Everything an experiment needs from one application run."""
+
+    app_name: str
+    scheduler_name: str
+    runtime_s: float
+    task_metrics: list[TaskMetrics]
+    aborted: bool = False
+    oom_task_failures: int = 0
+    executor_kills: int = 0
+    monitor: ClusterMonitor | None = None
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def successful_metrics(self) -> list[TaskMetrics]:
+        return [m for m in self.task_metrics if m.succeeded]
+
+    def locality_counts(self) -> dict[str, int]:
+        """Launched-task counts per locality level (includes retries, as the
+        paper's Table V does)."""
+        counts = {lvl.name: 0 for lvl in Locality}
+        for m in self.task_metrics:
+            counts[m.locality.name] += 1
+        return counts
+
+    def breakdown_totals(self) -> dict[str, float]:
+        """Figure 7 categories summed over successful tasks."""
+        totals = {
+            "compute": 0.0,
+            "gc": 0.0,
+            "shuffle_net": 0.0,
+            "shuffle_disk": 0.0,
+            "scheduler_delay": 0.0,
+        }
+        for m in self.successful_metrics():
+            for k, v in m.breakdown().items():
+                totals[k] += v
+        return totals
+
+
+class Driver:
+    """Runs one application to completion on a simulated cluster."""
+
+    def __init__(
+        self,
+        ctx: SchedulerContext,
+        scheduler: TaskScheduler,
+        monitor: ClusterMonitor | None = None,
+    ):
+        self.ctx = ctx
+        self.scheduler = scheduler
+        self.monitor = monitor
+        ctx.driver = self
+        scheduler.attach(ctx)
+        self.executors: dict[str, Executor] = {}
+        self.all_runs: list[TaskRun] = []
+        self._tasksets: dict[int, TaskSetManager] = {}
+        self._stage_done: set[int] = set()
+        self._current_job: Job | None = None
+        self._job_index = 0
+        self._app: Application | None = None
+        self._app_done = False
+        self._aborted = False
+        self.executor_kills = 0
+        self._speculation = SpeculationLoop(
+            ctx, self.active_tasksets, self.scheduler.revive
+        )
+        self._finish_time: float | None = None
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self, app: Application, until: float | None = None) -> AppResult:
+        """Execute the application and return its results."""
+        self._app = app
+        start = self.ctx.sim.now
+        for node in self.ctx.cluster:
+            self._launch_executor(node.name)
+        if self.monitor is not None:
+            self.monitor.start()
+        self._speculation.start()
+        self._submit_next_job()
+        self.ctx.sim.run(until=until)
+        if not self._app_done and not self._aborted:
+            raise RuntimeError(
+                f"application {app.name} did not finish "
+                f"(simulation drained at t={self.ctx.sim.now:.1f}s)"
+            )
+        end = self._finish_time if self._finish_time is not None else self.ctx.sim.now
+        oom_failures = sum(1 for r in self.all_runs if r.metrics.failed_oom)
+        return AppResult(
+            app_name=app.name,
+            scheduler_name=self.scheduler.name,
+            runtime_s=end - start,
+            task_metrics=[r.metrics for r in self.all_runs],
+            aborted=self._aborted,
+            oom_task_failures=oom_failures,
+            executor_kills=self.executor_kills,
+            monitor=self.monitor,
+        )
+
+    def active_tasksets(self) -> list[TaskSetManager]:
+        return [ts for ts in self._tasksets.values() if ts.is_active()]
+
+    # -- executors -----------------------------------------------------------------
+
+    def _launch_executor(self, node_name: str) -> None:
+        node = self.ctx.cluster.node(node_name)
+        heap = self.scheduler.executor_memory_for(node_name)
+        max_heap = node.spec.memory_mb - self.ctx.conf.node_reserved_mb
+        heap = min(heap, max_heap)
+        slots = self.scheduler.executor_slots_for(node_name)
+        ex = Executor(self.ctx, node, heap, slots)
+        self.executors[node_name] = ex
+        self.ctx.trace.record(
+            self.ctx.now, "executor_up", node=node_name, heap_mb=heap, slots=slots
+        )
+        self.scheduler.on_executor_added(ex)
+
+    def kill_executor(self, executor: Executor) -> None:
+        """The OS killed this JVM (severe memory overcommit)."""
+        if not executor.alive:
+            return
+        self.executor_kills += 1
+        self.ctx.trace.record(
+            self.ctx.now, "executor_killed", node=executor.node.name
+        )
+        self.scheduler.on_executor_removed(executor)
+        self.executors.pop(executor.node.name, None)
+        executor.kill()
+        if not self.ctx.conf.external_shuffle_service:
+            self._handle_shuffle_loss(executor.node.name)
+        if not self._app_done and not self._aborted:
+            self.ctx.sim.after(
+                self.ctx.conf.executor_recovery_s,
+                self._relaunch_executor,
+                executor.node.name,
+            )
+
+    def _relaunch_executor(self, node_name: str) -> None:
+        if self._app_done or self._aborted or node_name in self.executors:
+            return
+        self._launch_executor(node_name)
+
+    def _handle_shuffle_loss(self, node_name: str) -> None:
+        """Spark's FetchFailed path: map output that lived only in the dead
+        executor's local dirs is gone, so the producing map tasks re-run and
+        consumer stages wait (their in-flight attempts are aborted)."""
+        job = self._current_job
+        if job is None:
+            return
+        for stage in job.stages:
+            if stage.shuffle_id is None:
+                continue
+            lost_mb = self.ctx.shuffle.unregister_node(stage.shuffle_id, node_name)
+            if lost_mb <= 0:
+                continue
+            consumers = [
+                c
+                for c in job.children_of(stage)
+                if c.stage_id not in self._stage_done
+            ]
+            if not consumers:
+                continue  # nobody needs this shuffle anymore
+            ts = self._tasksets.get(stage.stage_id)
+            if ts is None:
+                continue
+            reopened = 0
+            for st in ts.states:
+                ran_here = any(
+                    r.metrics.succeeded and r.metrics.node == node_name
+                    for r in self.all_runs
+                    if r.task is st.spec and r.taskset is ts
+                )
+                if ran_here:
+                    ts.reopen_task(st.spec.index)
+                    reopened += 1
+            if reopened == 0:
+                continue
+            self.ctx.trace.record(
+                self.ctx.now,
+                "shuffle_lost",
+                stage=stage.template_id,
+                node=node_name,
+                tasks=reopened,
+                mb=lost_mb,
+            )
+            self._stage_done.discard(stage.stage_id)
+            # Block the consumers and abort their in-flight attempts (they
+            # would fetch data that no longer exists).
+            for child in consumers:
+                child_ts = self._tasksets.get(child.stage_id)
+                if child_ts is None or not child_ts.is_active():
+                    continue
+                child_ts.blocked = True
+                for st in child_ts.states:
+                    for run in list(st.running):
+                        run.kill(reason="fetch-failure")
+            self.scheduler.submit_taskset(ts)
+
+    # -- DAG scheduling ----------------------------------------------------------------
+
+    def _submit_next_job(self) -> None:
+        assert self._app is not None
+        if self._job_index >= len(self._app.jobs):
+            self._finish_app()
+            return
+        job = self._app.jobs[self._job_index]
+        self._job_index += 1
+        self._current_job = job
+        self.ctx.trace.record(self.ctx.now, "job_start", job=job.name)
+        for stage in job.roots():
+            self._submit_stage(stage)
+
+    def _submit_stage(self, stage: Stage) -> None:
+        if stage.stage_id in self._tasksets:
+            return
+        ts = TaskSetManager(self.ctx, stage)
+        self._tasksets[stage.stage_id] = ts
+        self.ctx.trace.record(
+            self.ctx.now, "stage_submit", stage=stage.template_id, tasks=stage.num_tasks
+        )
+        self.scheduler.submit_taskset(ts)
+
+    def launch_task(
+        self,
+        ts: TaskSetManager,
+        spec: TaskSpec,
+        executor: Executor,
+        locality: Locality,
+        speculative: bool = False,
+        extra_dispatch_delay: float = 0.0,
+    ) -> TaskRun:
+        attempt = ts.next_attempt_number(spec)
+        run = TaskRun(
+            self.ctx,
+            executor,
+            spec,
+            ts,
+            attempt,
+            locality,
+            speculative=speculative,
+            extra_dispatch_delay=extra_dispatch_delay,
+        )
+        ts.register_launch(spec, run)
+        self.all_runs.append(run)
+        run.start()
+        return run
+
+    def task_ended(self, run: TaskRun) -> None:
+        ts = run.taskset
+        stage_completed = False
+        try:
+            stage_completed = ts.on_attempt_ended(run)
+        except TaskSetAborted:
+            self._abort()
+            return
+        # Scheduler bookkeeping (slot/kind accounting, metric recording) must
+        # see this task as finished *before* stage completion can submit new
+        # stages and trigger a dispatch round.
+        self.scheduler.on_task_end(run)
+        if stage_completed:
+            self._on_stage_complete(ts)
+
+    def _on_stage_complete(self, ts: TaskSetManager) -> None:
+        stage = ts.stage
+        self._stage_done.add(stage.stage_id)
+        self.scheduler.taskset_finished(ts)
+        self.ctx.trace.record(self.ctx.now, "stage_complete", stage=stage.template_id)
+        job = self._current_job
+        assert job is not None
+        for child in job.children_of(stage):
+            if child.stage_id in self._tasksets:
+                # Unblock consumers that were waiting on a shuffle re-run.
+                child_ts = self._tasksets[child.stage_id]
+                if child_ts.blocked and all(
+                    p.stage_id in self._stage_done for p in child.parents
+                ):
+                    child_ts.blocked = False
+                    self.scheduler.revive()
+                continue
+            if all(p.stage_id in self._stage_done for p in child.parents):
+                self._submit_stage(child)
+        if all(s.stage_id in self._stage_done for s in job.stages):
+            self.ctx.trace.record(self.ctx.now, "job_complete", job=job.name)
+            self._submit_next_job()
+
+    def _finish_app(self) -> None:
+        self._app_done = True
+        self._finish_time = self.ctx.now
+        self._speculation.stop()
+        self.scheduler.stop()
+        if self.monitor is not None:
+            self.monitor.sample_now()
+            self.monitor.stop()
+        self.ctx.trace.record(self.ctx.now, "app_complete")
+
+    def _abort(self) -> None:
+        if self._aborted:
+            return
+        self._aborted = True
+        self._finish_time = self.ctx.now
+        self._speculation.stop()
+        self.scheduler.stop()
+        if self.monitor is not None:
+            self.monitor.stop()
+        for ex in list(self.executors.values()):
+            for run in list(ex.running):
+                run.kill(reason="app-aborted")
+        self.ctx.trace.record(self.ctx.now, "app_aborted")

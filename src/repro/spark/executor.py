@@ -1,0 +1,135 @@
+"""Executors: per-node JVMs owning task slots, a heap, and the RDD cache."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import Node
+from repro.spark.memory import ExecutorMemory
+from repro.spark.scheduler import SchedulerContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.runner import TaskRun
+
+
+class Executor:
+    """One executor process on one node (standalone-mode: one per node)."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        ctx: SchedulerContext,
+        node: Node,
+        heap_mb: float,
+        slots: int,
+    ):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.executor_id = f"exec-{Executor._next_id}"
+        Executor._next_id += 1
+        self.ctx = ctx
+        self.node = node
+        self.heap_mb = heap_mb
+        self.slots = slots
+        self.memory = ExecutorMemory(ctx.conf, heap_mb)
+        self.running: list["TaskRun"] = []
+        self.alive = True
+        self.launched_at = ctx.sim.now
+        self.tasks_completed = 0
+        # The node's CPU rate is derated by this executor's GC drag.
+        node.compute_drag = self._compute_drag
+        node.memory_report = self._memory_report
+        node.memory.reserve(heap_mb)
+
+    # -- capacity ----------------------------------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.slots - len(self.running))
+
+    @property
+    def free_memory_mb(self) -> float:
+        return self.memory.free_mb
+
+    def has_capacity(self) -> bool:
+        return self.alive and self.free_slots > 0
+
+    # -- task lifecycle hooks (called by TaskRun) ---------------------------------
+
+    def task_started(self, run: "TaskRun") -> None:
+        if not self.alive:
+            raise RuntimeError(f"{self.executor_id} is dead")
+        self.running.append(run)
+
+    def task_ended(self, run: "TaskRun") -> None:
+        if run in self.running:
+            self.running.remove(run)
+        if run.metrics.succeeded:
+            self.tasks_completed += 1
+        self._refresh_drag()
+
+    def _compute_drag(self) -> float:
+        """Multiplier (0,1] applied to this node's CPU rates (GC pressure)."""
+        return max(0.05, 1.0 - self.memory.gc_drag_fraction())
+
+    def _memory_report(self) -> float:
+        """Resident memory: JVM base footprint plus the live working set."""
+        return 0.08 * self.heap_mb + self.memory.used_mb
+
+    def _refresh_drag(self) -> None:
+        self.node.cpu.notify_scale_changed()
+
+    def reserve_task_memory(self, mb: float) -> tuple[float, list[str]]:
+        """Reserve execution memory; returns (overcommit_ratio, evicted keys)."""
+        ratio, evicted = self.memory.reserve_execution(mb)
+        for key in evicted:
+            self.ctx.blocks.drop_cached(key)
+        self._refresh_drag()
+        return ratio, evicted
+
+    def release_task_memory(self, mb: float) -> None:
+        self.memory.release_execution(mb)
+        self._refresh_drag()
+
+    def cache_partition(self, key: str, mb: float) -> bool:
+        ok = self.memory.cache_block(key, mb)
+        if ok:
+            self.ctx.blocks.record_cached(key, self.node.name)
+        self._refresh_drag()
+        return ok
+
+    def has_cached(self, key: str) -> bool:
+        return self.memory.touch_block(key)
+
+    # -- death -------------------------------------------------------------------
+
+    def kill(self) -> list["TaskRun"]:
+        """OS kills the JVM: all running tasks die, cache and heap are lost.
+
+        Returns the task runs that were aborted (the driver requeues them).
+        Shuffle files persist on local disk (external-shuffle-service
+        semantics), so completed map output is *not* lost.
+        """
+        if not self.alive:
+            return []
+        self.alive = False
+        victims = list(self.running)
+        for run in victims:
+            run.kill(reason="executor-lost")
+        self.running.clear()
+        lost_keys = self.memory.clear()
+        for key in lost_keys:
+            self.ctx.blocks.drop_cached(key)
+        self.node.memory.release(self.heap_mb)
+        self.node.compute_drag = None
+        self.node.memory_report = None
+        self.node.cpu.notify_scale_changed()
+        return victims
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Executor {self.executor_id}@{self.node.name} "
+            f"heap={self.heap_mb:.0f}MB slots={self.slots} "
+            f"running={len(self.running)}>"
+        )

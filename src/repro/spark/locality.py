@@ -1,0 +1,29 @@
+"""Data-locality levels, ordered best-first exactly as in Spark."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Locality(IntEnum):
+    """Lower is better; comparisons follow Spark's TaskLocality ordering."""
+
+    PROCESS_LOCAL = 0
+    NODE_LOCAL = 1
+    RACK_LOCAL = 2
+    ANY = 3
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def at_least_as_good_as(self, other: "Locality") -> bool:
+        return self <= other
+
+
+LOCALITY_ORDER: tuple[Locality, ...] = (
+    Locality.PROCESS_LOCAL,
+    Locality.NODE_LOCAL,
+    Locality.RACK_LOCAL,
+    Locality.ANY,
+)

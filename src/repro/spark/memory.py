@@ -1,0 +1,162 @@
+"""Executor heap model: unified execution/storage memory plus GC costs.
+
+The model follows Spark's unified memory manager: a usable region
+(``memory_fraction`` of the heap) shared between execution (task working
+sets) and storage (cached RDD partitions), where storage is evicted LRU when
+execution needs room.
+
+GC costs have two components, calibrated to reproduce both directions the
+paper observes in Figure 7:
+
+* a *pressure drag* — when the region is nearly full (LRU churn, many live
+  objects) the JVM spends a growing fraction of CPU time collecting; this is
+  what hurts stock Spark's small static heaps under caching workloads (LR);
+* a *churn cost* proportional to transient allocations (shuffle buffers),
+  scaled up with heap size — a full sweep walks the whole JVM space, which is
+  what makes RUPAM's node-sized executors pay *more* GC on shuffle-heavy
+  single-pass workloads (SQL).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.spark.conf import SparkConf
+
+
+class ExecutorMemory:
+    """Unified execution + storage memory of one executor."""
+
+    def __init__(self, conf: SparkConf, heap_mb: float):
+        if heap_mb <= 0:
+            raise ValueError("heap_mb must be positive")
+        self.conf = conf
+        self.heap_mb = heap_mb
+        self.usable_mb = conf.usable_heap_mb(heap_mb)
+        self.execution_used = 0.0
+        self._cached: "OrderedDict[str, float]" = OrderedDict()
+        self.storage_used = 0.0
+        self.evictions = 0
+
+    # -- execution memory -----------------------------------------------------
+
+    def reserve_execution(self, mb: float) -> tuple[float, list[str]]:
+        """Reserve task working memory, evicting cache LRU-first if needed.
+
+        Returns ``(overcommit_ratio, evicted_cache_keys)`` where the ratio is
+        total usage over usable capacity *after* eviction (1.0 means exactly
+        full; above 1.0 the JVM is thrashing and the OOM model kicks in).
+        """
+        if mb < 0:
+            raise ValueError("reservation must be >= 0")
+        evicted: list[str] = []
+        free = self.usable_mb - self.execution_used - self.storage_used
+        need = mb - free
+        while need > 0 and self._cached:
+            key, size = self._cached.popitem(last=False)
+            self.storage_used -= size
+            self.evictions += 1
+            evicted.append(key)
+            need -= size
+        self.execution_used += mb
+        return self.overcommit_ratio(), evicted
+
+    def release_execution(self, mb: float) -> None:
+        self.execution_used = max(0.0, self.execution_used - mb)
+
+    def overcommit_ratio(self) -> float:
+        if self.usable_mb <= 0:
+            return float("inf")
+        return (self.execution_used + self.storage_used) / self.usable_mb
+
+    # -- storage memory ----------------------------------------------------------
+
+    @property
+    def storage_limit_mb(self) -> float:
+        """Cache may grow into free space but never displace execution."""
+        return max(0.0, self.usable_mb - self.execution_used)
+
+    def cache_block(self, key: str, mb: float) -> bool:
+        """Cache a partition; returns False if it cannot fit (Spark drops it).
+
+        Older cached blocks are evicted LRU to make room, mirroring
+        MEMORY_ONLY semantics.
+        """
+        if mb <= 0:
+            return True
+        if mb > self.storage_limit_mb:
+            return False
+        if key in self._cached:
+            self.storage_used -= self._cached.pop(key)
+        while self.storage_used + mb > self.storage_limit_mb and self._cached:
+            _, size = self._cached.popitem(last=False)
+            self.storage_used -= size
+            self.evictions += 1
+        if self.storage_used + mb > self.storage_limit_mb:
+            return False
+        self._cached[key] = mb
+        self.storage_used += mb
+        return True
+
+    def touch_block(self, key: str) -> bool:
+        """LRU-touch a cached block; False if it is not resident."""
+        if key not in self._cached:
+            return False
+        self._cached.move_to_end(key)
+        return True
+
+    def drop_block(self, key: str) -> None:
+        size = self._cached.pop(key, None)
+        if size is not None:
+            self.storage_used -= size
+
+    def cached_keys(self) -> list[str]:
+        return list(self._cached.keys())
+
+    def clear(self) -> list[str]:
+        """Release everything (executor death).  Returns lost cache keys."""
+        lost = list(self._cached.keys())
+        self._cached.clear()
+        self.storage_used = 0.0
+        self.execution_used = 0.0
+        return lost
+
+    # -- GC model -----------------------------------------------------------------
+
+    def pressure(self) -> float:
+        return (self.execution_used + self.storage_used) / self.usable_mb
+
+    def gc_drag_fraction(self) -> float:
+        """Fraction of CPU time lost to GC at the current pressure, in [0, max)."""
+        knee = self.conf.gc_pressure_knee
+        p = self.pressure()
+        if p <= knee:
+            return 0.0
+        x = min(1.0, (p - knee) / max(1e-9, 1.0 - knee))
+        return self.conf.gc_max_drag * x * x
+
+    def gc_churn_seconds(self, alloc_mb: float) -> float:
+        """GC stall seconds charged for ``alloc_mb`` of transient allocation.
+
+        Sweeping a larger JVM space costs more (the paper's SQL observation)
+        — but only in proportion to how *occupied* the region is: a mostly
+        empty 62 GB heap collects no slower than a 14 GB one, so the heap
+        factor is gated by current pressure.
+        """
+        if alloc_mb <= 0:
+            return 0.0
+        size_ratio = self.heap_mb / self.conf.gc_heap_reference_mb
+        # Even a lightly-used big heap pays some extra sweep cost (card
+        # tables, region scans), hence the floor.
+        occupancy = min(1.0, max(0.35, self.pressure() / 0.5))
+        heap_factor = 1.0 + self.conf.gc_heap_sensitivity * (size_ratio - 1.0) * occupancy
+        heap_factor = max(0.5, heap_factor)
+        return (alloc_mb / 1024.0) * self.conf.gc_churn_cost_s_per_gb * heap_factor
+
+    @property
+    def used_mb(self) -> float:
+        return self.execution_used + self.storage_used
+
+    @property
+    def free_mb(self) -> float:
+        return max(0.0, self.usable_mb - self.used_mb)

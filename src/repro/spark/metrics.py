@@ -1,0 +1,89 @@
+"""Per-task-attempt metrics, matching the breakdown the paper reports.
+
+``compute_time`` includes (de)serialization, as in Table I's ``computeTime``.
+Shuffle time is split into the network (fetch-wait) and disk (write + local
+read) components used by Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spark.locality import Locality
+
+
+@dataclass
+class TaskMetrics:
+    """Everything measured about one task attempt."""
+
+    task_key: str
+    stage_id: int
+    index: int
+    attempt: int
+    node: str = ""
+    locality: Locality = Locality.ANY
+    speculative: bool = False
+
+    submit_time: float = 0.0
+    launch_time: float = 0.0
+    finish_time: float = 0.0
+
+    scheduler_delay: float = 0.0
+    input_read_time: float = 0.0   # reading input blocks (disk or remote)
+    fetch_wait_time: float = 0.0   # shuffle bytes pulled over the network
+    shuffle_disk_time: float = 0.0  # shuffle local-read + write to disk
+    compute_time: float = 0.0      # pure computation
+    ser_time: float = 0.0          # (de)serialization CPU time
+    gc_time: float = 0.0
+    output_time: float = 0.0       # result sent back to the driver
+
+    peak_memory_mb: float = 0.0
+    used_gpu: bool = False
+    succeeded: bool = False
+    failed_oom: bool = False
+    killed: bool = False  # lost the speculation race / executor death
+
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finish_time - self.launch_time)
+
+    @property
+    def run_time(self) -> float:
+        """Duration excluding scheduler delay."""
+        return max(0.0, self.duration - self.scheduler_delay)
+
+    @property
+    def compute_with_ser(self) -> float:
+        """Table I's ``computeTime`` (computation including serialization)."""
+        return self.compute_time + self.ser_time
+
+    @property
+    def shuffle_read_time(self) -> float:
+        return self.fetch_wait_time
+
+    @property
+    def shuffle_write_time(self) -> float:
+        return self.shuffle_disk_time
+
+    def breakdown(self) -> dict[str, float]:
+        """The Figure 7 categories (serialization counts as compute there)."""
+        return {
+            "compute": self.compute_with_ser,
+            "gc": self.gc_time,
+            "shuffle_net": self.fetch_wait_time,
+            "shuffle_disk": self.shuffle_disk_time + self.input_read_time,
+            "scheduler_delay": self.scheduler_delay,
+        }
+
+    def breakdown_fig3(self) -> dict[str, float]:
+        """The Figure 3 categories (serialization split out of compute)."""
+        return {
+            "compute": self.compute_time + self.gc_time,
+            "shuffle": self.fetch_wait_time
+            + self.shuffle_disk_time
+            + self.input_read_time,
+            "serialization": self.ser_time,
+            "scheduler_delay": self.scheduler_delay,
+        }

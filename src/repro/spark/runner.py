@@ -1,0 +1,471 @@
+"""Task attempt execution: the phase pipeline on node resources.
+
+A :class:`TaskRun` walks a task through input read, shuffle fetch,
+(de)serialization, compute (CPU or GPU), GC stalls, shuffle write, and result
+output, acquiring fluid-resource flows for each phase.  Contention with
+co-located tasks, GC pressure, and OOM failures all emerge here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.simulate.resources import FlowHandle
+from repro.spark.locality import Locality
+from repro.spark.metrics import TaskMetrics
+from repro.spark.scheduler import SchedulerContext
+from repro.spark.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.executor import Executor
+    from repro.spark.taskset import TaskSetManager
+
+
+class TaskRun:
+    """One attempt of one task on one executor."""
+
+    def __init__(
+        self,
+        ctx: SchedulerContext,
+        executor: "Executor",
+        task: TaskSpec,
+        taskset: "TaskSetManager",
+        attempt: int,
+        locality: Locality,
+        speculative: bool = False,
+        extra_dispatch_delay: float = 0.0,
+    ):
+        self.ctx = ctx
+        self.executor = executor
+        self.task = task
+        self.taskset = taskset
+        self.speculative = speculative
+        self.metrics = TaskMetrics(
+            task_key=task.key,
+            stage_id=task.stage_id,
+            index=task.index,
+            attempt=attempt,
+            node=executor.node.name,
+            locality=locality,
+            speculative=speculative,
+            submit_time=ctx.sim.now,
+        )
+        self.ended = False
+        self._flow: FlowHandle | None = None
+        self._timers = []
+        rng = ctx.rng
+        jit = lambda name, v: rng.jitter(  # noqa: E731
+            f"{task.key}:{attempt}:{name}", v, ctx.conf.jitter_sigma
+        )
+        # Per-attempt realized demands (same task varies a little run to run).
+        self.compute_gc = jit("cpu", task.compute_gigacycles)
+        self.ser_gc = jit("ser", task.ser_gigacycles)
+        self.peak_memory_mb = jit("mem", task.peak_memory_mb)
+        self.input_mb = task.input_mb
+        self.shuffle_read_mb = task.shuffle_read_mb
+        self.shuffle_write_mb = jit("sw", task.shuffle_write_mb)
+        self.metrics.peak_memory_mb = self.peak_memory_mb
+        self._dispatch_delay = ctx.conf.scheduler_delay_s + extra_dispatch_delay
+        self._reserved_mb = 0.0
+        self._oom_planned = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        ctx = self.ctx
+        m = self.metrics
+        m.launch_time = ctx.now
+        m.scheduler_delay = self._dispatch_delay
+        self.executor.task_started(self)
+        ratio, _evicted = self.executor.reserve_task_memory(self.peak_memory_mb)
+        self._reserved_mb = self.peak_memory_mb
+        if ctx.conf.oom_check and ratio > 1.0:
+            self._plan_oom(ratio)
+        ctx.trace.record(
+            ctx.now,
+            "task_launch",
+            key=self.task.key,
+            node=self.executor.node.name,
+            locality=m.locality.name,
+            speculative=self.speculative,
+        )
+        self._timer(self._dispatch_delay, self._phase_input)
+
+    def _timer(self, delay: float, fn: Callable[[], None]) -> None:
+        handle = self.ctx.sim.after(delay, self._guarded, fn)
+        self._timers.append(handle)
+
+    def _guarded(self, fn: Callable[[], None]) -> None:
+        if not self.ended:
+            fn()
+
+    # -- OOM model ----------------------------------------------------------------
+
+    def _plan_oom(self, ratio: float) -> None:
+        """Decide now whether this launch blows up, and when.
+
+        Overcommit severity maps to a failure probability; past the kill
+        threshold the whole executor dies (the JVM-killed-by-the-OS path the
+        paper describes for PageRank under stock Spark).
+        """
+        rng = self.ctx.rng.stream("oom")
+        severity = (ratio - 1.0) / 0.35
+        p_fail = min(1.0, severity)
+        if rng.random() >= p_fail:
+            return
+        self._oom_planned = True
+        est = self.estimate_runtime()
+        frac = 0.3 + 0.4 * rng.random()
+        kill_executor = ratio >= self.ctx.conf.oom_kill_overcommit
+        self._timer(est * frac, lambda: self._oom_fire(kill_executor))
+
+    def _oom_fire(self, kill_executor: bool) -> None:
+        ctx = self.ctx
+        ctx.trace.record(
+            ctx.now,
+            "oom",
+            key=self.task.key,
+            node=self.executor.node.name,
+            executor_killed=kill_executor,
+        )
+        if kill_executor and ctx.driver is not None:
+            # Executor death kills this task too (with failed_oom attribution).
+            self.metrics.failed_oom = True
+            ctx.driver.kill_executor(self.executor)
+        else:
+            self._end(success=False, oom=True)
+
+    def estimate_runtime(self) -> float:
+        """Zero-contention runtime estimate on this node (for OOM timing)."""
+        node = self.executor.node
+        t = 0.0
+        t += self.input_mb / node.spec.disk.read_mbps
+        t += self.shuffle_read_mb / node.spec.net_mbps
+        t += (self.compute_gc + self.ser_gc) / node.core_rate
+        t += self.shuffle_write_mb / node.spec.disk.write_mbps
+        return max(0.05, t)
+
+    # -- phases --------------------------------------------------------------------
+
+    def _flow_phase(
+        self,
+        starter: Callable[[Callable[[FlowHandle], None]], FlowHandle],
+        bucket: str,
+        next_step: Callable[[], None],
+    ) -> None:
+        t0 = self.ctx.now
+
+        def done(_flow: FlowHandle) -> None:
+            if self.ended:
+                return
+            self._flow = None
+            setattr(
+                self.metrics, bucket, getattr(self.metrics, bucket) + self.ctx.now - t0
+            )
+            next_step()
+
+        self._flow = starter(done)
+
+    def _phase_input(self) -> None:
+        task, node = self.task, self.executor.node
+        if self.input_mb <= 0:
+            self._phase_fetch_local()
+            return
+        # Cached partition on this executor: free memory read.
+        if task.cache_key is not None and self.executor.has_cached(task.cache_key):
+            self._phase_fetch_local()
+            return
+        cached_node = (
+            self.ctx.blocks.cached_location(task.cache_key)
+            if task.cache_key is not None
+            else None
+        )
+        if task.cache_key is not None and cached_node is None:
+            # The partition was expected in cache but is gone (evicted or the
+            # caching executor died): pay the lineage recomputation.
+            self.compute_gc += task.recompute_cycles
+        if cached_node is not None and cached_node != node.name:
+            src = self.ctx.cluster.node(cached_node)
+            factor = self.ctx.cluster.transfer_cost_factor(cached_node, node.name)
+            self._flow_phase(
+                lambda cb: node.receive(
+                    self.input_mb,
+                    cb,
+                    senders=[(src, self.input_mb)],
+                    work_mb=self.input_mb * factor,
+                ),
+                "input_read_time",
+                self._phase_fetch_local,
+            )
+            return
+        replicas: list[str] = []
+        for b in task.input_blocks:
+            replicas.extend(self.ctx.blocks.block_locations(b))
+        if not task.input_blocks or node.name in replicas:
+            # Local disk read (synthetic inputs with no block list read from
+            # the local store too).
+            self._flow_phase(
+                lambda cb: node.read_disk(self.input_mb, cb),
+                "input_read_time",
+                self._phase_fetch_local,
+            )
+            return
+        # Remote read from the first replica.
+        src = self.ctx.cluster.node(replicas[0]) if replicas else None
+        senders = [(src, self.input_mb)] if src is not None else None
+        factor = (
+            self.ctx.cluster.transfer_cost_factor(replicas[0], node.name)
+            if replicas
+            else 1.0
+        )
+        self._flow_phase(
+            lambda cb: node.receive(
+                self.input_mb, cb, senders=senders, work_mb=self.input_mb * factor
+            ),
+            "input_read_time",
+            self._phase_fetch_local,
+        )
+
+    def _shuffle_ids(self) -> tuple[str, ...]:
+        stage = self.task.stage
+        assert stage is not None
+        return tuple(p.shuffle_id for p in stage.parents if p.shuffle_id is not None)
+
+    def _phase_fetch_local(self) -> None:
+        if self.shuffle_read_mb <= 0:
+            self._phase_deserialize()
+            return
+        node = self.executor.node
+        local, remote, by_src = self.ctx.shuffle.fetch_split(
+            self._shuffle_ids(), node.name, self.shuffle_read_mb
+        )
+        self._fetch_remote_mb = remote
+        self._fetch_sources = by_src
+        if local <= 0:
+            self._phase_fetch_remote()
+            return
+        self._flow_phase(
+            lambda cb: node.read_disk(local, cb),
+            "shuffle_disk_time",
+            self._phase_fetch_remote,
+        )
+
+    def _phase_fetch_remote(self) -> None:
+        remote = getattr(self, "_fetch_remote_mb", 0.0)
+        if remote <= 0:
+            self._phase_deserialize()
+            return
+        node = self.executor.node
+        senders = [
+            (self.ctx.cluster.node(src), mb)
+            for src, mb in self._fetch_sources.items()
+            if self.ctx.cluster.has_node(src)
+        ]
+        work = sum(
+            mb * self.ctx.cluster.transfer_cost_factor(src, node.name)
+            for src, mb in self._fetch_sources.items()
+            if self.ctx.cluster.has_node(src)
+        )
+        if work <= 0:
+            work = remote
+        self._flow_phase(
+            lambda cb: node.receive(remote, cb, senders=senders, work_mb=work),
+            "fetch_wait_time",
+            self._phase_deserialize,
+        )
+
+    def _phase_deserialize(self) -> None:
+        if self.ser_gc <= 0:
+            self._phase_compute()
+            return
+        node = self.executor.node
+        self._flow_phase(
+            lambda cb: node.compute(self.ser_gc / 2.0, cb, cpus=self.task.cpus),
+            "ser_time",
+            self._phase_compute,
+        )
+
+    def _phase_compute(self) -> None:
+        node = self.executor.node
+        use_gpu = (
+            self.task.gpu_capable
+            and node.gpu is not None
+            and node.gpus_idle() > 0
+        )
+        self.metrics.used_gpu = use_gpu
+        t0 = self.ctx.now
+        if use_gpu and self.compute_gc > 0:
+            gpu_work = self.compute_gc * self.task.gpu_fraction
+            cpu_work = self.compute_gc - gpu_work
+            overhead = node.spec.gpu.transfer_overhead_s if node.spec.gpu else 0.0
+
+            def after_gpu(_flow: FlowHandle) -> None:
+                if self.ended:
+                    return
+                self._flow = None
+                if cpu_work > 0:
+                    self._flow_phase(
+                        lambda cb: node.compute(cpu_work, cb, cpus=self.task.cpus),
+                        "compute_time",
+                        lambda: self._account_compute_gc(t0),
+                    )
+                else:
+                    # gpu_done already accounted the elapsed compute time.
+                    self._account_compute_gc(t0, already_added=True)
+
+            def start_gpu() -> None:
+                if self.ended:
+                    return
+
+                def gpu_done(flow: FlowHandle) -> None:
+                    if self.ended:
+                        return
+                    self.metrics.compute_time += self.ctx.now - t0
+                    after_gpu(flow)
+
+                self._flow = node.compute_gpu(gpu_work, gpu_done)
+
+            self._timer(overhead, start_gpu)
+        else:
+            self._flow_phase(
+                lambda cb: node.compute(self.compute_gc, cb, cpus=self.task.cpus),
+                "compute_time",
+                lambda: self._account_compute_gc(t0),
+            )
+
+    def _account_compute_gc(self, t0: float, already_added: bool = False) -> None:
+        """Split drag-induced GC out of compute time, then run the churn stall."""
+        drag = self.executor.memory.gc_drag_fraction()
+        elapsed = self.ctx.now - t0
+        if drag > 0 and elapsed > 0 and not self.metrics.used_gpu:
+            shift = min(self.metrics.compute_time, elapsed * drag)
+            self.metrics.compute_time -= shift
+            self.metrics.gc_time += shift
+        self._phase_gc_churn()
+
+    def _phase_gc_churn(self) -> None:
+        alloc = self.input_mb + self.shuffle_read_mb + self.shuffle_write_mb
+        gc_s = self.executor.memory.gc_churn_seconds(alloc)
+        if gc_s <= 0:
+            self._phase_serialize()
+            return
+        node = self.executor.node
+        work = gc_s * node.core_rate
+        self._flow_phase(
+            lambda cb: node.compute(work, cb, cpus=self.task.cpus),
+            "gc_time",
+            self._phase_serialize,
+        )
+
+    def _phase_serialize(self) -> None:
+        if self.ser_gc <= 0:
+            self._phase_shuffle_write()
+            return
+        node = self.executor.node
+        self._flow_phase(
+            lambda cb: node.compute(self.ser_gc / 2.0, cb, cpus=self.task.cpus),
+            "ser_time",
+            self._phase_shuffle_write,
+        )
+
+    def _phase_shuffle_write(self) -> None:
+        if self.shuffle_write_mb <= 0:
+            self._phase_output()
+            return
+        node = self.executor.node
+        self._flow_phase(
+            lambda cb: node.write_disk(self.shuffle_write_mb, cb),
+            "shuffle_disk_time",
+            self._phase_output,
+        )
+
+    def _phase_output(self) -> None:
+        if self.task.output_mb <= 0:
+            self._succeed()
+            return
+        node = self.executor.node
+        driver = self.ctx.cluster.node(self.ctx.driver_node)
+        if driver.name == node.name:
+            self._succeed()
+            return
+        self._flow_phase(
+            lambda cb: driver.receive(self.task.output_mb, cb, senders=[(node, self.task.output_mb)]),
+            "output_time",
+            self._succeed,
+        )
+
+    # -- completion ------------------------------------------------------------------
+
+    def _succeed(self) -> None:
+        task = self.task
+        stage = task.stage
+        assert stage is not None
+        if stage.shuffle_id is not None and task.shuffle_write_mb > 0:
+            self.ctx.shuffle.register_map_output(
+                stage.shuffle_id, self.executor.node.name, task.shuffle_write_mb
+            )
+        if task.cache_output_mb > 0 and task.cache_key is not None:
+            self.executor.cache_partition(task.cache_key, task.cache_output_mb)
+        self._end(success=True)
+
+    def _end(self, success: bool, oom: bool = False) -> None:
+        if self.ended:
+            return
+        self.ended = True
+        m = self.metrics
+        m.finish_time = self.ctx.now
+        m.succeeded = success
+        m.failed_oom = m.failed_oom or oom
+        self._abort_pending()
+        self.executor.release_task_memory(self._reserved_mb)
+        self._reserved_mb = 0.0
+        self.executor.task_ended(self)
+        self.ctx.trace.record(
+            self.ctx.now,
+            "task_end",
+            key=self.task.key,
+            node=self.executor.node.name,
+            success=success,
+            oom=oom,
+            duration=m.duration,
+        )
+        if self.ctx.driver is not None:
+            self.ctx.driver.task_ended(self)
+
+    def kill(self, reason: str = "") -> None:
+        """Abort this attempt (speculation loss or executor death)."""
+        if self.ended:
+            return
+        self.ended = True
+        m = self.metrics
+        m.finish_time = self.ctx.now
+        m.killed = True
+        self._abort_pending()
+        if self._reserved_mb > 0 and self.executor.alive:
+            self.executor.release_task_memory(self._reserved_mb)
+        self._reserved_mb = 0.0
+        if self.executor.alive:
+            self.executor.task_ended(self)
+        self.ctx.trace.record(
+            self.ctx.now, "task_killed", key=self.task.key, reason=reason
+        )
+        if self.ctx.driver is not None:
+            self.ctx.driver.task_ended(self)
+
+    def _abort_pending(self) -> None:
+        if self._flow is not None and self._flow.active:
+            self._flow.resource.abort(self._flow)
+        self._flow = None
+        for t in self._timers:
+            t.cancel()
+        self._timers.clear()
+
+    @property
+    def elapsed(self) -> float:
+        return self.ctx.now - self.metrics.launch_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TaskRun {self.task.key} a{self.metrics.attempt} "
+            f"on {self.executor.node.name}{' spec' if self.speculative else ''}>"
+        )

@@ -1,0 +1,106 @@
+"""Task-scheduler interface and the shared application context.
+
+Both the stock scheduler and RUPAM implement :class:`TaskScheduler`; the
+driver is scheduler-agnostic.  :class:`SchedulerContext` carries everything a
+scheduler (and the task runner) may consult: the simulator, configuration,
+cluster, block/shuffle managers, randomness, and traces.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cluster.cluster import Cluster
+from repro.simulate.engine import Simulator
+from repro.simulate.randomness import RandomSource
+from repro.simulate.trace import TraceRecorder
+from repro.spark.blocks import BlockManager
+from repro.spark.conf import SparkConf
+from repro.spark.shuffle import ShuffleManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.driver import Driver
+    from repro.spark.executor import Executor
+    from repro.spark.runner import TaskRun
+    from repro.spark.taskset import TaskSetManager
+
+
+@dataclass
+class SchedulerContext:
+    """Shared state of one simulated application run."""
+
+    sim: Simulator
+    conf: SparkConf
+    cluster: Cluster
+    blocks: BlockManager
+    shuffle: ShuffleManager
+    rng: RandomSource
+    trace: TraceRecorder
+    driver_node: str
+    driver: "Driver | None" = field(default=None, repr=False)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+class TaskScheduler(ABC):
+    """What the driver needs from a task-level scheduler.
+
+    Lifecycle: the driver calls :meth:`attach` once, then
+    :meth:`executor_memory_for` / :meth:`executor_slots_for` while launching
+    executors, then feeds events (`submit_taskset`, `on_task_end`,
+    `on_executor_added/removed`).  The scheduler launches tasks by calling
+    ``ctx.driver.launch_task(...)`` from :meth:`revive`.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.ctx: SchedulerContext | None = None
+
+    def attach(self, ctx: SchedulerContext) -> None:
+        self.ctx = ctx
+
+    # -- executor sizing hooks (stock Spark: one global config value) --------
+
+    def executor_memory_for(self, node_name: str) -> float:
+        assert self.ctx is not None
+        return self.ctx.conf.executor_memory_mb
+
+    def executor_slots_for(self, node_name: str) -> int:
+        assert self.ctx is not None
+        node = self.ctx.cluster.node(node_name)
+        cores = self.ctx.conf.executor_cores or node.spec.cpu.cores
+        return max(1, cores // self.ctx.conf.task_cpus)
+
+    def stop(self) -> None:
+        """Called once by the driver when the application ends."""
+
+    # -- event feed ------------------------------------------------------------
+
+    @abstractmethod
+    def submit_taskset(self, ts: "TaskSetManager") -> None:
+        """A stage became runnable."""
+
+    @abstractmethod
+    def taskset_finished(self, ts: "TaskSetManager") -> None:
+        """All of a stage's tasks succeeded."""
+
+    @abstractmethod
+    def on_executor_added(self, executor: "Executor") -> None:
+        ...
+
+    @abstractmethod
+    def on_executor_removed(self, executor: "Executor") -> None:
+        ...
+
+    @abstractmethod
+    def on_task_end(self, run: "TaskRun") -> None:
+        """A task attempt ended (success, failure, or kill)."""
+
+    @abstractmethod
+    def revive(self) -> None:
+        """Try to place pending work on available executors."""

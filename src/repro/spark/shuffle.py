@@ -1,0 +1,85 @@
+"""Shuffle bookkeeping.
+
+Map tasks register their output volume against the node that ran them; a
+reduce task's fetch then splits into a local-disk portion (output that
+happens to sit on its own node) and a remote portion pulled over the network
+from the other map nodes, weighted by where map output actually landed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _ShuffleState:
+    node_output_mb: dict[str, float] = field(default_factory=dict)
+    total_mb: float = 0.0
+    maps_done: int = 0
+
+
+class ShuffleManager:
+    """Tracks where each shuffle's map output lives."""
+
+    def __init__(self) -> None:
+        self._shuffles: dict[str, _ShuffleState] = {}
+
+    def register_map_output(self, shuffle_id: str, node: str, mb: float) -> None:
+        if mb < 0:
+            raise ValueError("map output must be >= 0")
+        st = self._shuffles.setdefault(shuffle_id, _ShuffleState())
+        st.node_output_mb[node] = st.node_output_mb.get(node, 0.0) + mb
+        st.total_mb += mb
+        st.maps_done += 1
+
+    def unregister_node(self, shuffle_id: str, node: str) -> float:
+        """Drop a node's map output (executor loss).  Returns MB lost."""
+        st = self._shuffles.get(shuffle_id)
+        if st is None:
+            return 0.0
+        lost = st.node_output_mb.pop(node, 0.0)
+        st.total_mb -= lost
+        return lost
+
+    def total_output_mb(self, shuffle_id: str) -> float:
+        st = self._shuffles.get(shuffle_id)
+        return st.total_mb if st else 0.0
+
+    def local_fraction(self, shuffle_id: str, node: str) -> float:
+        """Fraction of this shuffle's output already on ``node``'s disk."""
+        st = self._shuffles.get(shuffle_id)
+        if st is None or st.total_mb <= 0:
+            return 0.0
+        return st.node_output_mb.get(node, 0.0) / st.total_mb
+
+    def fetch_split(
+        self, shuffle_ids: tuple[str, ...], node: str, read_mb: float
+    ) -> tuple[float, float, dict[str, float]]:
+        """(local_mb, remote_mb, remote_by_source) for a reduce on ``node``.
+
+        With several parent shuffles the split is weighted by each parent's
+        registered volume.
+        """
+        if read_mb <= 0:
+            return 0.0, 0.0, {}
+        totals = [self.total_output_mb(s) for s in shuffle_ids]
+        grand = sum(totals)
+        if grand <= 0:
+            # Nothing registered (e.g. synthetic stage): treat as all-remote
+            # from unknown sources.
+            return 0.0, read_mb, {}
+        local = 0.0
+        remote_by_source: dict[str, float] = {}
+        for sid, total in zip(shuffle_ids, totals):
+            if total <= 0:
+                continue
+            share = read_mb * (total / grand)
+            st = self._shuffles[sid]
+            for src, mb in st.node_output_mb.items():
+                part = share * (mb / total)
+                if src == node:
+                    local += part
+                else:
+                    remote_by_source[src] = remote_by_source.get(src, 0.0) + part
+        remote = sum(remote_by_source.values())
+        return local, remote, remote_by_source

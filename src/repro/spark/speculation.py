@@ -1,0 +1,51 @@
+"""Periodic speculative-execution checks (spark.speculation).
+
+The driver runs one :class:`SpeculationLoop` for the whole application; each
+tick asks every active taskset to refresh its speculatable set (75% quantile,
+1.5x median by default) and revives offers when anything was marked.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.spark.scheduler import SchedulerContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.taskset import TaskSetManager
+
+
+class SpeculationLoop:
+    """Ticks while the application is active."""
+
+    def __init__(
+        self,
+        ctx: SchedulerContext,
+        active_tasksets: Callable[[], list["TaskSetManager"]],
+        on_marked: Callable[[], None],
+    ):
+        self.ctx = ctx
+        self.active_tasksets = active_tasksets
+        self.on_marked = on_marked
+        self._stopped = False
+        self.total_marked = 0
+
+    def start(self) -> None:
+        if not self.ctx.conf.speculation:
+            return
+        self._tick()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        marked = 0
+        for ts in self.active_tasksets():
+            marked += ts.refresh_speculatable(self.ctx.now)
+        if marked:
+            self.total_marked += marked
+            self.ctx.trace.record(self.ctx.now, "speculation_marked", count=marked)
+            self.on_marked()
+        self.ctx.sim.after(self.ctx.conf.speculation_interval_s, self._tick)

@@ -1,0 +1,84 @@
+"""Stages: the unit of scheduling between shuffle boundaries."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.spark.task import TaskSpec
+
+
+class StageKind(Enum):
+    """ShuffleMapStage writes shuffle files; ResultStage returns to driver."""
+
+    SHUFFLE_MAP = "map"
+    RESULT = "result"
+
+
+class Stage:
+    """A set of tasks performing the same operation on different partitions.
+
+    ``template_id`` identifies the *operation* independently of iteration or
+    job (e.g. ``"lr:gradient"``); together with the partition index it forms
+    the task key RUPAM's DB_task_char learns across iterations and runs.
+    ``parents`` are stages whose shuffle output this stage consumes.
+    """
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        template_id: str,
+        kind: StageKind,
+        tasks: Iterable[TaskSpec],
+        parents: tuple["Stage", ...] = (),
+        shuffle_id: str | None = None,
+        name: str | None = None,
+    ):
+        self.stage_id = Stage._next_id
+        Stage._next_id += 1
+        self.template_id = template_id
+        self.kind = kind
+        self.name = name or template_id
+        self.parents = tuple(parents)
+        self.tasks: list[TaskSpec] = list(tasks)
+        if not self.tasks:
+            raise ValueError(f"stage {template_id} has no tasks")
+        indices = [t.index for t in self.tasks]
+        if sorted(indices) != list(range(len(self.tasks))):
+            raise ValueError(
+                f"stage {template_id}: task indices must be 0..n-1, got {indices}"
+            )
+        for t in self.tasks:
+            t.stage = self
+        if kind is StageKind.SHUFFLE_MAP:
+            self.shuffle_id = shuffle_id or f"shuffle:{self.stage_id}"
+            if not any(t.shuffle_write_mb > 0 for t in self.tasks):
+                # A map stage that writes nothing is legal (e.g. cache-only)
+                # but its shuffle id is unused.
+                pass
+        else:
+            if shuffle_id is not None:
+                raise ValueError("result stages do not produce shuffle output")
+            self.shuffle_id = None
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def is_map(self) -> bool:
+        return self.kind is StageKind.SHUFFLE_MAP
+
+    @property
+    def is_result(self) -> bool:
+        return self.kind is StageKind.RESULT
+
+    def total_shuffle_write_mb(self) -> float:
+        return sum(t.shuffle_write_mb for t in self.tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Stage {self.stage_id} {self.template_id} "
+            f"{self.kind.value} x{self.num_tasks}>"
+        )

@@ -1,0 +1,101 @@
+"""Static description of a task's resource demands.
+
+A :class:`TaskSpec` is what a workload generator emits: how much the task
+reads, shuffles, computes, and keeps resident.  The executor turns it into a
+phase pipeline at launch time (see :mod:`repro.spark.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.stage import Stage
+
+
+@dataclass
+class TaskSpec:
+    """One task (one partition of one stage).
+
+    Attributes:
+        index: partition index within the stage.
+        input_mb: bytes read from the block store (0 for pure-shuffle tasks).
+        input_blocks: block ids holding the input (drives locality).
+        cache_key: if the input may be served from the RDD cache (iterative
+            workloads), the cache key for this partition; None otherwise.
+        shuffle_read_mb / shuffle_write_mb: shuffle volumes.
+        output_mb: result bytes returned to the driver (ResultTask only).
+        compute_gigacycles: CPU work; ``ser_gigacycles`` adds (de)serialization
+            work, accounted inside compute_time per the paper's convention.
+        peak_memory_mb: resident-set high water mark while running.
+        gpu_capable: the kernel has a GPU path (NVBLAS-style); when it runs on
+            a GPU node with a free GPU, ``gpu_fraction`` of the compute work is
+            accelerated.
+        cache_output_mb: if > 0, the partition is cached in executor storage
+            memory on success (feeding later iterations' PROCESS_LOCAL).
+        recompute_cycles: extra CPU work paid when ``cache_key`` is set but
+            the partition is cached nowhere (RDD lineage recomputation after
+            an eviction or executor loss).
+    """
+
+    index: int
+    input_mb: float = 0.0
+    input_blocks: tuple[str, ...] = ()
+    cache_key: str | None = None
+    shuffle_read_mb: float = 0.0
+    shuffle_write_mb: float = 0.0
+    output_mb: float = 0.0
+    compute_gigacycles: float = 0.0
+    ser_gigacycles: float = 0.0
+    peak_memory_mb: float = 256.0
+    cpus: int = 1
+    gpu_capable: bool = False
+    gpu_fraction: float = 0.9
+    cache_output_mb: float = 0.0
+    recompute_cycles: float = 0.0
+    stage: "Stage | None" = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "input_mb",
+            "shuffle_read_mb",
+            "shuffle_write_mb",
+            "output_mb",
+            "compute_gigacycles",
+            "ser_gigacycles",
+            "peak_memory_mb",
+            "cache_output_mb",
+            "recompute_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.cpus < 1:
+            raise ValueError("cpus must be >= 1")
+        if not 0.0 <= self.gpu_fraction <= 1.0:
+            raise ValueError("gpu_fraction must be in [0, 1]")
+
+    @property
+    def stage_id(self) -> int:
+        if self.stage is None:
+            raise RuntimeError("task not attached to a stage")
+        return self.stage.stage_id
+
+    @property
+    def key(self) -> str:
+        """Stable identity across iterations/runs — the DB_task_char key."""
+        if self.stage is None:
+            raise RuntimeError("task not attached to a stage")
+        return f"{self.stage.template_id}#{self.index}"
+
+    @property
+    def total_io_mb(self) -> float:
+        return self.input_mb + self.shuffle_read_mb + self.shuffle_write_mb
+
+    def describe(self) -> str:
+        return (
+            f"task[{self.key}] in={self.input_mb:.0f}MB "
+            f"sr={self.shuffle_read_mb:.0f}MB sw={self.shuffle_write_mb:.0f}MB "
+            f"cpu={self.compute_gigacycles:.1f}GC mem={self.peak_memory_mb:.0f}MB"
+            f"{' gpu' if self.gpu_capable else ''}"
+        )

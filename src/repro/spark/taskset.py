@@ -1,0 +1,274 @@
+"""TaskSetManager: per-stage task bookkeeping and delay scheduling.
+
+Mirrors Spark's TaskSetManager: pending tasks are offered to executors at the
+best locality the stage can currently achieve, escalating through locality
+levels after ``spark.locality.wait`` elapses without a launch; failed tasks
+are requeued (bounded by ``max_task_failures``); speculative second attempts
+are allowed on nodes that do not already run the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.spark.locality import LOCALITY_ORDER, Locality
+from repro.spark.scheduler import SchedulerContext
+from repro.spark.stage import Stage
+from repro.spark.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.executor import Executor
+    from repro.spark.runner import TaskRun
+
+
+class TaskSetAborted(RuntimeError):
+    """A task exceeded max_task_failures; Spark would abort the job."""
+
+
+@dataclass
+class _TaskState:
+    spec: TaskSpec
+    finished: bool = False
+    failures: int = 0
+    attempts: int = 0
+    running: list["TaskRun"] = field(default_factory=list)
+    speculatable: bool = False
+    speculated: bool = False
+
+
+class TaskSetManager:
+    """Tracks one stage's tasks through attempts to completion."""
+
+    def __init__(self, ctx: SchedulerContext, stage: Stage):
+        self.ctx = ctx
+        self.stage = stage
+        self.states = [_TaskState(t) for t in stage.tasks]
+        self.pending: set[int] = set(range(len(stage.tasks)))
+        self.finished_count = 0
+        self.submit_time = ctx.sim.now
+        self.complete = False
+        self.aborted = False
+        # Blocked while a parent stage is being partially re-run after a
+        # shuffle-data loss (Spark's FetchFailed recovery).
+        self.blocked = False
+        self._durations: list[float] = []
+        # Delay-scheduling state.
+        self._level_idx = 0
+        self._last_launch = ctx.sim.now
+
+    # -- status -----------------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.states)
+
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    def has_running(self) -> bool:
+        return any(s.running for s in self.states)
+
+    def is_active(self) -> bool:
+        return not self.complete and not self.aborted
+
+    def pending_specs(self) -> list[TaskSpec]:
+        return [self.states[i].spec for i in sorted(self.pending)]
+
+    # -- delay scheduling ----------------------------------------------------------
+
+    def _valid_levels(self) -> list[Locality]:
+        """Locality levels that any pending task could actually achieve."""
+        blocks = self.ctx.blocks
+        levels: set[Locality] = {Locality.ANY}
+        for i in self.pending:
+            best = blocks.best_possible_locality(self.states[i].spec)
+            levels.add(best)
+            if best is Locality.PROCESS_LOCAL:
+                levels.add(Locality.NODE_LOCAL)
+        return [lvl for lvl in LOCALITY_ORDER if lvl in levels]
+
+    def allowed_locality(self, now: float) -> Locality:
+        """Current maximum (worst) locality at which launches are allowed."""
+        levels = self._valid_levels()
+        if self._level_idx >= len(levels):
+            self._level_idx = len(levels) - 1
+        wait = self.ctx.conf.locality_wait_s
+        while (
+            self._level_idx < len(levels) - 1
+            and now - self._last_launch >= wait
+        ):
+            self._level_idx += 1
+            self._last_launch = now
+        return levels[self._level_idx]
+
+    def note_launch(self, level: Locality, now: float) -> None:
+        """Reset the delay-scheduling clock after a successful launch."""
+        levels = self._valid_levels()
+        for i, lvl in enumerate(levels):
+            if level <= lvl:
+                self._level_idx = i
+                break
+        self._last_launch = now
+
+    def next_escalation_time(self, now: float) -> float | None:
+        """When the allowed level will next loosen (for revive timers)."""
+        levels = self._valid_levels()
+        if self._level_idx >= len(levels) - 1:
+            return None
+        return self._last_launch + self.ctx.conf.locality_wait_s
+
+    # -- task selection -----------------------------------------------------------
+
+    def select_task(
+        self, executor: "Executor", max_locality: Locality
+    ) -> tuple[TaskSpec, Locality] | None:
+        """Best pending task for this executor within ``max_locality``."""
+        if self.blocked:
+            return None
+        blocks = self.ctx.blocks
+        node = executor.node.name
+        best: tuple[TaskSpec, Locality] | None = None
+        for i in sorted(self.pending):
+            spec = self.states[i].spec
+            loc = blocks.locality_for(spec, node)
+            if loc > max_locality:
+                continue
+            if best is None or loc < best[1]:
+                best = (spec, loc)
+                if loc is Locality.PROCESS_LOCAL:
+                    break
+        return best
+
+    def select_speculative(
+        self, executor: "Executor"
+    ) -> tuple[TaskSpec, Locality] | None:
+        """A speculatable running task not already on this executor's node."""
+        for spec, loc, _nodes in self.speculative_candidates(executor):
+            return spec, loc
+        return None
+
+    def speculative_candidates(
+        self, executor: "Executor"
+    ):
+        """Yield (spec, locality, running_nodes) for every speculatable task
+        that could race a copy on this executor."""
+        if self.blocked:
+            return
+        node = executor.node.name
+        for st in self.states:
+            if not st.speculatable or st.finished or st.speculated:
+                continue
+            if not st.running:
+                continue
+            running_nodes = [r.executor.node.name for r in st.running]
+            if node in running_nodes:
+                continue
+            loc = self.ctx.blocks.locality_for(st.spec, node)
+            yield st.spec, loc, running_nodes
+
+    # -- attempt bookkeeping ---------------------------------------------------------
+
+    def register_launch(self, spec: TaskSpec, run: "TaskRun") -> None:
+        st = self.states[spec.index]
+        st.attempts += 1
+        st.running.append(run)
+        if run.speculative:
+            st.speculated = True
+        else:
+            self.pending.discard(spec.index)
+
+    def next_attempt_number(self, spec: TaskSpec) -> int:
+        return self.states[spec.index].attempts
+
+    def on_attempt_ended(self, run: "TaskRun") -> bool:
+        """Process an ended attempt; returns True if the stage just completed."""
+        st = self.states[run.task.index]
+        if run in st.running:
+            st.running.remove(run)
+        m = run.metrics
+        if m.succeeded:
+            if st.finished:
+                return False
+            st.finished = True
+            st.speculatable = False
+            self.finished_count += 1
+            self._durations.append(m.duration)
+            for other in list(st.running):
+                other.kill(reason="speculation-race-lost")
+            if self.finished_count == self.num_tasks:
+                self.complete = True
+                return True
+            return False
+        if m.killed and not m.failed_oom:
+            # Lost a race or executor death without failure attribution:
+            # requeue unless another attempt is still going or it finished.
+            if not st.finished and not st.running:
+                self.pending.add(run.task.index)
+            return False
+        # Failure (OOM or otherwise).
+        st.failures += 1
+        if st.failures >= self.ctx.conf.max_task_failures:
+            self.aborted = True
+            raise TaskSetAborted(
+                f"task {run.task.key} failed {st.failures} times"
+            )
+        if not st.finished and not st.running:
+            self.pending.add(run.task.index)
+        return False
+
+    def reopen_task(self, index: int) -> bool:
+        """Mark a finished task as pending again (its map output was lost
+        with a dead executor).  Returns True if the stage went incomplete."""
+        st = self.states[index]
+        if not st.finished:
+            return False
+        st.finished = False
+        st.speculatable = False
+        st.speculated = False
+        self.finished_count -= 1
+        self.pending.add(index)
+        was_complete = self.complete
+        self.complete = False
+        return was_complete
+
+    # -- speculation -------------------------------------------------------------------
+
+    def refresh_speculatable(self, now: float) -> int:
+        """Stock Spark's check: after the quantile of tasks finished, mark
+        running tasks slower than multiplier x median as speculatable."""
+        conf = self.ctx.conf
+        if not conf.speculation or self.complete:
+            return 0
+        if self.finished_count < conf.speculation_quantile * self.num_tasks:
+            return 0
+        if not self._durations:
+            return 0
+        threshold = max(
+            conf.speculation_multiplier * float(np.median(self._durations)), 0.1
+        )
+        marked = 0
+        for st in self.states:
+            if st.finished or st.speculatable or st.speculated:
+                continue
+            for run in st.running:
+                if not run.speculative and now - run.metrics.launch_time > threshold:
+                    st.speculatable = True
+                    marked += 1
+                    break
+        return marked
+
+    def has_speculatable(self) -> bool:
+        return any(
+            st.speculatable and not st.finished and not st.speculated
+            for st in self.states
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TaskSet stage={self.stage.template_id} "
+            f"{self.finished_count}/{self.num_tasks} done, "
+            f"{len(self.pending)} pending>"
+        )

@@ -1,0 +1,18 @@
+"""Workload generators (the SparkBench suite of Table III + the Fig. 2 kernel).
+
+Each generator emits an :class:`repro.spark.application.Application` whose
+stages and tasks carry the resource-demand mix the paper measured for that
+workload: input/shuffle volumes, compute density, memory footprints (with
+skew where the paper shows skew), iteration structure, and GPU capability.
+"""
+
+from repro.workloads.base import WorkloadEnv, make_env
+from repro.workloads.registry import WORKLOADS, build_workload, workload_names
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadEnv",
+    "build_workload",
+    "make_env",
+    "workload_names",
+]

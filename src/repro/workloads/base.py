@@ -1,0 +1,148 @@
+"""Shared machinery for workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.simulate.randomness import RandomSource
+from repro.spark.blocks import BlockManager
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+
+GB = 1024.0  # MB per GB
+
+
+@dataclass
+class WorkloadEnv:
+    """What a generator needs: where nodes are, where blocks go, randomness."""
+
+    cluster: Cluster
+    blocks: BlockManager
+    rng: RandomSource
+
+    @property
+    def node_names(self) -> list[str]:
+        return [n.name for n in self.cluster]
+
+
+def make_env(cluster: Cluster, blocks: BlockManager, rng: RandomSource) -> WorkloadEnv:
+    return WorkloadEnv(cluster=cluster, blocks=blocks, rng=rng)
+
+
+def place_input(
+    env: WorkloadEnv, prefix: str, sizes_mb: np.ndarray, replication: int = 2
+) -> list[str]:
+    """Place one block per partition, HDFS-style."""
+    return env.blocks.place_dataset(
+        prefix, len(sizes_mb), env.node_names, env.rng.stream(f"place:{prefix}"),
+        replication=replication,
+    )
+
+
+def even_sizes(total_mb: float, n: int) -> np.ndarray:
+    if n <= 0:
+        raise ValueError("need at least one partition")
+    return np.full(n, total_mb / n)
+
+
+def map_stage(
+    template: str,
+    sizes_mb: np.ndarray,
+    block_ids: list[str] | None = None,
+    *,
+    cycles_per_mb: float = 0.0,
+    fixed_cycles: float = 0.0,
+    ser_cycles_per_mb: float = 0.0,
+    shuffle_write_frac: float = 0.0,
+    mem_base_mb: float = 256.0,
+    mem_per_mb: float = 0.0,
+    cache_prefix: str | None = None,
+    cache_frac: float = 0.0,
+    gpu_capable: bool = False,
+    gpu_fraction: float = 0.9,
+    parents: tuple[Stage, ...] = (),
+    read_from_cache_prefix: str | None = None,
+    recompute_cycles_per_mb: float = 0.0,
+) -> Stage:
+    """Build a shuffle-map stage with per-MB demand coefficients.
+
+    ``cache_prefix`` caches each partition's output under
+    ``"{cache_prefix}:{i}"``; ``read_from_cache_prefix`` sets each task's
+    ``cache_key`` so the input may be served from an earlier stage's cache.
+    """
+    tasks = []
+    for i, mb in enumerate(sizes_mb):
+        mb = float(mb)
+        cache_key = None
+        if cache_prefix is not None:
+            cache_key = f"{cache_prefix}:{i}"
+        elif read_from_cache_prefix is not None:
+            cache_key = f"{read_from_cache_prefix}:{i}"
+        tasks.append(
+            TaskSpec(
+                index=i,
+                input_mb=mb,
+                input_blocks=(block_ids[i],) if block_ids else (),
+                cache_key=cache_key,
+                shuffle_write_mb=mb * shuffle_write_frac,
+                compute_gigacycles=fixed_cycles + mb * cycles_per_mb,
+                ser_gigacycles=mb * ser_cycles_per_mb,
+                peak_memory_mb=mem_base_mb + mb * mem_per_mb,
+                cache_output_mb=mb * cache_frac if cache_prefix is not None else 0.0,
+                recompute_cycles=mb * recompute_cycles_per_mb,
+                gpu_capable=gpu_capable,
+                gpu_fraction=gpu_fraction,
+            )
+        )
+    return Stage(template, StageKind.SHUFFLE_MAP, tasks, parents=parents)
+
+
+def reduce_stage(
+    template: str,
+    parents: tuple[Stage, ...],
+    num_tasks: int,
+    read_sizes_mb: np.ndarray | None = None,
+    *,
+    kind: StageKind = StageKind.RESULT,
+    cycles_per_mb: float = 0.0,
+    fixed_cycles: float = 0.0,
+    ser_cycles_per_mb: float = 0.0,
+    write_frac: float = 0.0,
+    output_mb_each: float = 0.0,
+    mem_base_mb: float = 256.0,
+    mem_per_mb: float = 0.0,
+    cache_prefix: str | None = None,
+    cache_frac: float = 0.0,
+    gpu_capable: bool = False,
+) -> Stage:
+    """Build a stage that consumes its parents' shuffle output.
+
+    ``read_sizes_mb`` defaults to an even split of the parents' total
+    shuffle-write volume.
+    """
+    total = sum(s.total_shuffle_write_mb() for s in parents)
+    if read_sizes_mb is None:
+        read_sizes_mb = even_sizes(total, num_tasks)
+    if len(read_sizes_mb) != num_tasks:
+        raise ValueError("read_sizes_mb length must equal num_tasks")
+    tasks = []
+    for i in range(num_tasks):
+        mb = float(read_sizes_mb[i])
+        tasks.append(
+            TaskSpec(
+                index=i,
+                shuffle_read_mb=mb,
+                shuffle_write_mb=mb * write_frac,
+                output_mb=output_mb_each,
+                compute_gigacycles=fixed_cycles + mb * cycles_per_mb,
+                ser_gigacycles=mb * ser_cycles_per_mb,
+                peak_memory_mb=mem_base_mb + mb * mem_per_mb,
+                cache_key=f"{cache_prefix}:{i}" if cache_prefix else None,
+                cache_output_mb=mb * cache_frac if cache_prefix else 0.0,
+                gpu_capable=gpu_capable,
+            )
+        )
+    return Stage(template, kind, tasks, parents=parents)

@@ -1,0 +1,80 @@
+"""KMeans (SparkBench, 3.7 GB) — iterative, GPU-capable distance kernel.
+
+One load-and-cache job, then one job per Lloyd iteration: an `assign` map
+whose distance computation has a GPU path (the paper runs KMeans with GPU
+acceleration) and a small centre-update reduce.  Iteration structure plus
+GPU affinity is exactly where RUPAM shines (paper: 2.49x): after the first
+iteration the assign stage is marked GPU-bound, dispatched to the stack
+nodes, and raced on strong thor CPUs when the two GPUs are busy.
+"""
+
+from __future__ import annotations
+
+from repro.spark.application import Application, Job
+from repro.workloads.base import (
+    GB,
+    WorkloadEnv,
+    even_sizes,
+    map_stage,
+    place_input,
+    reduce_stage,
+)
+
+ASSIGN_CYCLES_PER_MB = 0.55
+SER_CYCLES_PER_MB = 0.012
+GPU_FRACTION = 0.9
+CACHE_FRACTION = 0.8
+
+
+def build_kmeans(
+    env: WorkloadEnv,
+    size_gb: float = 3.7,
+    iterations: int = 5,
+    partitions: int = 30,
+    reducers: int = 10,
+) -> Application:
+    total_mb = size_gb * GB
+    sizes = even_sizes(total_mb, partitions)
+    block_ids = place_input(env, "km:input", sizes)
+
+    jobs = []
+    load = map_stage(
+        "km:load",
+        sizes,
+        block_ids,
+        cycles_per_mb=0.08,
+        ser_cycles_per_mb=SER_CYCLES_PER_MB,
+        shuffle_write_frac=0.005,
+        mem_base_mb=300.0,
+        mem_per_mb=0.9,
+        cache_prefix="km:points",
+        cache_frac=CACHE_FRACTION,
+    )
+    load_count = reduce_stage(
+        "km:count", (load,), 4, cycles_per_mb=0.02, output_mb_each=0.2,
+        mem_base_mb=200.0,
+    )
+    jobs.append(Job([load, load_count], name="km:load"))
+
+    for it in range(iterations):
+        assign = map_stage(
+            "km:assign",
+            sizes,
+            block_ids,
+            cycles_per_mb=ASSIGN_CYCLES_PER_MB,
+            ser_cycles_per_mb=SER_CYCLES_PER_MB,
+            shuffle_write_frac=0.01,
+            mem_base_mb=400.0,
+            mem_per_mb=1.0,
+            gpu_capable=True,
+            gpu_fraction=GPU_FRACTION,
+            read_from_cache_prefix="km:points",
+            recompute_cycles_per_mb=0.1,
+        )
+        update = reduce_stage(
+            "km:update", (assign,), reducers,
+            cycles_per_mb=0.1, output_mb_each=1.0,
+            mem_base_mb=300.0, mem_per_mb=1.5,
+        )
+        jobs.append(Job([assign, update], name=f"km:iter{it}"))
+    return Application("KMeans", jobs)

@@ -1,0 +1,81 @@
+"""Logistic Regression (SparkBench LR) — 6 GB input, iterative, CPU-bound.
+
+Structure: one load-and-cache job, then one job per regression iteration
+(gradient map over the cached dataset + a small aggregation reduce).  The
+gradient stages reuse the same template across iterations, which is exactly
+the repetition RUPAM's DB_task_char learns from (Figure 6 sweeps these
+iterations).
+"""
+
+from __future__ import annotations
+
+from repro.spark.application import Application, Job
+from repro.workloads.base import (
+    GB,
+    WorkloadEnv,
+    even_sizes,
+    map_stage,
+    place_input,
+    reduce_stage,
+)
+
+# Demand calibration (per MB of partition data, in gigacycles):
+LOAD_CYCLES_PER_MB = 0.10     # parsing/vectorizing
+GRAD_CYCLES_PER_MB = 0.30     # dominant: the gradient computation
+SER_CYCLES_PER_MB = 0.010
+CACHE_FRACTION = 0.75         # cached vectors are smaller than text input
+GRAD_SHUFFLE_FRAC = 0.015     # per-partition gradient vectors are small
+
+
+def build_lr(
+    env: WorkloadEnv,
+    size_gb: float = 6.0,
+    iterations: int = 5,
+    partitions: int = 48,
+    reducers: int = 8,
+) -> Application:
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    total_mb = size_gb * GB
+    sizes = even_sizes(total_mb, partitions)
+    block_ids = place_input(env, "lr:input", sizes)
+
+    jobs = []
+    load = map_stage(
+        "lr:load",
+        sizes,
+        block_ids,
+        cycles_per_mb=LOAD_CYCLES_PER_MB,
+        ser_cycles_per_mb=SER_CYCLES_PER_MB,
+        shuffle_write_frac=0.005,
+        mem_base_mb=300.0,
+        mem_per_mb=1.0,
+        cache_prefix="lr:data",
+        cache_frac=CACHE_FRACTION,
+    )
+    load_count = reduce_stage(
+        "lr:count", (load,), max(2, reducers // 2),
+        cycles_per_mb=0.02, output_mb_each=0.5, mem_base_mb=200.0,
+    )
+    jobs.append(Job([load, load_count], name="lr:load"))
+
+    for it in range(iterations):
+        grad = map_stage(
+            "lr:gradient",
+            sizes,
+            block_ids,
+            cycles_per_mb=GRAD_CYCLES_PER_MB,
+            ser_cycles_per_mb=SER_CYCLES_PER_MB,
+            shuffle_write_frac=GRAD_SHUFFLE_FRAC,
+            mem_base_mb=350.0,
+            mem_per_mb=1.2,
+            read_from_cache_prefix="lr:data",
+            recompute_cycles_per_mb=0.12,
+        )
+        agg = reduce_stage(
+            "lr:aggregate", (grad,), reducers,
+            cycles_per_mb=0.15, output_mb_each=2.0,
+            mem_base_mb=300.0, mem_per_mb=2.0,
+        )
+        jobs.append(Job([grad, agg], name=f"lr:iter{it}"))
+    return Application("LR", jobs)

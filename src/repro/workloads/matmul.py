@@ -1,0 +1,88 @@
+"""Dense 4K x 4K matrix multiplication — the Section II motivational kernel.
+
+Four phases that produce Figure 2's utilization signature on the 2-node
+motivational cluster:
+
+1. load: read both input matrices (disk reads, a CPU parse spike early);
+2. distribute: replicate blocks for the block outer-product (large shuffle
+   *writes* — the paper's "high disk writes", plus early network traffic);
+3. multiply: fetch the replicated blocks (network spike), then a long
+   CPU-dominant phase with a large resident set (memory high, middle);
+4. collect: reduce the partial products back to the driver (final network
+   spike).
+"""
+
+from __future__ import annotations
+
+from repro.spark.application import Application, Job
+from repro.spark.stage import StageKind
+from repro.workloads.base import (
+    WorkloadEnv,
+    even_sizes,
+    map_stage,
+    place_input,
+    reduce_stage,
+)
+
+MATRIX_MB = 4096 * 4096 * 8 / 1024 / 1024  # one dense 4K x 4K of float64
+BLOCK_REPLICATION = 4.0      # outer-product block broadcast factor
+MULTIPLY_CYCLES_PER_MB = 1.8  # BLAS3 per fetched MB
+PARSE_CYCLES_PER_MB = 0.25
+
+
+def build_matmul(
+    env: WorkloadEnv,
+    partitions: int = 32,
+    matrices: int = 2,
+) -> Application:
+    total_mb = MATRIX_MB * matrices
+    sizes = even_sizes(total_mb, partitions)
+    block_ids = place_input(env, "mm:input", sizes)
+    load = map_stage(
+        "mm:load",
+        sizes,
+        block_ids,
+        cycles_per_mb=PARSE_CYCLES_PER_MB,
+        ser_cycles_per_mb=0.05,
+        shuffle_write_frac=0.02,
+        mem_base_mb=300.0,
+        mem_per_mb=4.0,
+        cache_prefix="mm:blocks",
+        cache_frac=1.1,
+    )
+    distribute = map_stage(
+        "mm:distribute",
+        sizes,
+        block_ids,
+        cycles_per_mb=0.08,
+        ser_cycles_per_mb=0.06,
+        shuffle_write_frac=BLOCK_REPLICATION,
+        mem_base_mb=300.0,
+        mem_per_mb=2.5,
+        read_from_cache_prefix="mm:blocks",
+        parents=(load,),
+    )
+    multiply = reduce_stage(
+        "mm:multiply",
+        (distribute,),
+        partitions,
+        kind=StageKind.SHUFFLE_MAP,
+        cycles_per_mb=MULTIPLY_CYCLES_PER_MB,
+        ser_cycles_per_mb=0.03,
+        write_frac=0.5,
+        mem_base_mb=500.0,
+        mem_per_mb=3.0,
+    )
+    collect = reduce_stage(
+        "mm:collect",
+        (multiply,),
+        max(4, partitions // 4),
+        cycles_per_mb=0.1,
+        ser_cycles_per_mb=0.05,
+        output_mb_each=MATRIX_MB / max(4, partitions // 4) / matrices,
+        mem_base_mb=400.0,
+        mem_per_mb=4.0,
+    )
+    return Application(
+        "MatMul", [Job([load, distribute, multiply, collect], name="mm")]
+    )

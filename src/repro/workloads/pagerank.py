@@ -1,0 +1,96 @@
+"""PageRank (SparkBench, 50K-vertex graph, ~0.95 GB) — iterative, skewed,
+memory-fragile.
+
+The graph's power-law degree distribution gives heavily skewed partitions
+(the paper's Figure 3 shows a 31x task-duration spread in one stage), and
+GraphX-style in-memory structures inflate a partition's working set far
+beyond its on-disk bytes.  Under stock Spark's one-size (14 GB) executors
+the hot partitions overcommit the heap — the paper reports outright memory
+failures in some runs (large Figure 5 error bar) — while RUPAM's
+memory-aware dispatch and node-sized executors keep PR alive, yielding its
+headline ~2.5x speedup.
+"""
+
+from __future__ import annotations
+
+from repro.spark.application import Application, Job
+from repro.workloads.base import GB, WorkloadEnv, map_stage, place_input, reduce_stage
+from repro.workloads.skew import skewed_sizes
+
+CONTRIB_CYCLES_PER_MB = 0.55
+UPDATE_CYCLES_PER_MB = 0.25
+SER_CYCLES_PER_MB = 0.05      # vertex/edge (de)serialization
+GRAPH_CACHE_INFLATION = 3.0   # in-memory adjacency vs on-disk edge list
+CONTRIB_MEM_PER_MB = 55.0     # join structures for a hot partition
+UPDATE_MEM_PER_MB = 8.0
+PARTITION_ALPHA = 0.7         # Zipf skew of edge partitions
+UPDATE_ALPHA = 0.8            # rank-update fan-in skew
+
+
+def build_pagerank(
+    env: WorkloadEnv,
+    size_gb: float = 0.95,
+    iterations: int = 5,
+    partitions: int = 64,
+    contrib_mem_per_mb: float | None = None,
+    partition_alpha: float | None = None,
+) -> Application:
+    mem_per_mb = CONTRIB_MEM_PER_MB if contrib_mem_per_mb is None else contrib_mem_per_mb
+    alpha = PARTITION_ALPHA if partition_alpha is None else partition_alpha
+    total_mb = size_gb * GB
+    rng = env.rng.stream("pr:sizes")
+    sizes = skewed_sizes(total_mb, partitions, alpha, rng, min_mb=2.0)
+    block_ids = place_input(env, "pr:input", sizes)
+
+    jobs = []
+    load = map_stage(
+        "pr:load",
+        sizes,
+        block_ids,
+        cycles_per_mb=0.15,
+        ser_cycles_per_mb=SER_CYCLES_PER_MB,
+        shuffle_write_frac=0.01,
+        mem_base_mb=250.0,
+        mem_per_mb=6.0,
+        cache_prefix="pr:graph",
+        cache_frac=GRAPH_CACHE_INFLATION,
+    )
+    load_count = reduce_stage(
+        "pr:count", (load,), 8, cycles_per_mb=0.02, output_mb_each=0.2,
+        mem_base_mb=200.0,
+    )
+    jobs.append(Job([load, load_count], name="pr:load"))
+
+    update_sizes_rng = env.rng.stream("pr:update-sizes")
+    for it in range(iterations):
+        contrib = map_stage(
+            "pr:contrib",
+            sizes,
+            block_ids,
+            cycles_per_mb=CONTRIB_CYCLES_PER_MB,
+            ser_cycles_per_mb=SER_CYCLES_PER_MB,
+            shuffle_write_frac=0.9,
+            mem_base_mb=500.0,
+            mem_per_mb=mem_per_mb,
+            read_from_cache_prefix="pr:graph",
+            recompute_cycles_per_mb=0.35,
+        )
+        total_contrib = contrib.total_shuffle_write_mb()
+        update_sizes = skewed_sizes(
+            total_contrib, partitions, UPDATE_ALPHA, update_sizes_rng, min_mb=1.0
+        )
+        update = reduce_stage(
+            "pr:update",
+            (contrib,),
+            partitions,
+            read_sizes_mb=update_sizes,
+            cycles_per_mb=UPDATE_CYCLES_PER_MB,
+            ser_cycles_per_mb=SER_CYCLES_PER_MB,
+            output_mb_each=0.3,
+            mem_base_mb=300.0,
+            mem_per_mb=UPDATE_MEM_PER_MB,
+            cache_prefix="pr:ranks",
+            cache_frac=0.4,
+        )
+        jobs.append(Job([contrib, update], name=f"pr:iter{it}"))
+    return Application("PR", jobs)

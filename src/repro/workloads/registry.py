@@ -1,0 +1,59 @@
+"""Workload registry: Table III names, default input sizes, and builders."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.spark.application import Application
+from repro.workloads.base import WorkloadEnv
+from repro.workloads.gramian import build_gramian
+from repro.workloads.kmeans import build_kmeans
+from repro.workloads.logistic_regression import build_lr
+from repro.workloads.matmul import build_matmul
+from repro.workloads.pagerank import build_pagerank
+from repro.workloads.sql import build_sql
+from repro.workloads.terasort import build_terasort
+from repro.workloads.triangle_count import build_triangle_count
+
+Builder = Callable[..., Application]
+
+# name -> (builder, Table III default parameters)
+WORKLOADS: dict[str, tuple[Builder, dict[str, Any]]] = {
+    "lr": (build_lr, {"size_gb": 6.0, "iterations": 5}),
+    "terasort": (build_terasort, {"size_gb": 4.0}),
+    "sql": (build_sql, {"size_gb": 35.0, "queries": 3}),
+    "pagerank": (build_pagerank, {"size_gb": 0.95, "iterations": 5}),
+    "triangle_count": (build_triangle_count, {"size_gb": 0.95, "rounds": 3}),
+    "gramian": (build_gramian, {"size_gb": 0.96}),
+    "kmeans": (build_kmeans, {"size_gb": 3.7, "iterations": 5}),
+    "matmul": (build_matmul, {}),
+}
+
+# Pretty names used in the paper's figures/tables.
+PAPER_NAMES: dict[str, str] = {
+    "lr": "LR",
+    "sql": "SQL",
+    "terasort": "TeraSort",
+    "pagerank": "PR",
+    "triangle_count": "TC",
+    "gramian": "GM",
+    "kmeans": "KMeans",
+    "matmul": "MatMul",
+}
+
+
+def workload_names(include_matmul: bool = False) -> list[str]:
+    names = [n for n in WORKLOADS if n != "matmul"]
+    if include_matmul:
+        names.append("matmul")
+    return names
+
+
+def build_workload(name: str, env: WorkloadEnv, **overrides: Any) -> Application:
+    """Build a registered workload with Table III defaults plus overrides."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    builder, defaults = WORKLOADS[name]
+    params = dict(defaults)
+    params.update(overrides)
+    return builder(env, **params)

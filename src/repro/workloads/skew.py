@@ -1,0 +1,55 @@
+"""Partition-size skew models.
+
+Real datasets (graphs above all) do not split evenly: the paper's Section II
+motivates RUPAM with a 31x execution-time spread among tasks of one PageRank
+stage.  We generate Zipf-like partition weights so a few partitions carry
+much more data (and therefore compute and memory) than the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf(alpha) weights over ``n`` ranks (alpha=0 -> uniform)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** (-alpha)
+    return w / w.sum()
+
+
+def skewed_sizes(
+    total_mb: float,
+    n: int,
+    alpha: float,
+    rng: np.random.Generator,
+    min_mb: float = 1.0,
+) -> np.ndarray:
+    """Partition sizes summing to ``total_mb`` with Zipf(alpha) skew.
+
+    The rank-to-partition assignment is shuffled so heavy partitions land at
+    random indices (as hash partitioning would), and a floor keeps every
+    partition non-trivial.
+    """
+    w = zipf_weights(n, alpha)
+    rng.shuffle(w)
+    sizes = w * total_mb
+    if min_mb * n >= total_mb:
+        return np.full(n, total_mb / n)
+    deficit = np.maximum(0.0, min_mb - sizes)
+    sizes = np.maximum(sizes, min_mb)
+    # Take the floor's cost from the largest partitions, preserving the sum.
+    surplus = sizes - min_mb
+    total_surplus = surplus.sum()
+    if total_surplus > 0:
+        sizes -= surplus * (deficit.sum() / total_surplus)
+    return sizes * (total_mb / sizes.sum())
+
+
+def skew_ratio(sizes: np.ndarray) -> float:
+    """max/mean ratio — a quick skew severity measure."""
+    return float(sizes.max() / sizes.mean())

@@ -1,0 +1,79 @@
+"""SQL (SparkBench) — 35 GB scanned, join-heavy, memory-hungry, per-query.
+
+Each query is one job of scan -> join -> aggregate, and each query's stages
+use distinct templates: the paper notes SQL has "one iteration per SQL query
+with no data preserved across queries", so RUPAM cannot carry knowledge from
+one query to the next — which is why SQL's speedup (1.19x) is modest and its
+GC under RUPAM is *worse* (big transient join allocations in node-sized
+heaps; see Figure 7b).
+"""
+
+from __future__ import annotations
+
+from repro.spark.application import Application, Job
+from repro.spark.stage import StageKind
+from repro.workloads.base import (
+    GB,
+    WorkloadEnv,
+    even_sizes,
+    map_stage,
+    place_input,
+    reduce_stage,
+)
+
+SCAN_CYCLES_PER_MB = 0.035
+JOIN_CYCLES_PER_MB = 0.055
+AGG_CYCLES_PER_MB = 0.03
+SER_CYCLES_PER_MB = 0.018     # row (de)serialization is significant in SQL
+SCAN_SELECTIVITY = 0.30       # filtered rows forwarded into the join
+JOIN_OUTPUT_FRAC = 0.6
+
+
+def build_sql(
+    env: WorkloadEnv,
+    size_gb: float = 35.0,
+    queries: int = 3,
+    partition_mb: float = 256.0,
+    join_reducers: int = 64,
+    agg_reducers: int = 24,
+) -> Application:
+    total_mb = size_gb * GB
+    partitions = max(8, int(round(total_mb / partition_mb)))
+    sizes = even_sizes(total_mb, partitions)
+    block_ids = place_input(env, "sql:input", sizes)
+
+    jobs = []
+    for q in range(queries):
+        scan = map_stage(
+            f"sql:q{q}:scan",
+            sizes,
+            block_ids,
+            cycles_per_mb=SCAN_CYCLES_PER_MB,
+            ser_cycles_per_mb=SER_CYCLES_PER_MB,
+            shuffle_write_frac=SCAN_SELECTIVITY,
+            mem_base_mb=300.0,
+            mem_per_mb=0.4,
+        )
+        join = reduce_stage(
+            f"sql:q{q}:join",
+            (scan,),
+            join_reducers,
+            kind=StageKind.SHUFFLE_MAP,
+            cycles_per_mb=JOIN_CYCLES_PER_MB,
+            ser_cycles_per_mb=SER_CYCLES_PER_MB,
+            write_frac=JOIN_OUTPUT_FRAC,
+            mem_base_mb=400.0,
+            mem_per_mb=2.1,      # hash tables: SQL is the most memory-hungry
+        )
+        agg = reduce_stage(
+            f"sql:q{q}:agg",
+            (join,),
+            agg_reducers,
+            cycles_per_mb=AGG_CYCLES_PER_MB,
+            ser_cycles_per_mb=SER_CYCLES_PER_MB,
+            output_mb_each=4.0,
+            mem_base_mb=350.0,
+            mem_per_mb=1.0,
+        )
+        jobs.append(Job([scan, join, agg], name=f"sql:q{q}"))
+    return Application("SQL", jobs)

@@ -1,0 +1,116 @@
+"""Unit tests for the analysis package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.breakdown import (
+    breakdown_by_node,
+    duration_spread,
+    stage_breakdowns,
+    total_breakdown,
+)
+from repro.analysis.locality import locality_table_row, process_local_fraction
+from repro.analysis.stats import geometric_mean, improvement_pct, speedup
+from repro.spark.driver import AppResult
+from repro.spark.locality import Locality
+from repro.spark.metrics import TaskMetrics
+
+
+def metric(
+    key="s#0",
+    stage=1,
+    idx=0,
+    node="n1",
+    loc=Locality.NODE_LOCAL,
+    compute=2.0,
+    ser=0.5,
+    gc=0.1,
+    net=0.3,
+    disk=0.2,
+    ok=True,
+    launch=0.0,
+    finish=3.0,
+) -> TaskMetrics:
+    m = TaskMetrics(task_key=key, stage_id=stage, index=idx, attempt=0, node=node, locality=loc)
+    m.compute_time = compute
+    m.ser_time = ser
+    m.gc_time = gc
+    m.fetch_wait_time = net
+    m.shuffle_disk_time = disk
+    m.succeeded = ok
+    m.launch_time = launch
+    m.finish_time = finish
+    return m
+
+
+def result(metrics) -> AppResult:
+    return AppResult(
+        app_name="t", scheduler_name="spark", runtime_s=10.0, task_metrics=metrics
+    )
+
+
+class TestStats:
+    def test_speedup(self):
+        assert speedup(100.0, 50.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_improvement(self):
+        assert improvement_pct(100.0, 62.3) == pytest.approx(37.7)
+        with pytest.raises(ValueError):
+            improvement_pct(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestBreakdowns:
+    def test_total_breakdown_sums_successful_only(self):
+        r = result([metric(), metric(ok=False)])
+        b = total_breakdown(r)
+        assert b["compute"] == pytest.approx(2.5)  # compute + ser
+        assert b["gc"] == pytest.approx(0.1)
+
+    def test_stage_breakdowns_grouped(self):
+        r = result([metric(stage=1), metric(stage=2, compute=4.0)])
+        per = stage_breakdowns(r)
+        assert per[1]["compute"] == pytest.approx(2.5)
+        assert per[2]["compute"] == pytest.approx(4.5)
+
+    def test_breakdown_by_node_ordering(self):
+        ms = [
+            metric(idx=1, node="a", launch=5.0),
+            metric(idx=0, node="a", launch=1.0),
+            metric(idx=2, node="b", launch=2.0),
+        ]
+        per = breakdown_by_node(ms)
+        assert [i for i, _ in per["a"]] == [0, 1]
+        assert list(per["b"][0][1].keys()) == ["compute", "shuffle", "serialization", "scheduler_delay"]
+
+    def test_duration_spread(self):
+        ms = [metric(launch=0, finish=1.0), metric(launch=0, finish=31.0)]
+        assert duration_spread(ms) == pytest.approx(31.0)
+        assert duration_spread([]) == 1.0
+
+
+class TestLocality:
+    def test_table_row(self):
+        r = result(
+            [
+                metric(loc=Locality.PROCESS_LOCAL),
+                metric(loc=Locality.NODE_LOCAL),
+                metric(loc=Locality.ANY, ok=False),
+            ]
+        )
+        row = locality_table_row(r)
+        assert row == {"PROCESS_LOCAL": 1, "NODE_LOCAL": 1, "ANY": 1}
+
+    def test_process_fraction(self):
+        r = result([metric(loc=Locality.PROCESS_LOCAL), metric(loc=Locality.ANY)])
+        assert process_local_fraction(r) == pytest.approx(0.5)
+        assert process_local_fraction(result([])) == 0.0

@@ -1,0 +1,150 @@
+"""Unit tests for the block manager and locality logic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spark.blocks import BlockManager
+from repro.spark.locality import LOCALITY_ORDER, Locality
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+
+
+def bm(rack_aware: bool = False) -> BlockManager:
+    return BlockManager(
+        {"rack0": ["a", "b"], "rack1": ["c", "d"]}, rack_aware=rack_aware
+    )
+
+
+def task(blocks=(), cache_key=None, index=0):
+    t = TaskSpec(index=index, input_mb=10.0, input_blocks=tuple(blocks), cache_key=cache_key)
+    Stage("t:map", StageKind.SHUFFLE_MAP, [t])
+    return t
+
+
+class TestLocalityEnum:
+    def test_ordering(self):
+        assert Locality.PROCESS_LOCAL < Locality.NODE_LOCAL < Locality.RACK_LOCAL < Locality.ANY
+        assert list(LOCALITY_ORDER) == sorted(LOCALITY_ORDER)
+
+    def test_at_least_as_good(self):
+        assert Locality.NODE_LOCAL.at_least_as_good_as(Locality.ANY)
+        assert not Locality.ANY.at_least_as_good_as(Locality.NODE_LOCAL)
+
+
+class TestBlockPlacement:
+    def test_put_and_lookup(self):
+        m = bm()
+        m.put_block("blk", ["a", "c"])
+        assert m.block_locations("blk") == ("a", "c")
+
+    def test_unknown_node_rejected(self):
+        m = bm()
+        with pytest.raises(ValueError):
+            m.put_block("blk", ["zz"])
+
+    def test_empty_replicas_rejected(self):
+        m = bm()
+        with pytest.raises(ValueError):
+            m.put_block("blk", [])
+
+    def test_place_dataset_replication(self):
+        m = bm()
+        rng = np.random.default_rng(0)
+        ids = m.place_dataset("d", 10, ["a", "b", "c", "d"], rng, replication=2)
+        assert len(ids) == 10
+        for bid in ids:
+            locs = m.block_locations(bid)
+            assert len(locs) == 2 and len(set(locs)) == 2
+
+    def test_replication_capped_at_cluster_size(self):
+        m = bm()
+        rng = np.random.default_rng(0)
+        ids = m.place_dataset("d", 2, ["a", "b"], rng, replication=5)
+        assert all(len(m.block_locations(i)) == 2 for i in ids)
+
+
+class TestLocalityResolution:
+    def test_node_local_on_replica(self):
+        m = bm()
+        m.put_block("blk", ["a"])
+        t = task(blocks=["blk"])
+        assert m.locality_for(t, "a") is Locality.NODE_LOCAL
+
+    def test_any_off_replica_without_rack_awareness(self):
+        m = bm()
+        m.put_block("blk", ["a"])
+        t = task(blocks=["blk"])
+        assert m.locality_for(t, "b") is Locality.ANY
+        assert m.locality_for(t, "c") is Locality.ANY
+
+    def test_rack_local_when_aware(self):
+        m = bm(rack_aware=True)
+        m.put_block("blk", ["a"])
+        t = task(blocks=["blk"])
+        assert m.locality_for(t, "b") is Locality.RACK_LOCAL
+        assert m.locality_for(t, "c") is Locality.ANY
+
+    def test_process_local_on_cache(self):
+        m = bm()
+        m.record_cached("rdd:0", "b")
+        t = task(cache_key="rdd:0")
+        assert m.locality_for(t, "b") is Locality.PROCESS_LOCAL
+        assert m.locality_for(t, "a") is Locality.ANY
+
+    def test_cache_beats_replica(self):
+        m = bm()
+        m.put_block("blk", ["a"])
+        m.record_cached("rdd:0", "b")
+        t = task(blocks=["blk"], cache_key="rdd:0")
+        assert m.locality_for(t, "b") is Locality.PROCESS_LOCAL
+        # replica node still NODE_LOCAL
+        assert m.locality_for(t, "a") is Locality.NODE_LOCAL
+
+    def test_no_prefs_is_any_everywhere(self):
+        m = bm()
+        t = task()
+        for n in ("a", "b", "c"):
+            assert m.locality_for(t, n) is Locality.ANY
+
+    def test_preferred_nodes_cache_first(self):
+        m = bm()
+        m.put_block("blk", ["a", "c"])
+        m.record_cached("rdd:0", "d")
+        t = task(blocks=["blk"], cache_key="rdd:0")
+        assert m.preferred_nodes(t) == ("d",)
+
+    def test_best_possible_locality(self):
+        m = bm()
+        t1 = task()
+        assert m.best_possible_locality(t1) is Locality.ANY
+        m.put_block("blk", ["a"])
+        t2 = task(blocks=["blk"])
+        assert m.best_possible_locality(t2) is Locality.NODE_LOCAL
+        m.record_cached("rdd:9", "a")
+        t3 = task(cache_key="rdd:9")
+        assert m.best_possible_locality(t3) is Locality.PROCESS_LOCAL
+
+
+class TestCacheLifecycle:
+    def test_drop_cached(self):
+        m = bm()
+        m.record_cached("k", "a")
+        m.drop_cached("k")
+        assert m.cached_location("k") is None
+
+    def test_drop_cached_on_node(self):
+        m = bm()
+        m.record_cached("k1", "a")
+        m.record_cached("k2", "a")
+        m.record_cached("k3", "b")
+        lost = m.drop_cached_on_node("a")
+        assert sorted(lost) == ["k1", "k2"]
+        assert m.cached_location("k3") == "b"
+
+    def test_recache_overwrites_location(self):
+        m = bm()
+        m.record_cached("k", "a")
+        m.record_cached("k", "b")
+        assert m.cached_location("k") == "b"

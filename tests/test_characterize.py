@@ -1,0 +1,95 @@
+"""Unit tests for Algorithm 1 (task characterization)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterize import classify_metrics, classify_record
+from repro.core.config import RupamConfig
+from repro.core.nodeinfo import ResourceKind
+from repro.core.taskdb import TaskRecord
+
+CFG = RupamConfig()
+HEAP = 8400.0
+
+
+def classify(compute=0.0, sr=0.0, sw=0.0, mem=100.0, gpu=False, cfg=CFG):
+    return classify_metrics(
+        compute_time=compute,
+        shuffle_read_time=sr,
+        shuffle_write_time=sw,
+        peak_memory_mb=mem,
+        gpu=gpu,
+        cfg=cfg,
+        reference_heap_mb=HEAP,
+    )
+
+
+class TestAlgorithm1:
+    def test_gpu_takes_priority(self):
+        assert classify(compute=100, gpu=True) is ResourceKind.GPU
+
+    def test_cpu_bound(self):
+        # compute > res_factor * max(sr, sw)
+        assert classify(compute=10, sr=1, sw=2) is ResourceKind.CPU
+
+    def test_cpu_boundary_exclusive(self):
+        # exactly res_factor x shuffle is NOT CPU-bound (strict >)
+        assert classify(compute=4.0, sr=2.0, sw=0.1) is not ResourceKind.CPU
+
+    def test_net_bound(self):
+        # sr > res_factor * sw and compute small
+        assert classify(compute=1, sr=10, sw=2) is ResourceKind.NET
+
+    def test_disk_bound(self):
+        # neither compute- nor read-dominated
+        assert classify(compute=1, sr=3, sw=4) is ResourceKind.DISK
+
+    def test_mem_bound_when_not_fitting_reference_heap(self):
+        assert classify(compute=100, mem=HEAP * 1.5) is ResourceKind.MEM
+
+    def test_mem_threshold_fraction(self):
+        cfg = RupamConfig().with_overrides(mem_bound_fraction=0.5)
+        assert classify(compute=100, mem=0.6 * HEAP, cfg=cfg) is ResourceKind.MEM
+        assert classify(compute=100, mem=0.4 * HEAP, cfg=cfg) is ResourceKind.CPU
+
+    def test_res_factor_sensitivity(self):
+        loose = RupamConfig().with_overrides(res_factor=1.0)
+        strict = RupamConfig().with_overrides(res_factor=4.0)
+        # compute 3x shuffle: CPU under loose factor, not under strict
+        assert classify(compute=9, sr=3, cfg=loose) is ResourceKind.CPU
+        assert classify(compute=9, sr=3, cfg=strict) is not ResourceKind.CPU
+
+    def test_record_classification_matches_metrics(self):
+        rec = TaskRecord(key="k").updated_with(
+            compute_time=10,
+            shuffle_read_time=0.5,
+            shuffle_write_time=0.2,
+            peak_memory_mb=200,
+            gpu=False,
+            node="n",
+            runtime=11,
+            bottleneck=ResourceKind.CPU,
+        )
+        assert classify_record(rec, CFG, HEAP) is ResourceKind.CPU
+
+    @given(
+        compute=st.floats(min_value=0, max_value=1e4),
+        sr=st.floats(min_value=0, max_value=1e4),
+        sw=st.floats(min_value=0, max_value=1e4),
+        mem=st.floats(min_value=0, max_value=1e5),
+        gpu=st.booleans(),
+    )
+    @settings(max_examples=300)
+    def test_total_function(self, compute, sr, sw, mem, gpu):
+        """Every task gets exactly one class, and the priority order holds."""
+        kind = classify(compute=compute, sr=sr, sw=sw, mem=mem, gpu=gpu)
+        assert isinstance(kind, ResourceKind)
+        if gpu:
+            assert kind is ResourceKind.GPU
+        elif mem > CFG.mem_bound_fraction * HEAP:
+            assert kind is ResourceKind.MEM
+        elif compute > CFG.res_factor * max(sr, sw):
+            assert kind is ResourceKind.CPU

@@ -1,0 +1,196 @@
+"""Unit tests for hardware specs, nodes, cluster, and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.hardware import CpuSpec, DiskSpec, GpuSpec, NodeSpec
+from repro.cluster.presets import (
+    GBE_MBPS,
+    describe_table2,
+    hydra_cluster,
+    hydra_node_specs,
+    motivational_cluster,
+)
+from repro.simulate.engine import Simulator
+from tests.conftest import small_node, tiny_cluster
+
+
+class TestHardwareSpecs:
+    def test_cpu_rates(self):
+        cpu = CpuSpec(cores=8, freq_ghz=3.2, efficiency=1.25)
+        assert cpu.core_rate == pytest.approx(4.0)
+        assert cpu.total_rate == pytest.approx(32.0)
+
+    def test_cpu_validation(self):
+        with pytest.raises(ValueError):
+            CpuSpec(cores=0, freq_ghz=1.0)
+        with pytest.raises(ValueError):
+            CpuSpec(cores=1, freq_ghz=-1.0)
+
+    def test_disk_write_cost(self):
+        disk = DiskSpec(read_mbps=200.0, write_mbps=100.0)
+        assert disk.write_cost_factor == pytest.approx(2.0)
+
+    def test_gpu_validation(self):
+        with pytest.raises(ValueError):
+            GpuSpec(count=0, kernel_speedup=8.0)
+        with pytest.raises(ValueError):
+            GpuSpec(count=1, kernel_speedup=-2.0)
+
+    def test_node_describe_payload(self):
+        spec = small_node("x", gpus=2, ssd=True)
+        d = spec.describe()
+        assert d["name"] == "x" and d["gpus"] == 2 and d["ssd"] is True
+
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(
+                name="",
+                cpu=CpuSpec(cores=1, freq_ghz=1.0),
+                memory_mb=1024,
+                net_mbps=100,
+                disk=DiskSpec(read_mbps=1, write_mbps=1),
+            )
+
+
+class TestNodeRuntime:
+    def test_compute_capped_at_core_rate(self, sim):
+        from repro.cluster.node import Node
+
+        node = Node(sim, small_node(cores=4, ghz=2.0))
+        done = []
+        node.compute(4.0, lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.0)]  # one core at 2 GHz
+
+    def test_multicore_task(self, sim):
+        from repro.cluster.node import Node
+
+        node = Node(sim, small_node(cores=4, ghz=2.0))
+        done = []
+        node.compute(8.0, lambda f: done.append(sim.now), cpus=4)
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_disk_write_slower_than_read(self, sim):
+        from repro.cluster.node import Node
+
+        node = Node(sim, small_node())
+        times = {}
+        node.read_disk(100.0, lambda f: times.setdefault("r", sim.now))
+        sim.run()
+        sim2 = Simulator()
+        node2 = Node(sim2, small_node())
+        node2.write_disk(100.0, lambda f: times.setdefault("w", sim2.now))
+        sim2.run()
+        assert times["w"] > times["r"]
+
+    def test_receive_accounts_both_ledgers(self, sim):
+        from repro.cluster.node import Node
+
+        a = Node(sim, small_node("a"))
+        b = Node(sim, small_node("b"))
+        a.receive(50.0, lambda f: None, senders=[(b, 50.0)])
+        sim.run()
+        assert a.net_in_mb == 50.0
+        assert b.net_out_mb == 50.0
+
+    def test_gpu_rate(self, sim):
+        from repro.cluster.node import Node
+
+        node = Node(sim, small_node(gpus=1, ghz=1.0))
+        assert node.gpu_task_rate == pytest.approx(8.0)
+        done = []
+        node.compute_gpu(8.0, lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_gpu_on_cpu_node_raises(self, sim):
+        from repro.cluster.node import Node
+
+        node = Node(sim, small_node())
+        with pytest.raises(ValueError):
+            node.compute_gpu(1.0, lambda f: None)
+
+    def test_gpus_idle_counts_active_flows(self, sim):
+        from repro.cluster.node import Node
+
+        node = Node(sim, small_node(gpus=2, ghz=1.0))
+        assert node.gpus_idle() == 2
+        node.compute_gpu(100.0, lambda f: None)
+        assert node.gpus_idle() == 1
+
+
+class TestCluster:
+    def test_duplicate_names_rejected(self, sim):
+        with pytest.raises(ValueError, match="duplicate"):
+            Cluster(sim, [small_node("a"), small_node("a")])
+
+    def test_lookup_and_racks(self, sim):
+        cluster = tiny_cluster(sim)
+        assert cluster.node("n1").name == "n1"
+        assert cluster.has_node("n2") and not cluster.has_node("zz")
+        assert cluster.same_rack("n1", "n2")
+
+    def test_aggregates(self, sim):
+        cluster = tiny_cluster(sim, n=3)
+        assert cluster.total_cores() == 12
+        assert cluster.min_memory_mb() == 16 * 1024
+
+    def test_groups(self, sim):
+        cluster = Cluster(sim, [small_node("a", group="g"), small_node("b", group="g")])
+        assert set(cluster.groups()) == {"g"}
+        assert len(cluster.groups()["g"]) == 2
+
+
+class TestPresets:
+    def test_hydra_matches_table2(self, sim):
+        cluster = hydra_cluster(sim)
+        groups = cluster.groups()
+        assert len(groups["thor"]) == 6
+        assert len(groups["hulk"]) == 4
+        assert len(groups["stack"]) == 2
+        assert len(cluster) == 12
+        thor = groups["thor"][0].spec
+        assert thor.cpu.cores == 8 and thor.disk.is_ssd and thor.gpu is None
+        hulk = groups["hulk"][0].spec
+        assert hulk.cpu.cores == 32 and hulk.memory_mb == 64 * 1024
+        stack = groups["stack"][0].spec
+        assert stack.cpu.cores == 16 and stack.gpu is not None
+
+    def test_hydra_capability_ordering(self, sim):
+        """Table IV's reading: thor cores ~5x stack cores, hulk slightly
+        above stack."""
+        cluster = hydra_cluster(sim)
+        groups = cluster.groups()
+        thor = groups["thor"][0].spec.cpu.core_rate
+        hulk = groups["hulk"][0].spec.cpu.core_rate
+        stack = groups["stack"][0].spec.cpu.core_rate
+        assert thor / stack == pytest.approx(5.0, rel=0.05)
+        assert stack < hulk < thor
+
+    def test_motivational_asymmetry(self, sim):
+        cluster = motivational_cluster(sim)
+        n1, n2 = cluster.node("node-1"), cluster.node("node-2")
+        # node-1: faster CPU, slower network; node-2 the reverse.
+        assert n1.spec.cpu.core_rate > n2.spec.cpu.core_rate
+        assert n1.spec.net_mbps < n2.spec.net_mbps
+        assert n1.spec.cpu.cores == n2.spec.cpu.cores == 16
+        assert n1.spec.memory_mb == n2.spec.memory_mb == 48 * 1024
+
+    def test_single_rack(self):
+        assert {s.rack for s in hydra_node_specs()} == {"rack0"}
+
+    def test_table2_rows(self):
+        rows = describe_table2()
+        by_name = {r["Name"]: r for r in rows}
+        assert by_name["thor"]["#"] == 6
+        assert by_name["hulk"]["Memory (GB)"] == 64
+        assert by_name["stack"]["GPU"] == "Y"
+        assert by_name["thor"]["SSD"] == "Y"
+
+    def test_gbe_calibration(self):
+        # 1 GbE goodput ~936 Mbit/s
+        assert GBE_MBPS * 8 == pytest.approx(936.0)

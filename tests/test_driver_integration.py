@@ -1,0 +1,148 @@
+"""Integration tests: driver + stock scheduler end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate.engine import Simulator
+from repro.spark.application import Application, Job
+from repro.spark.conf import SparkConf
+from repro.spark.default_scheduler import DefaultScheduler
+from repro.spark.driver import Driver
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+from tests.conftest import hetero_cluster, make_ctx, simple_app, tiny_cluster
+
+
+def run_app(app, cluster_fn=tiny_cluster, conf=None, seed=1, until=None):
+    sim = Simulator()
+    cluster = cluster_fn(sim)
+    ctx = make_ctx(cluster, conf=conf, seed=seed)
+    driver = Driver(ctx, DefaultScheduler())
+    return driver.run(app, until=until), ctx
+
+
+class TestBasicExecution:
+    def test_simple_app_completes(self):
+        res, ctx = run_app(simple_app())
+        assert not res.aborted
+        assert res.runtime_s > 0
+        assert len(res.successful_metrics()) == 8  # 6 map + 2 reduce
+
+    def test_all_stages_traced(self):
+        res, ctx = run_app(simple_app())
+        assert ctx.trace.count("stage_complete") == 2
+        assert ctx.trace.count("app_complete") == 1
+
+    def test_sequential_jobs(self):
+        res, ctx = run_app(simple_app(jobs=3))
+        completes = [e.time for e in ctx.trace.of_kind("job_complete")]
+        assert len(completes) == 3
+        assert completes == sorted(completes)
+
+    def test_stage_dependency_order(self):
+        res, ctx = run_app(simple_app())
+        events = [(e.time, e["stage"]) for e in ctx.trace.of_kind("stage_complete")]
+        by_stage = dict((s, t) for t, s in events)
+        assert by_stage["t:map"] <= by_stage["t:reduce"]
+
+    def test_reduce_reads_what_maps_wrote(self):
+        res, ctx = run_app(simple_app(n_map=4, shuffle_mb=10.0))
+        sid = None
+        for e in ctx.trace.of_kind("stage_submit"):
+            pass
+        # shuffle registered with total = 4 * 10 (modulo jitter)
+        totals = [
+            ctx.shuffle.total_output_mb(s)
+            for s in [f"shuffle:{i}" for i in range(200)]
+        ]
+        assert max(totals) == pytest.approx(40.0, rel=0.25)
+
+    def test_unfinished_app_raises(self):
+        app = simple_app(compute=1e9)  # would take forever
+        with pytest.raises(RuntimeError, match="did not finish"):
+            run_app(app, until=10.0)
+
+    def test_executor_per_node(self):
+        res, ctx = run_app(simple_app())
+        assert ctx.trace.count("executor_up") == 3
+
+
+class TestHeterogeneousBehaviour:
+    def test_fast_node_finishes_tasks_faster(self):
+        res, ctx = run_app(simple_app(n_map=12, compute=8.0), cluster_fn=hetero_cluster)
+        by_node: dict[str, list[float]] = {}
+        for m in res.successful_metrics():
+            if m.task_key.startswith("t:map"):
+                by_node.setdefault(m.node, []).append(m.compute_time)
+        if "fast" in by_node and "bigmem" in by_node:
+            assert min(by_node["fast"]) < min(by_node["bigmem"])
+
+    def test_determinism_same_seed(self):
+        r1, _ = run_app(simple_app(), seed=5)
+        r2, _ = run_app(simple_app(), seed=5)
+        assert r1.runtime_s == pytest.approx(r2.runtime_s)
+
+    def test_different_seeds_differ(self):
+        r1, _ = run_app(simple_app(n_map=12), seed=5)
+        r2, _ = run_app(simple_app(n_map=12), seed=6)
+        assert r1.runtime_s != pytest.approx(r2.runtime_s, rel=1e-9)
+
+
+class TestLocalityBehaviour:
+    def test_node_local_preferred_when_replicas_exist(self):
+        sim = Simulator()
+        cluster = tiny_cluster(sim)
+        ctx = make_ctx(cluster)
+        ids = ctx.blocks.place_dataset(
+            "in", 6, [n.name for n in cluster], ctx.rng.stream("p"), replication=2
+        )
+        tasks = [
+            TaskSpec(index=i, input_mb=32, input_blocks=(ids[i],), peak_memory_mb=100)
+            for i in range(6)
+        ]
+        ms = Stage("loc:map", StageKind.SHUFFLE_MAP, tasks)
+        rs = Stage(
+            "loc:red",
+            StageKind.RESULT,
+            [TaskSpec(index=0, shuffle_read_mb=1.0, peak_memory_mb=64)],
+            parents=(ms,),
+        )
+        app = Application("loc", [Job([ms, rs])])
+        driver = Driver(ctx, DefaultScheduler())
+        res = driver.run(app)
+        counts = res.locality_counts()
+        assert counts["NODE_LOCAL"] >= 4  # most maps land on a replica
+        assert counts["RACK_LOCAL"] == 0
+
+    def test_cached_iteration_is_process_local(self):
+        res, ctx = run_app(simple_app(jobs=2, cache=True))
+        second_job_maps = [
+            m
+            for m in res.successful_metrics()
+            if m.task_key.startswith("t:map") and m.launch_time > 0.1
+        ]
+        proc_local = [m for m in second_job_maps if m.locality.name == "PROCESS_LOCAL"]
+        assert len(proc_local) >= len(second_job_maps) // 2
+
+
+class TestOomRecovery:
+    def test_executor_kill_and_recovery(self):
+        conf = SparkConf().with_overrides(
+            jitter_sigma=0.0,
+            executor_memory_mb=2048.0,
+            executor_recovery_s=5.0,
+            max_task_failures=100,
+        )
+        # usable = 1229 MB/executor; 4 concurrent 400 MB tasks overcommit
+        # (ratio ~1.3: repeated task OOMs, below the JVM-kill threshold).
+        app = simple_app(n_map=12, compute=6.0, peak_mb=400.0)
+        res, ctx = run_app(app, conf=conf)
+        assert not res.aborted
+        assert len(res.successful_metrics()) == 14
+        assert res.oom_task_failures > 0 or res.executor_kills > 0
+
+    def test_speculation_produces_extra_attempts(self):
+        app = simple_app(n_map=16, compute=16.0)
+        res, ctx = run_app(app, cluster_fn=hetero_cluster)
+        assert len(res.task_metrics) >= 18  # at least a couple of copies

@@ -1,0 +1,137 @@
+"""Unit tests for the event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order(sim):
+    order = []
+    sim.at(2.0, order.append, "b")
+    sim.at(1.0, order.append, "a")
+    sim.at(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_fifo_among_equal_times(sim):
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.at(1.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_after_is_relative(sim):
+    times = []
+    sim.at(5.0, lambda: sim.after(2.5, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [7.5]
+
+
+def test_callbacks_can_schedule_at_current_time(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.after(0.0, order.append, "nested")
+
+    sim.at(1.0, first)
+    sim.at(1.0, order.append, "second")
+    sim.run()
+    # The nested zero-delay event runs after already-queued same-time events.
+    assert order == ["first", "second", "nested"]
+
+
+def test_cancel_prevents_execution(sim):
+    fired = []
+    handle = sim.at(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle.pending
+
+
+def test_cannot_schedule_in_past(sim):
+    sim.at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_nan_time_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.at(float("nan"), lambda: None)
+
+
+def test_run_until_stops_clock_at_bound(sim):
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(10.0, fired.append, 10)
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_includes_events_at_bound(sim):
+    fired = []
+    sim.at(5.0, fired.append, 5)
+    sim.run(until=5.0)
+    assert fired == [5]
+
+
+def test_max_events_guard(sim):
+    def loop():
+        sim.after(0.1, loop)
+
+    sim.after(0.0, loop)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=50)
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+    sim.at(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled(sim):
+    h = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    h.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_run_not_reentrant(sim):
+    def evil():
+        sim.run()
+
+    sim.at(1.0, evil)
+    with pytest.raises(SimulationError, match="reentrant"):
+        sim.run()
+
+
+def test_pending_count(sim):
+    h1 = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    assert sim.pending_count == 2
+    h1.cancel()
+    assert sim.pending_count == 1

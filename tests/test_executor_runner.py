@@ -1,0 +1,216 @@
+"""Unit tests for executors and the task-run phase pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate.engine import Simulator
+from repro.spark.application import Application, Job
+from repro.spark.conf import SparkConf
+from repro.spark.default_scheduler import DefaultScheduler
+from repro.spark.driver import Driver
+from repro.spark.executor import Executor
+from repro.spark.locality import Locality
+from repro.spark.runner import TaskRun
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+from repro.spark.taskset import TaskSetManager
+from tests.conftest import hetero_cluster, make_ctx, tiny_cluster
+
+
+def setup(conf=None, cluster_fn=tiny_cluster):
+    sim = Simulator()
+    cluster = cluster_fn(sim)
+    ctx = make_ctx(cluster, conf=conf)
+    return sim, cluster, ctx
+
+
+def run_single(ctx, ex, spec, loc=Locality.ANY):
+    stage = Stage("x:map", StageKind.SHUFFLE_MAP, [spec])
+    ts = TaskSetManager(ctx, stage)
+    run = TaskRun(ctx, ex, spec, ts, 0, loc)
+    ts.register_launch(spec, run)
+    run.start()
+    ctx.sim.run()
+    return run
+
+
+class TestExecutor:
+    def test_reserves_node_memory(self):
+        sim, cluster, ctx = setup()
+        node = cluster.node("n1")
+        before = node.memory.free
+        Executor(ctx, node, heap_mb=4096, slots=4)
+        assert node.memory.free == before - 4096
+
+    def test_slots_accounting(self):
+        sim, cluster, ctx = setup()
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=4096, slots=2)
+        assert ex.free_slots == 2 and ex.has_capacity()
+
+    def test_kill_releases_everything(self):
+        sim, cluster, ctx = setup()
+        node = cluster.node("n1")
+        ex = Executor(ctx, node, heap_mb=4096, slots=2)
+        ex.cache_partition("k", 100.0)
+        assert ctx.blocks.cached_location("k") == "n1"
+        ex.kill()
+        assert not ex.alive
+        assert ctx.blocks.cached_location("k") is None
+        assert node.memory.used == 0.0
+        assert node.compute_drag is None
+
+    def test_kill_aborts_running_tasks(self):
+        sim, cluster, ctx = setup()
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=4096, slots=2)
+        spec = TaskSpec(index=0, compute_gigacycles=100.0, peak_memory_mb=64)
+        stage = Stage("k:map", StageKind.SHUFFLE_MAP, [spec])
+        ts = TaskSetManager(ctx, stage)
+        run = TaskRun(ctx, ex, spec, ts, 0, Locality.ANY)
+        ts.register_launch(spec, run)
+        run.start()
+        sim.at(0.1, ex.kill)
+        sim.run()
+        assert run.ended and run.metrics.killed
+
+
+class TestTaskRunPhases:
+    def test_compute_only_duration(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, compute_gigacycles=4.0, peak_memory_mb=64)
+        run = run_single(ctx, ex, spec)
+        assert run.metrics.succeeded
+        # 4 GU on a 2 GHz core = 2s, plus dispatch delay.
+        assert run.metrics.compute_time == pytest.approx(2.0, rel=1e-6)
+        assert run.metrics.duration == pytest.approx(2.0 + ctx.conf.scheduler_delay_s, rel=1e-6)
+
+    def test_input_read_local_disk(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ctx.blocks.put_block("b0", ["n1"])
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, input_mb=100.0, input_blocks=("b0",), peak_memory_mb=64)
+        run = run_single(ctx, ex, spec, loc=Locality.NODE_LOCAL)
+        assert run.metrics.input_read_time == pytest.approx(1.0, rel=1e-6)  # 100MB at 100MB/s
+        assert cluster.node("n1").disk_read_mb == 100.0
+
+    def test_input_read_remote_uses_network(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ctx.blocks.put_block("b0", ["n2"])
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, input_mb=100.0, input_blocks=("b0",), peak_memory_mb=64)
+        run = run_single(ctx, ex, spec)
+        assert run.metrics.input_read_time == pytest.approx(1.0, rel=1e-6)  # 100MB at 100MB/s NIC
+        assert cluster.node("n1").net_in_mb == 100.0
+        assert cluster.node("n2").net_out_mb == 100.0
+
+    def test_cached_input_is_free(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        ex.cache_partition("c0", 50.0)
+        spec = TaskSpec(index=0, input_mb=100.0, cache_key="c0", peak_memory_mb=64)
+        run = run_single(ctx, ex, spec, loc=Locality.PROCESS_LOCAL)
+        assert run.metrics.input_read_time == 0.0
+
+    def test_lost_cache_pays_recompute(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(
+            index=0, input_mb=10.0, cache_key="missing", peak_memory_mb=64,
+            compute_gigacycles=2.0, recompute_cycles=4.0,
+        )
+        run = run_single(ctx, ex, spec)
+        # 2 + 4 gigacycles at 2 GHz = 3s of compute
+        assert run.metrics.compute_time == pytest.approx(3.0, rel=1e-6)
+
+    def test_shuffle_write_registers_map_output(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, shuffle_write_mb=80.0, peak_memory_mb=64)
+        run = run_single(ctx, ex, spec)
+        sid = spec.stage.shuffle_id
+        assert ctx.shuffle.total_output_mb(sid) == pytest.approx(80.0)
+        assert run.metrics.shuffle_disk_time == pytest.approx(1.0, rel=1e-6)  # 80MB at 80MB/s write
+
+    def test_serialization_tracked_separately(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, compute_gigacycles=2.0, ser_gigacycles=2.0, peak_memory_mb=64)
+        run = run_single(ctx, ex, spec)
+        assert run.metrics.ser_time == pytest.approx(1.0, rel=1e-6)
+        assert run.metrics.compute_time == pytest.approx(1.0, rel=1e-6)
+        assert run.metrics.compute_with_ser == pytest.approx(2.0, rel=1e-6)
+
+    def test_gpu_used_when_idle_gpu_available(self):
+        sim, cluster, ctx = setup(cluster_fn=hetero_cluster,
+                                  conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("gpu"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, compute_gigacycles=8.0, gpu_capable=True,
+                        gpu_fraction=1.0, peak_memory_mb=64)
+        run = run_single(ctx, ex, spec)
+        assert run.metrics.used_gpu
+        # 8 GU at 8 GU/s GPU rate = 1s, plus the 0.05s transfer overhead
+        assert run.metrics.compute_time == pytest.approx(1.05, rel=1e-3)
+
+    def test_gpu_capable_on_cpu_node_uses_cpu(self):
+        sim, cluster, ctx = setup(cluster_fn=hetero_cluster,
+                                  conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("fast"), heap_mb=6000, slots=4)
+        spec = TaskSpec(index=0, compute_gigacycles=8.0, gpu_capable=True, peak_memory_mb=64)
+        run = run_single(ctx, ex, spec)
+        assert not run.metrics.used_gpu
+        assert run.metrics.compute_time == pytest.approx(2.0, rel=1e-6)  # 8/4.0
+
+    def test_result_output_to_driver(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        # driver node is n1; run the task on n2
+        ex = Executor(ctx, cluster.node("n2"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, output_mb=50.0, peak_memory_mb=64)
+        stage = Stage("x:res", StageKind.RESULT, [spec])
+        ts = TaskSetManager(ctx, stage)
+        run = TaskRun(ctx, ex, spec, ts, 0, Locality.ANY)
+        ts.register_launch(spec, run)
+        run.start()
+        sim.run()
+        assert run.metrics.output_time == pytest.approx(0.5, rel=1e-6)
+        assert cluster.node("n1").net_in_mb == 50.0
+
+    def test_jitter_varies_attempts_deterministically(self):
+        sim, cluster, ctx = setup()
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, compute_gigacycles=4.0, peak_memory_mb=64)
+        stage = Stage("j:map", StageKind.SHUFFLE_MAP, [spec])
+        ts = TaskSetManager(ctx, stage)
+        r0 = TaskRun(ctx, ex, spec, ts, 0, Locality.ANY)
+        r1 = TaskRun(ctx, ex, spec, ts, 1, Locality.ANY)
+        assert r0.compute_gc != r1.compute_gc
+        # Same seed reproduces the same realized demands.
+        ctx2 = make_ctx(cluster, seed=1)
+        r0b = TaskRun(ctx2, ex, spec, ts, 0, Locality.ANY)
+        assert r0.compute_gc == r0b.compute_gc
+
+
+class TestOomModel:
+    def test_overcommit_can_fail_task(self):
+        conf = SparkConf().with_overrides(jitter_sigma=0.0, oom_kill_overcommit=99.0)
+        sim, cluster, ctx = setup(conf=conf)
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=1000, slots=8)
+        # usable = 600MB; this task alone needs 5x that -> certain failure.
+        spec = TaskSpec(index=0, compute_gigacycles=10.0, peak_memory_mb=3000.0)
+        run = run_single(ctx, ex, spec)
+        assert run.metrics.failed_oom and not run.metrics.succeeded
+
+    def test_fitting_task_never_ooms(self):
+        sim, cluster, ctx = setup(conf=SparkConf().with_overrides(jitter_sigma=0.0))
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=8192, slots=4)
+        spec = TaskSpec(index=0, compute_gigacycles=1.0, peak_memory_mb=100.0)
+        run = run_single(ctx, ex, spec)
+        assert run.metrics.succeeded
+
+    def test_oom_check_disabled(self):
+        conf = SparkConf().with_overrides(jitter_sigma=0.0, oom_check=False)
+        sim, cluster, ctx = setup(conf=conf)
+        ex = Executor(ctx, cluster.node("n1"), heap_mb=1000, slots=8)
+        spec = TaskSpec(index=0, compute_gigacycles=1.0, peak_memory_mb=5000.0)
+        run = run_single(ctx, ex, spec)
+        assert run.metrics.succeeded

@@ -1,0 +1,119 @@
+"""Integration tests for the experiment harness (fast configurations).
+
+These exercise the same code paths as the paper-scale benchmarks but with
+reduced workloads, and assert the *shapes* the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibration import FIG5_WORKLOADS, get_scale
+from repro.experiments.report import render_series, render_table
+from repro.experiments.runner import RunSpec, make_scheduler, run_once
+from repro.experiments.trials import run_trials, summarize
+
+
+class TestRunner:
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            run_once(RunSpec(workload="nope"))
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            make_scheduler(RunSpec(workload="lr", scheduler="yarn"))
+
+    def test_unknown_cluster(self):
+        with pytest.raises(ValueError):
+            run_once(RunSpec(workload="lr", cluster="nope"))
+
+    def test_run_small_workload_both_schedulers(self):
+        for sched in ("spark", "rupam"):
+            res = run_once(
+                RunSpec(
+                    workload="lr",
+                    scheduler=sched,
+                    monitor_interval=None,
+                    workload_overrides={"iterations": 1, "partitions": 12, "size_gb": 1.5},
+                )
+            )
+            assert not res.aborted and res.runtime_s > 0
+
+    def test_monitor_attached_when_requested(self):
+        res = run_once(
+            RunSpec(
+                workload="terasort",
+                monitor_interval=1.0,
+                workload_overrides={"size_gb": 1.0, "partitions": 12, "reducers": 12},
+            )
+        )
+        assert res.monitor is not None
+        assert any(s.samples for s in res.monitor.node_series.values())
+
+    def test_determinism_across_calls(self):
+        spec = RunSpec(
+            workload="gramian",
+            scheduler="rupam",
+            seed=3,
+            monitor_interval=None,
+            workload_overrides={"partitions": 12},
+        )
+        assert run_once(spec).runtime_s == pytest.approx(run_once(spec).runtime_s)
+
+
+class TestTrials:
+    def test_summarize_single(self):
+        stats = summarize([10.0])
+        assert stats.mean == 10.0 and stats.ci95 == 0.0
+
+    def test_summarize_ci_positive(self):
+        stats = summarize([10.0, 12.0, 11.0])
+        assert stats.ci95 > 0
+        assert stats.mean == pytest.approx(11.0)
+
+    def test_run_trials_distinct_seeds(self):
+        spec = RunSpec(
+            workload="gramian",
+            monitor_interval=None,
+            workload_overrides={"partitions": 8},
+        )
+        stats, results = run_trials(spec, trials=2)
+        assert stats.n == 2
+        assert results[0].runtime_s != pytest.approx(results[1].runtime_s, rel=1e-12)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            run_trials(RunSpec(workload="lr"), trials=0)
+
+
+class TestCalibration:
+    def test_scales_defined(self):
+        for name in ("paper", "smoke"):
+            sc = get_scale(name)
+            assert sc.trials >= 1 and sc.lr_iterations
+        with pytest.raises(KeyError):
+            get_scale("nope")
+
+    def test_workload_list_matches_paper(self):
+        assert set(FIG5_WORKLOADS) == {
+            "lr", "sql", "terasort", "pagerank", "triangle_count", "gramian", "kmeans",
+        }
+
+
+class TestReport:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [(1, 2.5), ("x", 0.001)], title="T")
+        assert "T" in out and "a" in out and "0.001" in out
+        assert len(out.splitlines()) == 5
+
+    def test_render_series(self):
+        import numpy as np
+
+        out = render_series("s", np.arange(100.0), np.linspace(0, 5, 100))
+        # Bucketed to the display width, so the max is the last bucket mean.
+        assert "min=0.00" in out and "max=4.9" in out and "mean=2.4" in out
+
+    def test_render_series_empty(self):
+        import numpy as np
+
+        assert "empty" in render_series("s", np.array([]), np.array([]))

@@ -1,0 +1,178 @@
+"""End-to-end invariants, property-tested over random small applications.
+
+Regardless of the scheduler, a completed run must satisfy: every task
+succeeded exactly once; stage ordering respected shuffle dependencies;
+executor memory returned to baseline; shuffle bytes conserved; metric
+buckets non-negative and bounded by wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rupam import RupamScheduler
+from repro.simulate.engine import Simulator
+from repro.spark.application import Application, Job
+from repro.spark.conf import SparkConf
+from repro.spark.default_scheduler import DefaultScheduler
+from repro.spark.driver import Driver
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+from tests.conftest import hetero_cluster, make_ctx
+
+
+@st.composite
+def small_apps(draw):
+    """Random 1-3 job applications with map+reduce stages."""
+    n_jobs = draw(st.integers(1, 3))
+    n_map = draw(st.integers(1, 8))
+    n_red = draw(st.integers(1, 4))
+    compute = draw(st.floats(0.1, 20.0))
+    shuffle = draw(st.floats(0.0, 50.0))
+    input_mb = draw(st.floats(0.0, 100.0))
+    peak = draw(st.floats(16.0, 1500.0))
+    gpu = draw(st.booleans())
+    cache = draw(st.booleans())
+    jobs = []
+    for j in range(n_jobs):
+        maps = [
+            TaskSpec(
+                index=i,
+                input_mb=input_mb,
+                compute_gigacycles=compute,
+                shuffle_write_mb=shuffle,
+                peak_memory_mb=peak,
+                gpu_capable=gpu,
+                cache_key=f"p:{i}" if cache else None,
+                cache_output_mb=input_mb / 2 if cache else 0.0,
+            )
+            for i in range(n_map)
+        ]
+        ms = Stage("p:map", StageKind.SHUFFLE_MAP, maps)
+        reds = [
+            TaskSpec(
+                index=i,
+                shuffle_read_mb=n_map * shuffle / n_red,
+                compute_gigacycles=compute / 4,
+                output_mb=1.0,
+                peak_memory_mb=peak / 2,
+            )
+            for i in range(n_red)
+        ]
+        rs = Stage("p:red", StageKind.RESULT, reds, parents=(ms,))
+        jobs.append(Job([ms, rs], name=f"j{j}"))
+    return Application("prop", jobs)
+
+
+@pytest.mark.parametrize("scheduler_cls", [DefaultScheduler, RupamScheduler])
+class TestRunInvariants:
+    @given(app=small_apps(), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_every_task_succeeds_exactly_once(self, scheduler_cls, app, seed):
+        sim = Simulator()
+        cluster = hetero_cluster(sim)
+        ctx = make_ctx(cluster, seed=seed, trace=False)
+        res = Driver(ctx, scheduler_cls()).run(app, until=200_000.0)
+        assert not res.aborted
+        # Exactly one success per (stage, index).
+        successes: dict[tuple[int, int], int] = {}
+        for m in res.task_metrics:
+            if m.succeeded:
+                k = (m.stage_id, m.index)
+                successes[k] = successes.get(k, 0) + 1
+        assert all(v == 1 for v in successes.values())
+        assert len(successes) == app.num_tasks
+
+    @given(app=small_apps(), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_metrics_bounded_and_nonnegative(self, scheduler_cls, app, seed):
+        sim = Simulator()
+        cluster = hetero_cluster(sim)
+        ctx = make_ctx(cluster, seed=seed, trace=False)
+        res = Driver(ctx, scheduler_cls()).run(app, until=200_000.0)
+        for m in res.task_metrics:
+            parts = (
+                m.compute_time, m.ser_time, m.gc_time, m.fetch_wait_time,
+                m.shuffle_disk_time, m.input_read_time, m.output_time,
+                m.scheduler_delay,
+            )
+            assert all(v >= 0 for v in parts)
+            if m.succeeded:
+                assert m.finish_time >= m.launch_time
+                # Phases are sequential: their sum cannot exceed wall-clock.
+                assert sum(parts) <= m.duration * (1 + 1e-6)
+
+    @given(app=small_apps(), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_executor_memory_returns_to_baseline(self, scheduler_cls, app, seed):
+        sim = Simulator()
+        cluster = hetero_cluster(sim)
+        ctx = make_ctx(cluster, seed=seed, trace=False)
+        driver = Driver(ctx, scheduler_cls())
+        res = driver.run(app, until=200_000.0)
+        assert not res.aborted
+        for ex in driver.executors.values():
+            # Only cached partitions may remain resident.
+            assert ex.memory.execution_used == pytest.approx(0.0, abs=1e-6)
+            assert not ex.running
+
+
+class TestOrderingInvariants:
+    def test_reduce_never_starts_before_all_maps_end(self):
+        from tests.conftest import simple_app
+
+        sim = Simulator()
+        cluster = hetero_cluster(sim)
+        ctx = make_ctx(cluster, seed=3)
+        res = Driver(ctx, DefaultScheduler()).run(simple_app(n_map=8, n_reduce=3))
+        map_ends = [
+            m.finish_time
+            for m in res.task_metrics
+            if m.task_key.startswith("t:map") and m.succeeded
+        ]
+        red_starts = [
+            m.launch_time
+            for m in res.task_metrics
+            if m.task_key.startswith("t:reduce")
+        ]
+        assert min(red_starts) >= max(map_ends) - 1e-9
+
+    def test_jobs_do_not_overlap(self):
+        from tests.conftest import simple_app
+
+        sim = Simulator()
+        cluster = hetero_cluster(sim)
+        ctx = make_ctx(cluster, seed=3)
+        res = Driver(ctx, RupamScheduler()).run(simple_app(jobs=3))
+        # Group launches by job via stage ids (increasing across jobs).
+        stages = sorted({m.stage_id for m in res.task_metrics})
+        per_stage = {
+            s: (
+                min(m.launch_time for m in res.task_metrics if m.stage_id == s),
+                max(m.finish_time for m in res.task_metrics if m.stage_id == s),
+            )
+            for s in stages
+        }
+        # Every reduce stage (odd position) ends before the next map starts.
+        for i in range(1, len(stages) - 1, 2):
+            end_of_job = per_stage[stages[i]][1]
+            next_start = per_stage[stages[i + 1]][0]
+            assert next_start >= end_of_job - 1e-9
+
+    def test_shuffle_bytes_conserved(self):
+        from tests.conftest import simple_app
+
+        sim = Simulator()
+        cluster = hetero_cluster(sim)
+        conf = SparkConf().with_overrides(jitter_sigma=0.0, speculation=False)
+        ctx = make_ctx(cluster, conf=conf, seed=3)
+        app = simple_app(n_map=6, shuffle_mb=10.0)
+        map_stage = next(s for s in app.jobs[0].stages if s.is_map)
+        Driver(ctx, DefaultScheduler()).run(app)
+        # 6 maps x 10 MB registered under this stage's shuffle id.
+        assert map_stage.shuffle_id is not None
+        assert ctx.shuffle.total_output_mb(map_stage.shuffle_id) == pytest.approx(
+            60.0, rel=1e-6
+        )

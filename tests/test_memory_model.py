@@ -1,0 +1,136 @@
+"""Unit tests for the executor memory / GC model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark.conf import SparkConf
+from repro.spark.memory import ExecutorMemory
+
+
+def mem(heap_mb: float = 10_000.0, **conf_kw) -> ExecutorMemory:
+    return ExecutorMemory(SparkConf().with_overrides(**conf_kw), heap_mb)
+
+
+class TestExecutionMemory:
+    def test_usable_fraction(self):
+        m = mem(10_000.0)
+        assert m.usable_mb == pytest.approx(6000.0)
+
+    def test_reserve_within_capacity(self):
+        m = mem()
+        ratio, evicted = m.reserve_execution(3000.0)
+        assert ratio == pytest.approx(0.5)
+        assert evicted == []
+
+    def test_overcommit_ratio_above_one(self):
+        m = mem()
+        ratio, _ = m.reserve_execution(9000.0)
+        assert ratio == pytest.approx(1.5)
+
+    def test_release(self):
+        m = mem()
+        m.reserve_execution(3000.0)
+        m.release_execution(3000.0)
+        assert m.execution_used == 0.0
+        m.release_execution(100.0)  # floors at zero
+        assert m.execution_used == 0.0
+
+    def test_eviction_frees_storage_lru_first(self):
+        m = mem()
+        assert m.cache_block("old", 2000.0)
+        assert m.cache_block("new", 2000.0)
+        ratio, evicted = m.reserve_execution(3500.0)
+        assert evicted == ["old"]
+        assert m.cached_keys() == ["new"]
+        assert ratio <= 1.0 + 1e-9
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            mem().reserve_execution(-1.0)
+
+
+class TestStorageMemory:
+    def test_cache_and_touch(self):
+        m = mem()
+        assert m.cache_block("k", 1000.0)
+        assert m.touch_block("k")
+        assert not m.touch_block("missing")
+
+    def test_cache_too_big_rejected(self):
+        m = mem()
+        assert not m.cache_block("k", m.usable_mb + 1)
+
+    def test_cache_lru_eviction(self):
+        m = mem(10_000.0)  # usable 6000
+        m.cache_block("a", 2500.0)
+        m.cache_block("b", 2500.0)
+        m.touch_block("a")  # b becomes LRU
+        assert m.cache_block("c", 2000.0)
+        assert "b" not in m.cached_keys()
+        assert m.evictions == 1
+
+    def test_storage_shrinks_with_execution(self):
+        m = mem()
+        m.reserve_execution(5000.0)
+        assert m.storage_limit_mb == pytest.approx(1000.0)
+        assert not m.cache_block("k", 2000.0)
+
+    def test_recache_same_key_replaces(self):
+        m = mem()
+        m.cache_block("k", 1000.0)
+        m.cache_block("k", 500.0)
+        assert m.storage_used == 500.0
+
+    def test_clear_returns_lost_keys(self):
+        m = mem()
+        m.cache_block("a", 100.0)
+        m.cache_block("b", 100.0)
+        m.reserve_execution(50.0)
+        lost = m.clear()
+        assert sorted(lost) == ["a", "b"]
+        assert m.used_mb == 0.0
+
+    def test_zero_size_cache_noop(self):
+        m = mem()
+        assert m.cache_block("k", 0.0)
+        assert m.cached_keys() == []
+
+
+class TestGcModel:
+    def test_no_drag_below_knee(self):
+        m = mem()
+        m.reserve_execution(0.5 * m.usable_mb)
+        assert m.gc_drag_fraction() == 0.0
+
+    def test_drag_grows_with_pressure(self):
+        m = mem()
+        m.reserve_execution(0.8 * m.usable_mb)
+        low = m.gc_drag_fraction()
+        m.reserve_execution(0.2 * m.usable_mb)
+        high = m.gc_drag_fraction()
+        assert 0 < low < high <= SparkConf().gc_max_drag + 1e-9
+
+    def test_churn_scales_with_alloc(self):
+        m = mem()
+        assert m.gc_churn_seconds(0.0) == 0.0
+        assert m.gc_churn_seconds(2048.0) == pytest.approx(2 * m.gc_churn_seconds(1024.0))
+
+    def test_churn_scales_with_heap_size(self):
+        """The paper's SQL observation: node-sized heaps pay more GC per MB
+        of transient allocation (full sweeps walk the whole JVM space)."""
+        small = mem(14 * 1024.0)
+        big = mem(60 * 1024.0)
+        assert big.gc_churn_seconds(1024.0) > small.gc_churn_seconds(1024.0)
+
+    @given(
+        pressure=st.floats(min_value=0.0, max_value=2.0),
+        heap=st.floats(min_value=1024.0, max_value=128 * 1024.0),
+    )
+    @settings(max_examples=100)
+    def test_drag_bounded(self, pressure, heap):
+        m = mem(heap)
+        m.execution_used = pressure * m.usable_mb
+        assert 0.0 <= m.gc_drag_fraction() <= SparkConf().gc_max_drag + 1e-9

@@ -1,0 +1,134 @@
+"""Tests for the microbenchmarks and the figure/table experiment modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.microbench import (
+    bench_cpu,
+    bench_io,
+    bench_net,
+    bench_node_class,
+    bench_table4,
+)
+from repro.cluster.presets import hydra_node_specs
+from repro.experiments.table4 import run_table4, shape_checks
+from tests.conftest import small_node
+
+
+class TestMicrobench:
+    def test_cpu_bench_scales_with_core_rate(self):
+        slow = small_node("s", cores=4, ghz=1.0)
+        fast = small_node("f", cores=4, ghz=2.0)
+        t_slow, _ = bench_cpu(slow)
+        t_fast, _ = bench_cpu(fast)
+        assert t_slow == pytest.approx(2 * t_fast, rel=1e-6)
+
+    def test_cpu_bench_uses_all_cores(self):
+        few = small_node("a", cores=2, ghz=1.0)
+        many = small_node("b", cores=8, ghz=1.0)
+        t_few, _ = bench_cpu(few)
+        t_many, _ = bench_cpu(many)
+        # Same per-core work -> equal time regardless of core count.
+        assert t_few == pytest.approx(t_many, rel=1e-6)
+
+    def test_io_bench_reports_spec_bandwidth(self):
+        node = small_node("x", ssd=True)
+        rd, wr = bench_io(node)
+        assert rd == pytest.approx(200.0, rel=1e-6)
+        assert wr == pytest.approx(180.0, rel=1e-6)
+
+    def test_net_bench_limited_by_slower_nic(self):
+        a = small_node("a", net=1000.0)
+        b = small_node("b", net=100.0)
+        mbits = bench_net(a, b)
+        assert mbits == pytest.approx(800.0, rel=1e-3)  # 100 MB/s * 8
+
+    def test_bench_node_class_composes(self):
+        specs = hydra_node_specs()
+        r = bench_node_class(specs[0], specs[-1])
+        assert r.group == "thor" and r.cpu_seconds > 0
+
+    def test_table4_one_row_per_group(self):
+        rows = bench_table4(hydra_node_specs())
+        assert sorted(r.group for r in rows) == ["hulk", "stack", "thor"]
+
+
+class TestTable4Experiment:
+    def test_shape_checks_all_pass(self):
+        result = run_table4()
+        assert all(shape_checks(result).values())
+
+    def test_render_contains_all_groups(self):
+        out = run_table4().render()
+        for g in ("thor", "hulk", "stack"):
+            assert g in out
+
+
+class TestFigureModulesSmallScale:
+    """Exercise figure modules on reduced workloads (full scale lives in
+    benchmarks/)."""
+
+    def test_fig6_points_monotone_iterations(self):
+        from repro.experiments.fig6 import Fig6Point, Fig6Result
+
+        r = Fig6Result(points=[
+            Fig6Point(1, 100.0, 100.0),
+            Fig6Point(4, 400.0, 210.0),
+        ])
+        assert r.speedups() == [pytest.approx(1.0), pytest.approx(400 / 210)]
+        assert "Figure 6" in r.render()
+
+    def test_fig5_row_math(self):
+        from repro.experiments.fig5 import Fig5Result, Fig5Row
+        from repro.experiments.trials import TrialStats
+
+        row = Fig5Row(
+            workload="lr",
+            spark=TrialStats((100.0,), 100.0, 0.0),
+            rupam=TrialStats((50.0,), 50.0, 0.0),
+        )
+        assert row.speedup == 2.0
+        assert row.improvement_pct == 50.0
+        result = Fig5Result(rows=[row])
+        assert result.average_improvement_pct == 50.0
+        assert result.row("lr") is row
+        with pytest.raises(KeyError):
+            result.row("nope")
+        assert "Figure 5" in result.render()
+
+    def test_fig9_stats_helpers(self):
+        import numpy as np
+
+        from repro.experiments.fig9 import Fig9Result
+
+        t = np.arange(3.0)
+        data = {
+            "spark": {"cpu": (t, np.array([0.1, 0.5, 0.1]))},
+            "rupam": {"cpu": (t, np.array([0.1, 0.2, 0.1]))},
+        }
+        r = Fig9Result(data=data)
+        assert r.peak_std("spark", "cpu") == pytest.approx(0.5)
+        assert r.mean_std("rupam", "cpu") == pytest.approx(0.4 / 3)
+
+    def test_table5_render_and_lookup(self):
+        from repro.experiments.table5 import Table5Result, Table5Row
+
+        row = Table5Row(
+            workload="lr",
+            spark={"PROCESS_LOCAL": 5, "NODE_LOCAL": 2, "ANY": 1},
+            rupam={"PROCESS_LOCAL": 3, "NODE_LOCAL": 2, "ANY": 3},
+        )
+        result = Table5Result(rows=[row])
+        assert result.row("lr") is row
+        assert "Table V" in result.render()
+
+    def test_fig8_busy_seconds(self):
+        from repro.experiments.fig8 import Fig8Result
+
+        r = Fig8Result(
+            data={"lr": {"spark": {"cpu_user_pct": 10.0}, "rupam": {"cpu_user_pct": 20.0}}},
+            runtimes={"lr": {"spark": 300.0, "rupam": 100.0}},
+        )
+        assert r.cpu_busy_seconds("lr", "spark") == pytest.approx(30.0)
+        assert r.cpu_busy_seconds("lr", "rupam") == pytest.approx(20.0)

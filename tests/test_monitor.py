@@ -1,0 +1,88 @@
+"""Unit tests for the cluster utilization monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.monitor import ClusterMonitor
+from repro.simulate.engine import Simulator
+from tests.conftest import tiny_cluster
+
+
+def test_samples_at_interval(sim):
+    cluster = tiny_cluster(sim)
+    mon = ClusterMonitor(sim, cluster, interval=1.0)
+    mon.start()
+    sim.at(5.5, mon.stop)
+    sim.run()
+    series = mon.node_series["n1"]
+    assert len(series.samples) == 6  # t=0..5
+    assert np.allclose(series.times(), np.arange(6.0))
+
+
+def test_captures_cpu_activity(sim):
+    cluster = tiny_cluster(sim)
+    mon = ClusterMonitor(sim, cluster, interval=1.0)
+    mon.start()
+    node = cluster.node("n1")
+    sim.at(1.5, lambda: node.compute(4.0, lambda f: None))
+    sim.at(6.0, mon.stop)
+    sim.run()
+    cpu = mon.node_series["n1"].series("cpu")
+    assert cpu[0] == 0.0
+    assert cpu.max() > 0.0
+
+
+def test_rate_series_from_cumulative(sim):
+    cluster = tiny_cluster(sim)
+    mon = ClusterMonitor(sim, cluster, interval=1.0)
+    mon.start()
+    node = cluster.node("n1")
+    sim.at(0.5, lambda: node.read_disk(50.0, lambda f: None))
+    sim.at(4.0, mon.stop)
+    sim.run()
+    rates = mon.node_series["n1"].rate_series("disk_read_mb")
+    assert rates.sum() == pytest.approx(50.0)  # all bytes accounted
+
+
+def test_stddev_over_nodes_zero_for_identical(sim):
+    cluster = tiny_cluster(sim)
+    mon = ClusterMonitor(sim, cluster, interval=1.0)
+    mon.start()
+    sim.at(3.0, mon.stop)
+    sim.run()
+    std = mon.stddev_over_nodes("cpu")
+    assert np.allclose(std, 0.0)
+
+
+def test_stddev_positive_when_one_node_busy(sim):
+    cluster = tiny_cluster(sim)
+    mon = ClusterMonitor(sim, cluster, interval=1.0)
+    mon.start()
+    sim.at(0.5, lambda: cluster.node("n1").compute(100.0, lambda f: None))
+    sim.at(4.0, mon.stop)
+    sim.run()
+    assert mon.stddev_over_nodes("cpu").max() > 0.0
+
+
+def test_cluster_mean(sim):
+    cluster = tiny_cluster(sim)
+    mon = ClusterMonitor(sim, cluster, interval=1.0)
+    mon.start()
+    sim.at(2.0, mon.stop)
+    sim.run()
+    assert mon.cluster_mean("cpu") == 0.0
+
+
+def test_invalid_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ClusterMonitor(sim, tiny_cluster(sim), interval=0.0)
+
+
+def test_double_start_rejected(sim):
+    mon = ClusterMonitor(sim, tiny_cluster(sim), interval=1.0)
+    mon.start()
+    with pytest.raises(RuntimeError):
+        mon.start()

@@ -1,0 +1,110 @@
+"""Tests for the multi-rack extension (oversubscribed uplinks, RACK_LOCAL)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.presets import multirack_cluster, multirack_node_specs
+from repro.experiments.runner import RunSpec, run_once
+from repro.simulate.engine import Simulator
+from repro.spark.blocks import BlockManager
+from repro.spark.locality import Locality
+from tests.conftest import small_node
+
+
+class TestTopology:
+    def test_specs_per_rack(self):
+        specs = multirack_node_specs(racks=3)
+        assert len(specs) == 15
+        racks = {s.rack for s in specs}
+        assert racks == {"rack0", "rack1", "rack2"}
+
+    def test_cluster_has_gpu_in_each_rack(self, sim):
+        cluster = multirack_cluster(sim, racks=2)
+        gpu_racks = {n.spec.rack for n in cluster.gpu_nodes()}
+        assert gpu_racks == {"rack0", "rack1"}
+
+    def test_transfer_cost_factor(self, sim):
+        cluster = multirack_cluster(sim, racks=2, inter_rack_factor=2.5)
+        assert cluster.transfer_cost_factor("r0-thor1", "r0-thor2") == 1.0
+        assert cluster.transfer_cost_factor("r0-thor1", "r1-thor1") == 2.5
+        assert cluster.transfer_cost_factor("r0-thor1", "r0-thor1") == 1.0
+
+    def test_flat_network_by_default(self, sim):
+        cluster = Cluster(sim, [small_node("a", rack="r0"), small_node("b", rack="r1")])
+        assert cluster.transfer_cost_factor("a", "b") == 1.0
+
+    def test_invalid_factor_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Cluster(sim, [small_node("a")], inter_rack_factor=0.5)
+        with pytest.raises(ValueError):
+            multirack_node_specs(racks=0)
+
+
+class TestCrossRackTransfers:
+    def test_cross_rack_read_slower(self, sim):
+        cluster = multirack_cluster(sim, racks=2, inter_rack_factor=3.0)
+        dst = cluster.node("r0-thor1")
+        src_far = cluster.node("r1-thor1")
+        done = []
+        dst.receive(
+            100.0,
+            lambda f: done.append(sim.now),
+            senders=[(src_far, 100.0)],
+            work_mb=100.0 * cluster.transfer_cost_factor("r1-thor1", "r0-thor1"),
+        )
+        sim.run()
+        # 300 MB of NIC work at 117 MB/s.
+        assert done[0] == pytest.approx(300.0 / dst.spec.net_mbps, rel=1e-6)
+        # Ledgers record the true bytes.
+        assert dst.net_in_mb == 100.0
+        assert src_far.net_out_mb == 100.0
+
+
+class TestRackLocalScheduling:
+    def test_rack_local_tasks_appear(self):
+        res = run_once(
+            RunSpec(
+                workload="terasort",
+                scheduler="spark",
+                seed=7,
+                cluster="multirack",
+                monitor_interval=None,
+                # Oversubscribe the replica nodes so delay scheduling has to
+                # escalate through the RACK_LOCAL level.
+                workload_overrides={"size_gb": 4.0, "partitions": 120, "reducers": 30},
+            )
+        )
+        counts = res.locality_counts()
+        assert counts["RACK_LOCAL"] > 0  # topology-aware locality is live
+        assert not res.aborted
+
+    def test_rupam_runs_on_multirack(self):
+        res = run_once(
+            RunSpec(
+                workload="kmeans",
+                scheduler="rupam",
+                seed=7,
+                cluster="multirack",
+                monitor_interval=None,
+                workload_overrides={"size_gb": 1.5, "partitions": 15, "iterations": 2},
+            )
+        )
+        assert not res.aborted
+
+    def test_rupam_still_wins_on_multirack(self):
+        times = {}
+        for sched in ("spark", "rupam"):
+            res = run_once(
+                RunSpec(
+                    workload="lr",
+                    scheduler=sched,
+                    seed=7,
+                    cluster="multirack",
+                    monitor_interval=None,
+                    workload_overrides={"size_gb": 3.0, "partitions": 24, "iterations": 3},
+                )
+            )
+            times[sched] = res.runtime_s
+        assert times["rupam"] < times["spark"]

@@ -1,0 +1,88 @@
+"""Unit tests for seeded randomness and trace recording."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulate.randomness import RandomSource
+from repro.simulate.trace import TraceRecorder
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42).stream("x").random(5)
+        b = RandomSource(42).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        src = RandomSource(42)
+        a = src.stream("x").random(5)
+        b = src.stream("y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        src = RandomSource(1)
+        assert src.stream("s") is src.stream("s")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        src1 = RandomSource(7)
+        first = src1.stream("a").random(3)
+        src2 = RandomSource(7)
+        src2.stream("unrelated").random(10)
+        second = src2.stream("a").random(3)
+        assert np.array_equal(first, second)
+
+    def test_child_differs_from_parent(self):
+        src = RandomSource(7)
+        child = src.child("trial1")
+        assert child.seed != src.seed
+        assert not np.array_equal(src.stream("x").random(3), child.stream("x").random(3))
+
+    def test_child_deterministic(self):
+        assert RandomSource(7).child("t").seed == RandomSource(7).child("t").seed
+
+    def test_jitter_zero_sigma_identity(self):
+        src = RandomSource(1)
+        assert src.jitter("a", 10.0, 0.0) == 10.0
+
+    def test_jitter_positive_and_centered(self):
+        src = RandomSource(1)
+        vals = [src.jitter(f"k{i}", 1.0, 0.1) for i in range(500)]
+        assert all(v > 0 for v in vals)
+        assert 0.9 < float(np.mean(vals)) < 1.15
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "launch", task="a")
+        tr.record(2.0, "end", task="a")
+        assert len(tr) == 2
+        assert tr.count("launch") == 1
+        assert next(tr.of_kind("end"))["task"] == "a"
+
+    def test_disabled_records_nothing(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "launch")
+        assert len(tr) == 0
+
+    def test_kind_filter(self):
+        tr = TraceRecorder(kinds={"keep"})
+        tr.record(1.0, "keep")
+        tr.record(1.0, "drop")
+        assert len(tr) == 1
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "x")
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_event_getitem_missing_key(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "x", a=1)
+        ev = tr.events[0]
+        assert ev["a"] == 1
+        with pytest.raises(KeyError):
+            ev["b"]

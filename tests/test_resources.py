@@ -1,0 +1,261 @@
+"""Unit tests for the fluid resource model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import FluidResource, MemoryPool, waterfill
+
+
+class TestWaterfill:
+    def test_empty(self):
+        assert waterfill(10.0, []) == []
+
+    def test_single_uncapped_gets_all(self):
+        assert waterfill(10.0, [None]) == [10.0]
+
+    def test_equal_split_uncapped(self):
+        assert waterfill(12.0, [None, None, None]) == [4.0, 4.0, 4.0]
+
+    def test_cap_respected(self):
+        rates = waterfill(10.0, [2.0, None])
+        assert rates == [2.0, 8.0]
+
+    def test_small_caps_redistribute(self):
+        rates = waterfill(9.0, [1.0, 2.0, None])
+        assert rates == [1.0, 2.0, 6.0]
+
+    def test_oversubscribed_fair_share(self):
+        rates = waterfill(6.0, [4.0, 4.0, 4.0])
+        assert rates == pytest.approx([2.0, 2.0, 2.0])
+
+    def test_order_preserved(self):
+        rates = waterfill(10.0, [None, 1.0])
+        assert rates[1] == 1.0 and rates[0] == 9.0
+
+    @given(
+        capacity=st.floats(min_value=0.1, max_value=1e6),
+        caps=st.lists(
+            st.one_of(st.none(), st.floats(min_value=0.01, max_value=1e5)),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=200)
+    def test_never_exceeds_capacity_or_caps(self, capacity, caps):
+        rates = waterfill(capacity, caps)
+        assert sum(rates) <= capacity * (1 + 1e-9)
+        for rate, cap in zip(rates, caps):
+            assert rate >= 0
+            if cap is not None:
+                assert rate <= cap * (1 + 1e-9)
+
+    @given(
+        capacity=st.floats(min_value=1.0, max_value=1e4),
+        n=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100)
+    def test_work_conserving_when_uncapped(self, capacity, n):
+        rates = waterfill(capacity, [None] * n)
+        assert sum(rates) == pytest.approx(capacity)
+
+
+class TestFluidResource:
+    def test_single_flow_duration(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0, name="r")
+        done = []
+        res.acquire(20.0, on_complete=lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_per_flow_cap(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        done = []
+        res.acquire(10.0, cap=2.0, on_complete=lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_two_flows_share_fairly(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        done = {}
+        res.acquire(10.0, on_complete=lambda f: done.setdefault("a", sim.now))
+        res.acquire(10.0, on_complete=lambda f: done.setdefault("b", sim.now))
+        sim.run()
+        # Both progress at 5/s and finish together at t=2.
+        assert done["a"] == pytest.approx(2.0)
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_late_arrival_slows_first_flow(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        done = {}
+        res.acquire(10.0, on_complete=lambda f: done.setdefault("a", sim.now))
+        sim.at(0.5, lambda: res.acquire(10.0, on_complete=lambda f: done.setdefault("b", sim.now)))
+        sim.run()
+        # a: 5 units by 0.5s, then shares 5/s -> finishes at 0.5 + 1.0 = 1.5
+        assert done["a"] == pytest.approx(1.5)
+        # b: 5/s until a leaves (5 done), then 10/s for remaining 5
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_zero_work_completes_async(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=1.0)
+        done = []
+        res.acquire(0.0, on_complete=lambda f: done.append(sim.now))
+        assert done == []  # not synchronous
+        sim.run()
+        assert done == [0.0]
+
+    def test_abort_prevents_completion(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=1.0)
+        done = []
+        flow = res.acquire(10.0, on_complete=lambda f: done.append(sim.now))
+        sim.at(1.0, lambda: res.abort(flow))
+        sim.run()
+        assert done == []
+        assert flow.aborted and not flow.done
+
+    def test_abort_speeds_up_survivor(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        done = []
+        keeper = res.acquire(10.0, on_complete=lambda f: done.append(sim.now))
+        victim = res.acquire(100.0)
+        sim.at(1.0, lambda: res.abort(victim))
+        sim.run()
+        # keeper: 5 units in first second, then 10/s -> 1.5s total
+        assert done == [pytest.approx(1.5)]
+        assert keeper.done
+
+    def test_rate_scale_slows_flows(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0, rate_scale=lambda: 0.5)
+        done = []
+        res.acquire(10.0, on_complete=lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_rate_scale_change_applies_after_notify(self):
+        sim = Simulator()
+        scale = {"v": 1.0}
+        res = FluidResource(sim, capacity=10.0, rate_scale=lambda: scale["v"])
+        done = []
+        res.acquire(20.0, on_complete=lambda f: done.append(sim.now))
+
+        def slow_down():
+            scale["v"] = 0.5
+            res.notify_scale_changed()
+
+        sim.at(1.0, slow_down)
+        sim.run()
+        # 10 units in 1s at full speed, then 10 at 5/s -> t=3.
+        assert done == [pytest.approx(3.0)]
+
+    def test_invalid_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FluidResource(sim, capacity=0.0)
+
+    def test_negative_work_rejected(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=1.0)
+        with pytest.raises(ValueError):
+            res.acquire(-1.0)
+
+    def test_utilization_reflects_demand(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        assert res.utilization() == 0.0
+        res.acquire(100.0, cap=4.0)
+        assert res.utilization() == pytest.approx(0.4)
+        res.acquire(100.0, cap=4.0)
+        assert res.utilization() == pytest.approx(0.8)
+
+    def test_average_utilization(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        res.acquire(10.0)  # busy 1s at full rate
+        sim.run()
+        sim.at(9.0, lambda: None)
+        sim.run()
+        # busy integral 1s of 10 runs over 9s elapsed
+        assert res.average_utilization() == pytest.approx(1.0 / 9.0, rel=1e-6)
+
+    def test_tiny_residual_work_terminates(self):
+        """Regression: sub-ulp residual work must not livelock the engine."""
+        sim = Simulator()
+        res = FluidResource(sim, capacity=450.0)
+        done = []
+        # Arrange a settle at a large clock value with a tiny remainder.
+        sim.at(40.0, lambda: res.acquire(1.5e-12, on_complete=lambda f: done.append(sim.now)))
+        sim.run(max_events=1000)
+        assert len(done) == 1
+
+    @given(
+        works=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=8),
+        capacity=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_flows_complete_and_conserve_work(self, works, capacity):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=capacity)
+        done = []
+        for w in works:
+            res.acquire(w, on_complete=lambda f: done.append(f))
+        sim.run(max_events=100_000)
+        assert len(done) == len(works)
+        assert res.total_work_done == pytest.approx(sum(works), rel=1e-6, abs=1e-6)
+        # Serial lower bound and no-overlap upper bound on the makespan.
+        assert sim.now * capacity >= sum(works) * (1 - 1e-9)
+
+
+class TestMemoryPool:
+    def test_reserve_release(self):
+        pool = MemoryPool(100.0)
+        pool.reserve(30.0)
+        assert pool.used == 30.0 and pool.free == 70.0
+        pool.release(10.0)
+        assert pool.used == 20.0
+
+    def test_peak_tracked(self):
+        pool = MemoryPool(100.0)
+        pool.reserve(60.0)
+        pool.release(50.0)
+        assert pool.peak == 60.0
+
+    def test_overcommit_allowed_but_visible(self):
+        pool = MemoryPool(100.0)
+        pool.reserve(150.0)
+        assert pool.pressure() == pytest.approx(1.5)
+        assert pool.free == 0.0
+
+    def test_release_floors_at_zero(self):
+        pool = MemoryPool(100.0)
+        pool.reserve(10.0)
+        pool.release(50.0)
+        assert pool.used == 0.0
+
+    def test_can_fit(self):
+        pool = MemoryPool(100.0)
+        assert pool.can_fit(100.0)
+        pool.reserve(40.0)
+        assert pool.can_fit(60.0)
+        assert not pool.can_fit(61.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0.0)
+        pool = MemoryPool(1.0)
+        with pytest.raises(ValueError):
+            pool.reserve(-1.0)
+        with pytest.raises(ValueError):
+            pool.release(-1.0)

@@ -1,0 +1,87 @@
+"""Unit tests for the shuffle manager."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark.shuffle import ShuffleManager
+
+
+class TestShuffleManager:
+    def test_register_and_totals(self):
+        sm = ShuffleManager()
+        sm.register_map_output("s1", "a", 100.0)
+        sm.register_map_output("s1", "b", 50.0)
+        assert sm.total_output_mb("s1") == 150.0
+        assert sm.local_fraction("s1", "a") == pytest.approx(100 / 150)
+        assert sm.local_fraction("s1", "zz") == 0.0
+
+    def test_unknown_shuffle(self):
+        sm = ShuffleManager()
+        assert sm.total_output_mb("nope") == 0.0
+        assert sm.local_fraction("nope", "a") == 0.0
+
+    def test_fetch_split_local_remote(self):
+        sm = ShuffleManager()
+        sm.register_map_output("s1", "a", 75.0)
+        sm.register_map_output("s1", "b", 25.0)
+        local, remote, by_src = sm.fetch_split(("s1",), "a", 40.0)
+        assert local == pytest.approx(30.0)
+        assert remote == pytest.approx(10.0)
+        assert by_src == {"b": pytest.approx(10.0)}
+
+    def test_fetch_split_no_output_all_remote(self):
+        sm = ShuffleManager()
+        local, remote, by_src = sm.fetch_split(("s1",), "a", 40.0)
+        assert local == 0.0 and remote == 40.0 and by_src == {}
+
+    def test_fetch_split_zero_read(self):
+        sm = ShuffleManager()
+        assert sm.fetch_split(("s1",), "a", 0.0) == (0.0, 0.0, {})
+
+    def test_multi_parent_weighting(self):
+        sm = ShuffleManager()
+        sm.register_map_output("s1", "a", 100.0)
+        sm.register_map_output("s2", "b", 300.0)
+        local, remote, by_src = sm.fetch_split(("s1", "s2"), "a", 40.0)
+        # s1 contributes 10 (all local on a), s2 contributes 30 (remote on b)
+        assert local == pytest.approx(10.0)
+        assert by_src["b"] == pytest.approx(30.0)
+        assert remote == pytest.approx(30.0)
+
+    def test_unregister_node(self):
+        sm = ShuffleManager()
+        sm.register_map_output("s1", "a", 100.0)
+        sm.register_map_output("s1", "b", 20.0)
+        lost = sm.unregister_node("s1", "a")
+        assert lost == 100.0
+        assert sm.total_output_mb("s1") == 20.0
+        assert sm.unregister_node("s1", "zz") == 0.0
+        assert sm.unregister_node("nope", "a") == 0.0
+
+    def test_negative_output_rejected(self):
+        sm = ShuffleManager()
+        with pytest.raises(ValueError):
+            sm.register_map_output("s1", "a", -1.0)
+
+    @given(
+        outputs=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.floats(min_value=0.1, max_value=100)),
+            min_size=1,
+            max_size=10,
+        ),
+        read=st.floats(min_value=0.1, max_value=500),
+        node=st.sampled_from(["a", "b", "c", "d"]),
+    )
+    @settings(max_examples=200)
+    def test_split_conserves_bytes(self, outputs, read, node):
+        sm = ShuffleManager()
+        for src, mb in outputs:
+            sm.register_map_output("s", src, mb)
+        local, remote, by_src = sm.fetch_split(("s",), node, read)
+        assert local + remote == pytest.approx(read)
+        assert remote == pytest.approx(sum(by_src.values()))
+        assert node not in by_src
+        assert local >= 0 and remote >= 0

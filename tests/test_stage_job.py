@@ -1,0 +1,125 @@
+"""Unit tests for tasks, stages, jobs, and applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spark.application import Application, Job
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+
+
+def make_stage(template="s:map", n=3, kind=StageKind.SHUFFLE_MAP, parents=()):
+    tasks = [TaskSpec(index=i, compute_gigacycles=1.0) for i in range(n)]
+    return Stage(template, kind, tasks, parents=parents)
+
+
+class TestTaskSpec:
+    def test_key_requires_stage(self):
+        t = TaskSpec(index=0)
+        with pytest.raises(RuntimeError):
+            _ = t.key
+
+    def test_key_format(self):
+        s = make_stage("wl:phase")
+        assert s.tasks[0].key == "wl:phase#0"
+        assert s.tasks[2].key == "wl:phase#2"
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(index=0, input_mb=-1.0)
+        with pytest.raises(ValueError):
+            TaskSpec(index=0, cpus=0)
+        with pytest.raises(ValueError):
+            TaskSpec(index=0, gpu_fraction=1.5)
+
+    def test_total_io(self):
+        t = TaskSpec(index=0, input_mb=10, shuffle_read_mb=20, shuffle_write_mb=30)
+        assert t.total_io_mb == 60
+
+
+class TestStage:
+    def test_ids_unique_and_tasks_attached(self):
+        s1, s2 = make_stage(), make_stage()
+        assert s1.stage_id != s2.stage_id
+        assert all(t.stage is s1 for t in s1.tasks)
+
+    def test_bad_indices_rejected(self):
+        tasks = [TaskSpec(index=5)]
+        with pytest.raises(ValueError, match="indices"):
+            Stage("s", StageKind.SHUFFLE_MAP, tasks)
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Stage("s", StageKind.SHUFFLE_MAP, [])
+
+    def test_map_stage_gets_shuffle_id(self):
+        s = make_stage()
+        assert s.shuffle_id is not None and s.is_map
+
+    def test_result_stage_has_no_shuffle_id(self):
+        s = make_stage(kind=StageKind.RESULT)
+        assert s.shuffle_id is None and s.is_result
+
+    def test_result_with_shuffle_id_rejected(self):
+        tasks = [TaskSpec(index=0)]
+        with pytest.raises(ValueError):
+            Stage("s", StageKind.RESULT, tasks, shuffle_id="x")
+
+    def test_total_shuffle_write(self):
+        tasks = [TaskSpec(index=i, shuffle_write_mb=10.0) for i in range(4)]
+        s = Stage("s", StageKind.SHUFFLE_MAP, tasks)
+        assert s.total_shuffle_write_mb() == 40.0
+
+
+class TestJob:
+    def test_roots_and_children(self):
+        m = make_stage("m")
+        r = make_stage("r", kind=StageKind.RESULT, parents=(m,))
+        job = Job([m, r])
+        assert job.roots() == [m]
+        assert job.children_of(m) == [r]
+        assert job.num_tasks == 6
+
+    def test_missing_parent_rejected(self):
+        m = make_stage("m")
+        r = make_stage("r", kind=StageKind.RESULT, parents=(m,))
+        with pytest.raises(ValueError, match="not part of job"):
+            Job([r])
+
+    def test_no_result_stage_rejected(self):
+        with pytest.raises(ValueError, match="result stage"):
+            Job([make_stage()])
+
+    def test_cycle_detection(self):
+        m = make_stage("m")
+        r = make_stage("r", kind=StageKind.RESULT, parents=(m,))
+        # Forge a cycle (parents is a plain tuple).
+        m.parents = (r,)
+        with pytest.raises(ValueError, match="cycle"):
+            Job([m, r])
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ValueError):
+            Job([])
+
+    def test_diamond_dag(self):
+        src = make_stage("src")
+        left = make_stage("left", parents=(src,))
+        right = make_stage("right", parents=(src,))
+        sink = make_stage("sink", kind=StageKind.RESULT, parents=(left, right))
+        job = Job([src, left, right, sink])
+        assert set(job.children_of(src)) == {left, right}
+
+
+class TestApplication:
+    def test_totals(self):
+        m = make_stage("m")
+        r = make_stage("r", kind=StageKind.RESULT, parents=(m,))
+        app = Application("app", [Job([m, r])])
+        assert app.num_tasks == 6
+        assert len(app.all_stages()) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Application("app", [])

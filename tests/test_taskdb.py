@@ -1,0 +1,121 @@
+"""Unit tests for DB_task_char (records + helper-thread write queue)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nodeinfo import ResourceKind
+from repro.core.taskdb import TaskCharDB, TaskRecord
+
+
+def record(key="t#0", **kw) -> TaskRecord:
+    return TaskRecord(key=key, **kw)
+
+
+class TestTaskRecord:
+    def test_update_accumulates(self):
+        rec = record().updated_with(
+            compute_time=10.0,
+            shuffle_read_time=1.0,
+            shuffle_write_time=0.5,
+            peak_memory_mb=800.0,
+            gpu=False,
+            node="n1",
+            runtime=12.0,
+            bottleneck=ResourceKind.CPU,
+        )
+        assert rec.runs == 1
+        assert rec.best_node == "n1" and rec.best_runtime == 12.0
+        assert rec.last_runtime == 12.0
+        assert ResourceKind.CPU in rec.history_resources
+
+    def test_best_node_tracks_minimum(self):
+        rec = record()
+        rec = rec.updated_with(1, 0, 0, 100, False, "slow", 50.0, ResourceKind.CPU)
+        rec = rec.updated_with(1, 0, 0, 100, False, "fast", 10.0, ResourceKind.CPU)
+        rec = rec.updated_with(1, 0, 0, 100, False, "slow", 45.0, ResourceKind.CPU)
+        assert rec.best_node == "fast" and rec.best_runtime == 10.0
+        assert rec.last_runtime == 45.0
+
+    def test_peak_memory_is_high_water(self):
+        rec = record()
+        rec = rec.updated_with(1, 0, 0, 900, False, "n", 1, ResourceKind.CPU)
+        rec = rec.updated_with(1, 0, 0, 300, False, "n", 1, ResourceKind.CPU)
+        assert rec.peak_memory_mb == 900
+
+    def test_gpu_flag_sticky(self):
+        rec = record()
+        rec = rec.updated_with(1, 0, 0, 1, True, "n", 1, ResourceKind.GPU)
+        rec = rec.updated_with(1, 0, 0, 1, False, "n", 1, ResourceKind.CPU)
+        assert rec.gpu is True
+
+    def test_history_accumulates_kinds(self):
+        rec = record()
+        for kind in (ResourceKind.CPU, ResourceKind.NET, ResourceKind.DISK):
+            rec = rec.updated_with(1, 0, 0, 1, False, "n", 1, kind)
+        assert rec.history_resources == frozenset(
+            {ResourceKind.CPU, ResourceKind.NET, ResourceKind.DISK}
+        )
+
+
+class TestTaskCharDB:
+    def test_lookup_missing(self):
+        db = TaskCharDB()
+        assert db.lookup("nope") is None
+
+    def test_write_queue_read_your_writes(self):
+        db = TaskCharDB()
+        rec = record("k").updated_with(1, 0, 0, 1, False, "n", 1, ResourceKind.CPU)
+        db.enqueue_update(rec)
+        # Not yet drained, but visible to readers.
+        assert db.pending_writes == 1
+        assert db.lookup("k") is rec
+        assert db.queue_hits == 1
+
+    def test_newest_queued_wins(self):
+        db = TaskCharDB()
+        r1 = record("k").updated_with(1, 0, 0, 1, False, "a", 9, ResourceKind.CPU)
+        r2 = r1.updated_with(1, 0, 0, 1, False, "b", 5, ResourceKind.NET)
+        db.enqueue_update(r1)
+        db.enqueue_update(r2)
+        assert db.lookup("k") is r2
+
+    def test_drain_applies_in_order(self):
+        db = TaskCharDB()
+        r1 = record("k").updated_with(1, 0, 0, 1, False, "a", 9, ResourceKind.CPU)
+        r2 = r1.updated_with(1, 0, 0, 1, False, "b", 5, ResourceKind.NET)
+        db.enqueue_update(r1)
+        db.enqueue_update(r2)
+        assert db.drain() == 2
+        assert db.pending_writes == 0
+        assert db.lookup("k") is r2
+
+    def test_drain_batched(self):
+        db = TaskCharDB()
+        for i in range(10):
+            db.enqueue_update(record(f"k{i}"))
+        assert db.drain(batch=3) == 3
+        assert db.pending_writes == 7
+
+    def test_len_counts_distinct_keys(self):
+        db = TaskCharDB()
+        db.enqueue_update(record("a"))
+        db.enqueue_update(record("a"))
+        db.enqueue_update(record("b"))
+        assert len(db) == 2
+        db.drain()
+        assert len(db) == 2
+
+    def test_clear(self):
+        db = TaskCharDB()
+        db.enqueue_update(record("a"))
+        db.drain()
+        db.enqueue_update(record("b"))
+        db.clear()
+        assert len(db) == 0 and db.lookup("a") is None
+
+    def test_snapshot_drains(self):
+        db = TaskCharDB()
+        db.enqueue_update(record("a"))
+        snap = db.snapshot()
+        assert "a" in snap and db.pending_writes == 0

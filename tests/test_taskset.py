@@ -1,0 +1,211 @@
+"""Unit tests for the TaskSetManager (delay scheduling, attempts, speculation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate.engine import Simulator
+from repro.spark.conf import SparkConf
+from repro.spark.executor import Executor
+from repro.spark.locality import Locality
+from repro.spark.runner import TaskRun
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+from repro.spark.taskset import TaskSetAborted, TaskSetManager
+from tests.conftest import make_ctx, tiny_cluster
+
+
+def build(n_tasks=4, cache_on=None, blocks_on=None, conf=None):
+    sim = Simulator()
+    cluster = tiny_cluster(sim, n=3)
+    ctx = make_ctx(cluster, conf=conf)
+    tasks = []
+    for i in range(n_tasks):
+        blocks = ()
+        cache_key = None
+        if blocks_on:
+            bid = f"b{i}"
+            ctx.blocks.put_block(bid, [blocks_on[i % len(blocks_on)]])
+            blocks = (bid,)
+        if cache_on:
+            cache_key = f"c{i}"
+            ctx.blocks.record_cached(cache_key, cache_on[i % len(cache_on)])
+        tasks.append(
+            TaskSpec(index=i, input_mb=10.0, input_blocks=blocks, cache_key=cache_key,
+                     compute_gigacycles=1.0, peak_memory_mb=100.0)
+        )
+    stage = Stage("u:map", StageKind.SHUFFLE_MAP, tasks)
+    ts = TaskSetManager(ctx, stage)
+    executors = {
+        n.name: Executor(ctx, n, heap_mb=8 * 1024, slots=4) for n in cluster
+    }
+    return ctx, ts, executors
+
+
+def launch(ctx, ts, spec, ex, loc=Locality.ANY, speculative=False):
+    run = TaskRun(ctx, ex, spec, ts, ts.next_attempt_number(spec), loc, speculative)
+    ts.register_launch(spec, run)
+    return run
+
+
+class TestSelection:
+    def test_prefers_best_locality(self):
+        ctx, ts, exs = build(blocks_on=["n1"])
+        sel = ts.select_task(exs["n1"], Locality.ANY)
+        assert sel is not None and sel[1] is Locality.NODE_LOCAL
+        sel2 = ts.select_task(exs["n2"], Locality.ANY)
+        assert sel2 is not None and sel2[1] is Locality.ANY
+
+    def test_respects_max_locality(self):
+        ctx, ts, exs = build(blocks_on=["n1"])
+        assert ts.select_task(exs["n2"], Locality.NODE_LOCAL) is None
+
+    def test_process_local_shortcut(self):
+        ctx, ts, exs = build(cache_on=["n2"])
+        sel = ts.select_task(exs["n2"], Locality.PROCESS_LOCAL)
+        assert sel is not None and sel[1] is Locality.PROCESS_LOCAL
+
+    def test_no_pending_returns_none(self):
+        ctx, ts, exs = build(n_tasks=1)
+        spec = ts.pending_specs()[0]
+        launch(ctx, ts, spec, exs["n1"])
+        assert ts.select_task(exs["n1"], Locality.ANY) is None
+
+
+class TestDelayScheduling:
+    def test_starts_at_best_possible_level(self):
+        ctx, ts, exs = build(blocks_on=["n1"])
+        assert ts.allowed_locality(ctx.now) is Locality.NODE_LOCAL
+
+    def test_escalates_after_wait(self):
+        conf = SparkConf().with_overrides(locality_wait_s=3.0)
+        ctx, ts, exs = build(blocks_on=["n1"], conf=conf)
+        assert ts.allowed_locality(0.0) is Locality.NODE_LOCAL
+        assert ts.allowed_locality(3.5) is Locality.ANY
+
+    def test_launch_resets_level(self):
+        conf = SparkConf().with_overrides(locality_wait_s=3.0)
+        ctx, ts, exs = build(blocks_on=["n1"], conf=conf)
+        ts.allowed_locality(3.5)  # escalated to ANY
+        ts.note_launch(Locality.NODE_LOCAL, 3.5)
+        assert ts.allowed_locality(3.6) is Locality.NODE_LOCAL
+
+    def test_next_escalation_time(self):
+        conf = SparkConf().with_overrides(locality_wait_s=3.0)
+        ctx, ts, exs = build(blocks_on=["n1"], conf=conf)
+        assert ts.next_escalation_time(0.0) == pytest.approx(3.0)
+        ts.allowed_locality(10.0)
+        assert ts.next_escalation_time(10.0) is None  # already at ANY
+
+    def test_no_prefs_means_any_immediately(self):
+        ctx, ts, exs = build()
+        assert ts.allowed_locality(0.0) is Locality.ANY
+
+
+class TestAttemptLifecycle:
+    def test_success_completes_stage(self):
+        ctx, ts, exs = build(n_tasks=2)
+        runs = [launch(ctx, ts, s, exs["n1"]) for s in ts.pending_specs()]
+        for r in runs:
+            r.metrics.succeeded = True
+        assert ts.on_attempt_ended(runs[0]) is False
+        assert ts.on_attempt_ended(runs[1]) is True
+        assert ts.complete
+
+    def test_failure_requeues(self):
+        ctx, ts, exs = build(n_tasks=1)
+        spec = ts.pending_specs()[0]
+        run = launch(ctx, ts, spec, exs["n1"])
+        run.metrics.succeeded = False
+        run.metrics.failed_oom = True
+        assert ts.on_attempt_ended(run) is False
+        assert spec.index in ts.pending
+
+    def test_too_many_failures_abort(self):
+        conf = SparkConf().with_overrides(max_task_failures=2)
+        ctx, ts, exs = build(n_tasks=1, conf=conf)
+        spec = ts.pending_specs()[0]
+        for attempt in range(2):
+            run = launch(ctx, ts, spec, exs["n1"])
+            run.metrics.failed_oom = True
+            if attempt == 1:
+                with pytest.raises(TaskSetAborted):
+                    ts.on_attempt_ended(run)
+            else:
+                ts.on_attempt_ended(run)
+        assert ts.aborted
+
+    def test_kill_requeues_without_failure_count(self):
+        ctx, ts, exs = build(n_tasks=1)
+        spec = ts.pending_specs()[0]
+        run = launch(ctx, ts, spec, exs["n1"])
+        run.metrics.killed = True
+        ts.on_attempt_ended(run)
+        assert spec.index in ts.pending
+        assert ts.states[0].failures == 0
+
+    def test_success_kills_other_attempts(self):
+        ctx, ts, exs = build(n_tasks=1)
+        spec = ts.pending_specs()[0]
+        r1 = launch(ctx, ts, spec, exs["n1"])
+        r1.start()
+        r2 = launch(ctx, ts, spec, exs["n2"], speculative=True)
+        r2.start()
+        r1.metrics.succeeded = True
+        ts.on_attempt_ended(r1)
+        assert r2.ended and r2.metrics.killed
+
+    def test_late_duplicate_success_ignored(self):
+        ctx, ts, exs = build(n_tasks=1)
+        spec = ts.pending_specs()[0]
+        r1 = launch(ctx, ts, spec, exs["n1"])
+        r2 = launch(ctx, ts, spec, exs["n2"], speculative=True)
+        r1.metrics.succeeded = True
+        assert ts.on_attempt_ended(r1) is True
+        r2.metrics.succeeded = True
+        assert ts.on_attempt_ended(r2) is False
+        assert ts.finished_count == 1
+
+
+class TestSpeculation:
+    def _finish(self, ctx, ts, exs, n, duration=1.0):
+        for spec in list(ts.pending_specs())[:n]:
+            run = launch(ctx, ts, spec, exs["n1"])
+            run.metrics.succeeded = True
+            run.metrics.launch_time = 0.0
+            run.metrics.finish_time = duration
+            ts.on_attempt_ended(run)
+
+    def test_marks_slow_tasks_after_quantile(self):
+        conf = SparkConf().with_overrides(
+            speculation_quantile=0.5, speculation_multiplier=1.5
+        )
+        ctx, ts, exs = build(n_tasks=4, conf=conf)
+        self._finish(ctx, ts, exs, 2, duration=1.0)
+        # Two still pending -> launch them, make them look slow.
+        for spec in ts.pending_specs():
+            run = launch(ctx, ts, spec, exs["n2"])
+            run.metrics.launch_time = 0.0
+        assert ts.refresh_speculatable(now=10.0) == 2
+        assert ts.has_speculatable()
+
+    def test_no_marks_before_quantile(self):
+        ctx, ts, exs = build(n_tasks=4)
+        assert ts.refresh_speculatable(now=100.0) == 0
+
+    def test_select_speculative_avoids_same_node(self):
+        conf = SparkConf().with_overrides(speculation_quantile=0.5)
+        ctx, ts, exs = build(n_tasks=2, conf=conf)
+        self._finish(ctx, ts, exs, 1, duration=1.0)
+        spec = ts.pending_specs()[0]
+        launch(ctx, ts, spec, exs["n2"]).metrics.launch_time = 0.0
+        ts.refresh_speculatable(now=10.0)
+        assert ts.select_speculative(exs["n2"]) is None
+        sel = ts.select_speculative(exs["n3"])
+        assert sel is not None and sel[0] is spec
+
+    def test_speculation_disabled(self):
+        conf = SparkConf().with_overrides(speculation=False)
+        ctx, ts, exs = build(n_tasks=2, conf=conf)
+        self._finish(ctx, ts, exs, 1)
+        assert ts.refresh_speculatable(now=100.0) == 0

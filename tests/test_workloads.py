@@ -1,0 +1,198 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulate.engine import Simulator
+from repro.spark.blocks import BlockManager
+from repro.spark.stage import StageKind
+from repro.workloads.base import WorkloadEnv, even_sizes
+from repro.workloads.registry import PAPER_NAMES, WORKLOADS, build_workload, workload_names
+from repro.workloads.skew import skew_ratio, skewed_sizes, zipf_weights
+from tests.conftest import tiny_cluster
+
+
+def env(seed=1) -> WorkloadEnv:
+    from repro.simulate.randomness import RandomSource
+
+    sim = Simulator()
+    cluster = tiny_cluster(sim)
+    racks = {"rack0": [n.name for n in cluster]}
+    return WorkloadEnv(cluster=cluster, blocks=BlockManager(racks), rng=RandomSource(seed))
+
+
+class TestSkew:
+    def test_zipf_uniform_at_zero(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_zipf_normalized_and_decreasing(self):
+        w = zipf_weights(20, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(19))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+    @given(
+        total=st.floats(min_value=100, max_value=1e5),
+        n=st.integers(min_value=1, max_value=128),
+        alpha=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=100)
+    def test_sizes_conserve_total_and_respect_floor(self, total, n, alpha):
+        rng = np.random.default_rng(0)
+        sizes = skewed_sizes(total, n, alpha, rng, min_mb=1.0)
+        assert sizes.sum() == pytest.approx(total, rel=1e-6)
+        assert len(sizes) == n
+        assert (sizes > 0).all()
+
+    def test_higher_alpha_more_skew(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        mild = skewed_sizes(1000, 32, 0.4, rng1)
+        harsh = skewed_sizes(1000, 32, 1.3, rng2)
+        assert skew_ratio(harsh) > skew_ratio(mild)
+
+    def test_even_sizes(self):
+        s = even_sizes(100.0, 4)
+        assert np.allclose(s, 25.0)
+        with pytest.raises(ValueError):
+            even_sizes(100.0, 0)
+
+
+class TestRegistry:
+    def test_all_paper_workloads_present(self):
+        for name in ("lr", "sql", "terasort", "pagerank", "triangle_count", "gramian", "kmeans"):
+            assert name in WORKLOADS
+            assert name in PAPER_NAMES
+
+    def test_workload_names_excludes_matmul_by_default(self):
+        assert "matmul" not in workload_names()
+        assert "matmul" in workload_names(include_matmul=True)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            build_workload("nope", env())
+
+    def test_overrides_apply(self):
+        app = build_workload("lr", env(), iterations=2, partitions=8)
+        # 1 load job + 2 iteration jobs
+        assert len(app.jobs) == 3
+        grad = [s for j in app.jobs for s in j.stages if s.template_id == "lr:gradient"]
+        assert all(s.num_tasks == 8 for s in grad)
+
+
+@pytest.mark.parametrize("name", workload_names(include_matmul=True))
+class TestEveryWorkload:
+    def test_builds_valid_application(self, name):
+        app = build_workload(name, env())
+        assert app.num_tasks > 0
+        for job in app.jobs:
+            assert any(s.is_result for s in job.stages)
+
+    def test_blocks_placed_for_inputs(self, name):
+        e = env()
+        app = build_workload(name, e)
+        input_tasks = [
+            t for j in app.jobs for s in j.stages for t in s.tasks if t.input_blocks
+        ]
+        assert input_tasks, f"{name} has no block-backed input tasks"
+        for t in input_tasks[:20]:
+            for b in t.input_blocks:
+                assert e.blocks.block_locations(b)
+
+    def test_deterministic_given_seed(self, name):
+        a1 = build_workload(name, env(seed=9))
+        a2 = build_workload(name, env(seed=9))
+        t1 = [t.compute_gigacycles for j in a1.jobs for s in j.stages for t in s.tasks]
+        t2 = [t.compute_gigacycles for j in a2.jobs for s in j.stages for t in s.tasks]
+        assert t1 == t2
+
+
+class TestWorkloadShapes:
+    def test_lr_iteration_templates_repeat(self):
+        app = build_workload("lr", env(), iterations=3)
+        grad_stages = [
+            s for j in app.jobs for s in j.stages if s.template_id == "lr:gradient"
+        ]
+        assert len(grad_stages) == 3  # same template -> DB learning across jobs
+
+    def test_pagerank_is_skewed(self):
+        app = build_workload("pagerank", env())
+        contrib = next(
+            s for j in app.jobs for s in j.stages if s.template_id == "pr:contrib"
+        )
+        sizes = np.array([t.input_mb for t in contrib.tasks])
+        assert skew_ratio(sizes) > 2.0
+
+    def test_pagerank_hot_partition_memory_exceeds_stock_heap_share(self):
+        app = build_workload("pagerank", env())
+        contrib = next(
+            s for j in app.jobs for s in j.stages if s.template_id == "pr:contrib"
+        )
+        peak = max(t.peak_memory_mb for t in contrib.tasks)
+        assert peak > 2048.0  # hot partitions strain 14 GB executors
+
+    def test_terasort_shuffles_everything(self):
+        app = build_workload("terasort", env())
+        m = next(s for j in app.jobs for s in j.stages if s.template_id == "ts:map")
+        for t in m.tasks:
+            assert t.shuffle_write_mb == pytest.approx(t.input_mb)
+
+    def test_sql_queries_have_distinct_templates(self):
+        app = build_workload("sql", env(), queries=2)
+        templates = {s.template_id for j in app.jobs for s in j.stages}
+        assert "sql:q0:scan" in templates and "sql:q1:scan" in templates
+
+    def test_gramian_gpu_capable_single_job(self):
+        app = build_workload("gramian", env())
+        assert len(app.jobs) == 1
+        gram = next(s for j in app.jobs for s in j.stages if s.template_id == "gm:gram")
+        assert all(t.gpu_capable for t in gram.tasks)
+
+    def test_kmeans_assign_gpu_capable_and_cached(self):
+        app = build_workload("kmeans", env(), iterations=2)
+        assign = [
+            s for j in app.jobs for s in j.stages if s.template_id == "km:assign"
+        ]
+        assert len(assign) == 2
+        for s in assign:
+            assert all(t.gpu_capable and t.cache_key for t in s.tasks)
+
+    def test_triangle_count_shuffle_exceeds_input(self):
+        app = build_workload("triangle_count", env())
+        scatter = next(
+            s for j in app.jobs for s in j.stages if s.template_id == "tc:scatter"
+        )
+        assert scatter.total_shuffle_write_mb() > sum(t.input_mb for t in scatter.tasks)
+
+    def test_matmul_has_four_phases(self):
+        app = build_workload("matmul", env())
+        templates = [s.template_id for s in app.jobs[0].stages]
+        assert templates == ["mm:load", "mm:distribute", "mm:multiply", "mm:collect"]
+
+    def test_iterative_workloads_cache(self):
+        for name, cache_template in [
+            ("lr", "lr:load"),
+            ("pagerank", "pr:load"),
+            ("kmeans", "km:load"),
+        ]:
+            app = build_workload(name, env())
+            load = next(
+                s for j in app.jobs for s in j.stages if s.template_id == cache_template
+            )
+            assert all(t.cache_output_mb > 0 for t in load.tasks)
+
+    def test_recompute_cost_set_for_cached_readers(self):
+        app = build_workload("pagerank", env())
+        contrib = next(
+            s for j in app.jobs for s in j.stages if s.template_id == "pr:contrib"
+        )
+        assert all(t.recompute_cycles > 0 for t in contrib.tasks)
