@@ -4,13 +4,26 @@ Each benchmark regenerates one of the paper's tables or figures and prints
 it; pytest-benchmark times the regeneration.  Set ``RUPAM_BENCH_SCALE=paper``
 for the full 5-trial protocol (slow); the default ``smoke`` tier runs the
 identical code on fewer trials/seeds.
+
+Every benchmark also emits a machine-readable ``BENCH_<name>.json`` metrics
+artifact (see :mod:`repro.obs.export`): the autouse ``bench_artifact``
+fixture records wall time for every test, and tests attach richer payloads
+(run reports, figure rows) through it.  Artifacts land in the repo root by
+default; set ``RUPAM_BENCH_ARTIFACT_DIR`` to redirect them.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from pathlib import Path
+from typing import Any
 
 import pytest
+
+from repro.obs.export import write_bench_json
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -22,3 +35,35 @@ def emit(text: str) -> None:
     """Print a regenerated table/figure under the benchmark output."""
     print()
     print(text)
+
+
+class BenchArtifact:
+    """Accumulates one benchmark's metrics payload for BENCH_<name>.json."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.payload: dict[str, Any] = {}
+
+    def attach(self, payload: dict[str, Any]) -> None:
+        self.payload.update(payload)
+
+    def write(self, out_dir: Path, wall_s: float) -> Path:
+        body = {"bench": self.name, "wall_s": round(wall_s, 3), **self.payload}
+        return write_bench_json(self.name, body, out_dir)
+
+
+@pytest.fixture(autouse=True)
+def bench_artifact(request: pytest.FixtureRequest):
+    """Write BENCH_<name>.json after every benchmark test.
+
+    The default artifact name is the module name without its ``test_``
+    prefix (``test_fig5_overall`` -> ``fig5_overall``); tests may override
+    ``bench_artifact.name`` and attach extra payloads.
+    """
+    name = request.node.module.__name__.rsplit(".", 1)[-1]
+    name = name.removeprefix("test_")
+    rec = BenchArtifact(name)
+    start = time.perf_counter()
+    yield rec
+    out_dir = Path(os.environ.get("RUPAM_BENCH_ARTIFACT_DIR", _REPO_ROOT))
+    rec.write(out_dir, time.perf_counter() - start)

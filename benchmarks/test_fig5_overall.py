@@ -4,11 +4,36 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit
 from repro.experiments.fig5 import run_fig5
+from repro.obs.report import build_run_report
 
 
-def test_fig5_overall(benchmark, bench_scale):
+def test_fig5_overall(benchmark, bench_scale, bench_artifact):
     result = benchmark.pedantic(run_fig5, args=(bench_scale,), rounds=1, iterations=1)
     emit(result.render())
+
+    # Machine-readable perf artifact: the figure's rows plus one workload's
+    # full run report (queue depths over time, dispatch-latency quantiles).
+    bench_artifact.name = "fig5"
+    sample = result.sample_results.get("pagerank") or next(
+        iter(result.sample_results.values())
+    )
+    bench_artifact.attach(
+        {
+            "scale": bench_scale,
+            "rows": [
+                {
+                    "workload": r.workload,
+                    "spark_mean_s": r.spark.mean,
+                    "rupam_mean_s": r.rupam.mean,
+                    "speedup": r.speedup,
+                    "improvement_pct": r.improvement_pct,
+                }
+                for r in result.rows
+            ],
+            "average_improvement_pct": result.average_improvement_pct,
+            "report": build_run_report(sample).to_dict(),
+        }
+    )
 
     # Every workload improves under RUPAM (the paper: all workloads gain).
     for row in result.rows:

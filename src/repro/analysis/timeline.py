@@ -3,7 +3,10 @@
 ``to_chrome_trace`` converts an :class:`AppResult` into the JSON array
 format understood by ``chrome://tracing`` and Perfetto: one row ("thread")
 per executor slot, one duration event per task attempt, colored by outcome.
-Useful for eyeballing exactly how the two schedulers packed the cluster.
+When the run carries observability data, scheduler *decision* events are
+interleaved on a dedicated "scheduler" track — instant events per dispatch
+decision plus queue-depth counter series — so you can line up every launch
+with the cluster state that caused it.
 """
 
 from __future__ import annotations
@@ -35,7 +38,51 @@ def _outcome(m: TaskMetrics) -> str:
     return "failed"
 
 
-def timeline_events(result: AppResult) -> list[dict[str, Any]]:
+def decision_events(result: AppResult, pid: int) -> list[dict[str, Any]]:
+    """Scheduler-decision instants and queue-depth counters for one track."""
+    obs = result.obs
+    if obs is None or not obs.enabled:
+        return []
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": "scheduler"},
+        }
+    ]
+    for d in obs.decisions.decisions:
+        events.append(
+            {
+                "name": f"dispatch {d.task_key}",
+                "cat": "decision",
+                "ph": "i",
+                "s": "p",
+                "pid": pid,
+                "tid": 0,
+                "ts": d.time * _US,
+                "args": d.to_dict(),
+            }
+        )
+    for name in obs.metrics.series_names("queue.depth."):
+        series = obs.metrics.series(name)
+        assert series is not None
+        for t, v in zip(series.times, series.values):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": pid,
+                    "ts": t * _US,
+                    "args": {"depth": v},
+                }
+            )
+    return events
+
+
+def timeline_events(
+    result: AppResult, include_decisions: bool = True
+) -> list[dict[str, Any]]:
     """Duration events (one per attempt) plus thread/process metadata."""
     events: list[dict[str, Any]] = []
     nodes = sorted({m.node for m in result.task_metrics if m.node})
@@ -86,13 +133,19 @@ def timeline_events(result: AppResult) -> list[dict[str, Any]]:
                 },
             }
         )
+    if include_decisions:
+        events.extend(decision_events(result, pid=len(nodes)))
     return events
 
 
-def to_chrome_trace(result: AppResult, path: str | Path) -> int:
+def to_chrome_trace(
+    result: AppResult, path: str | Path, include_decisions: bool = True
+) -> int:
     """Write the trace file; returns the number of task events written."""
-    events = timeline_events(result)
-    Path(path).write_text(json.dumps({"traceEvents": events}, indent=None))
+    events = timeline_events(result, include_decisions=include_decisions)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"traceEvents": events}, indent=None))
     return sum(1 for e in events if e.get("ph") == "X")
 
 

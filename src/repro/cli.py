@@ -5,6 +5,8 @@ Commands:
 * ``run`` — run one workload under one scheduler and print a summary.
 * ``compare`` — run a workload under both schedulers and print the speedup.
 * ``figure`` — regenerate one of the paper's figures/tables.
+* ``metrics`` — run a workload and print its observability run report.
+* ``explain`` — run a workload and explain one task's dispatch decisions.
 * ``list`` — list registered workloads and figures.
 """
 
@@ -59,15 +61,18 @@ def _summary(res) -> str:
     return "\n".join(out)
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    spec = RunSpec(
+def _spec_from(args: argparse.Namespace) -> RunSpec:
+    return RunSpec(
         workload=args.workload,
         scheduler=args.scheduler,
         seed=args.seed,
         cluster=args.cluster,
         monitor_interval=None,
     )
-    res = run_once(spec)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    res = run_once(_spec_from(args))
     print(f"{args.workload} under {args.scheduler} (seed {args.seed}):")
     print(_summary(res))
     if args.trace_out:
@@ -76,7 +81,54 @@ def cmd_run(args: argparse.Namespace) -> int:
         n = to_chrome_trace(res, args.trace_out)
         print(f"wrote {n} task events to {args.trace_out} "
               "(open in chrome://tracing or Perfetto)")
+    if args.events_out:
+        from repro.obs.export import write_jsonl
+
+        assert res.obs is not None
+        n = write_jsonl(res.obs, args.events_out)
+        print(f"wrote {n} observability events to {args.events_out}")
     return 1 if res.aborted else 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_jsonl
+    from repro.obs.report import build_run_report
+
+    res = run_once(_spec_from(args))
+    report = build_run_report(res)
+    print(report.render())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote run report to {out}")
+    if args.events_out:
+        assert res.obs is not None
+        n = write_jsonl(res.obs, args.events_out)
+        print(f"wrote {n} observability events to {args.events_out}")
+    return 1 if res.aborted else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    res = run_once(_spec_from(args))
+    assert res.obs is not None
+    trace = res.obs.decisions
+    keys = trace.matching_keys(args.task)
+    if not keys:
+        known = trace.task_keys()
+        print(f"no task matches {args.task!r}; {len(known)} task keys recorded, "
+              "e.g. " + ", ".join(known[:5]))
+        return 1
+    if len(keys) > args.max_matches:
+        print(f"{len(keys)} tasks match {args.task!r}; showing first "
+              f"{args.max_matches} (narrow the query or raise --max-matches)")
+        keys = keys[: args.max_matches]
+    for key in keys:
+        print(trace.explain(key).render())
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -123,18 +175,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    def add_run_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--scheduler", choices=("spark", "rupam"), default="rupam")
+        sp.add_argument("--seed", type=int, default=7)
+        sp.add_argument("--cluster", choices=sorted(CLUSTERS), default="hydra")
+
     run_p = sub.add_parser("run", help="run one workload under one scheduler")
     run_p.add_argument("workload", choices=workload_names(include_matmul=True))
-    run_p.add_argument("--scheduler", choices=("spark", "rupam"), default="rupam")
-    run_p.add_argument("--seed", type=int, default=7)
-    run_p.add_argument("--cluster", choices=sorted(CLUSTERS), default="hydra")
+    add_run_args(run_p)
     run_p.add_argument(
         "--trace-out",
         metavar="FILE",
         default=None,
-        help="write a Chrome trace-event timeline of all task attempts",
+        help="write a Chrome trace-event timeline of all task attempts "
+        "interleaved with scheduler decisions",
+    )
+    run_p.add_argument(
+        "--events-out",
+        metavar="FILE",
+        default=None,
+        help="write the observability event log (JSONL)",
     )
     run_p.set_defaults(fn=cmd_run)
+
+    met_p = sub.add_parser(
+        "metrics", help="run one workload and print its run report"
+    )
+    met_p.add_argument("workload", choices=workload_names(include_matmul=True))
+    add_run_args(met_p)
+    met_p.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the run report as JSON",
+    )
+    met_p.add_argument(
+        "--events-out",
+        metavar="FILE",
+        default=None,
+        help="write the observability event log (JSONL)",
+    )
+    met_p.set_defaults(fn=cmd_metrics)
+
+    exp_p = sub.add_parser(
+        "explain",
+        help="run one workload and explain a task's dispatch decisions",
+    )
+    exp_p.add_argument(
+        "task",
+        help="task key (e.g. 'pr:contrib#3') or substring of one",
+    )
+    exp_p.add_argument(
+        "--workload",
+        required=True,
+        choices=workload_names(include_matmul=True),
+    )
+    add_run_args(exp_p)
+    exp_p.add_argument("--max-matches", type=int, default=5)
+    exp_p.set_defaults(fn=cmd_explain)
 
     cmp_p = sub.add_parser("compare", help="run under both schedulers")
     cmp_p.add_argument("workload", choices=workload_names(include_matmul=True))

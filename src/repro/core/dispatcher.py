@@ -26,6 +26,8 @@ from repro.core.nodeinfo import ALL_KINDS, NodeMetrics, ResourceKind
 from repro.core.queues import QueuedTask, ResourceQueues
 from repro.core.resource_monitor import ResourceMonitor
 from repro.core.task_manager import TaskManager
+from repro.obs import decision as obs
+from repro.obs.decision import DispatchDecision
 from repro.spark.locality import Locality
 from repro.spark.scheduler import SchedulerContext
 
@@ -63,11 +65,21 @@ class Dispatcher:
         self._rr = 0
         self.launches = 0
         self.gpu_cpu_races = 0
+        self.obs = ctx.obs
+        # (reason, enqueued_at) of schedule_task's last selection, consumed
+        # by _try_node when it records the launch decision.
+        self._last_selection: tuple[str, float | None] = (
+            obs.LAUNCH_BEST_LOCALITY,
+            None,
+        )
 
     # -- main loop ----------------------------------------------------------------
 
     def dispatch(self) -> int:
         """Run rounds until no task can be placed.  Returns launches made."""
+        # Sample the backlog before placing anything: depth-after-drain is
+        # always near zero and hides the demand the scheduler actually saw.
+        self.obs.sample_queue_depths(self.ctx.now, self.tm.queues.depths)
         total = 0
         while True:
             launched = self._dispatch_round()
@@ -75,6 +87,7 @@ class Dispatcher:
             if launched == 0:
                 break
         self.launches += total
+        self.obs.metrics.inc("dispatch.calls")
         return total
 
     def _dispatch_round(self) -> int:
@@ -93,10 +106,17 @@ class Dispatcher:
         if not metrics:
             return 0
         self.resource_queues.populate(metrics, load_hint=self._load_hint)
+        self.obs.metrics.inc("dispatch.rounds")
         launched = 0
         for _ in range(len(ALL_KINDS)):
             kind = ALL_KINDS[self._rr % len(ALL_KINDS)]
             self._rr += 1
+            if self.obs.enabled and self.tm.queues.oldest_waiting(kind) is None:
+                # Nothing pending of this kind this round (fallbacks below
+                # may still find speculative/racing work).
+                self.obs.decisions.record_rejection(
+                    self.ctx.now, obs.QUEUE_EMPTY, queue=kind.value
+                )
             # Walk down this kind's queue until something launches: the
             # best node may lack the free memory the queued tasks need,
             # while a lesser node has room.
@@ -122,6 +142,9 @@ class Dispatcher:
             ex = executors.get(m.name)
             if ex is not None and ex.alive and self._available_for(ex, kind):
                 return m
+            self.obs.decisions.record_rejection(
+                self.ctx.now, obs.NODE_BUSY, node=m.name, queue=kind.value
+            )
 
     # -- Algorithm 2 core -------------------------------------------------------------
 
@@ -131,15 +154,31 @@ class Dispatcher:
         locked = self.tm.queues.find_for_node(
             ex.node.name, self.tm.locked_node_of
         )
-        if locked is not None and (
-            self.tm.memory_estimate_mb(locked.spec) <= ex.free_memory_mb
-        ):
-            loc = self.ctx.blocks.locality_for(locked.spec, ex.node.name)
-            self._launch(locked.ts, locked.spec, ex, loc, kind)
-            return True
+        if locked is not None:
+            est_mb = self.tm.memory_estimate_mb(locked.spec)
+            if est_mb <= ex.free_memory_mb:
+                loc = self.ctx.blocks.locality_for(locked.spec, ex.node.name)
+                self._record_launch(
+                    locked.ts, locked.spec, ex, loc, kind,
+                    reason=obs.LAUNCH_LOCKED,
+                    enqueued_at=locked.enqueued_at,
+                )
+                self._launch(locked.ts, locked.spec, ex, loc, kind)
+                return True
+            self.obs.decisions.record_rejection(
+                self.ctx.now, obs.NO_FIT_MEMORY,
+                task_key=locked.spec.key, node=ex.node.name,
+                est_mb=round(est_mb, 1),
+                free_mb=round(ex.free_memory_mb, 1),
+                locked=True,
+            )
         sel = self.schedule_task(kind, ex)
         if sel is not None:
             ts, spec, loc = sel
+            reason, enqueued_at = self._last_selection
+            self._record_launch(
+                ts, spec, ex, loc, kind, reason=reason, enqueued_at=enqueued_at
+            )
             self._launch(ts, spec, ex, loc, kind)
             return True
         # Nothing pending of this kind: consider stragglers (speculative set).
@@ -165,8 +204,13 @@ class Dispatcher:
         # heavyweights claim still-empty nodes before small tasks fill them.
         best: tuple[QueuedTask, Locality, float] | None = None
         now = self.ctx.now
+        reject = self.obs.decisions.record_rejection
         for entry in self.tm.queues.entries(kind):
             if entry.ts.blocked:
+                reject(
+                    now, obs.TASKSET_BLOCKED,
+                    task_key=entry.spec.key, node=node,
+                )
                 continue
             spec = entry.spec
             est_mb = self.tm.memory_estimate_mb(spec)
@@ -176,7 +220,16 @@ class Dispatcher:
                 # Only the fully-characterized best-on-this-node task may
                 # override the memory check (Algorithm 2 lines 12-16).
                 if locked_here:
+                    self._last_selection = (
+                        obs.LAUNCH_MEM_OVERRIDE,
+                        entry.enqueued_at,
+                    )
                     return entry.ts, spec, blocks.locality_for(spec, node)
+                reject(
+                    now, obs.NO_FIT_MEMORY,
+                    task_key=spec.key, node=node,
+                    est_mb=round(est_mb, 1), free_mb=round(free_mb, 1),
+                )
                 continue
             # A task locked to a *different* node waits for it rather than
             # run here (bounded by lock_break_wait_s to avoid starvation).
@@ -185,16 +238,67 @@ class Dispatcher:
                 and self.tm.locked_node_of(spec) is not None
                 and now - entry.enqueued_at < self.cfg.lock_break_wait_s
             ):
+                reject(
+                    now, obs.LOCK_WAIT,
+                    task_key=spec.key, node=node,
+                    locked_node=self.tm.locked_node_of(spec),
+                )
                 continue
             loc = blocks.locality_for(spec, node)
             if locked_here or loc is Locality.PROCESS_LOCAL:
+                self._last_selection = (
+                    obs.LAUNCH_LOCKED if locked_here else obs.LAUNCH_PROCESS_LOCAL,
+                    entry.enqueued_at,
+                )
                 return entry.ts, spec, loc
             if best is None or loc < best[1] or (loc == best[1] and est_mb > best[2]):
                 best = (entry, loc, est_mb)
         if best is None:
             return None
         entry, loc, _ = best
+        self._last_selection = (obs.LAUNCH_BEST_LOCALITY, entry.enqueued_at)
         return entry.ts, entry.spec, loc
+
+    # -- decision recording -----------------------------------------------------------
+
+    def _record_launch(
+        self,
+        ts: "TaskSetManager",
+        spec: "TaskSpec",
+        ex: "Executor",
+        loc: Locality,
+        kind: ResourceKind,
+        reason: str,
+        enqueued_at: float | None = None,
+        speculative: bool = False,
+    ) -> None:
+        trace = self.obs.decisions
+        if not trace.enabled:
+            return
+        now = self.ctx.now
+        m = self.rm.metrics_for(ex.node.name)
+        util = (
+            {k.value: round(m.utilization(k), 4) for k in ALL_KINDS}
+            if m is not None
+            else {}
+        )
+        trace.record_launch(
+            DispatchDecision(
+                time=now,
+                task_key=spec.key,
+                attempt=ts.next_attempt_number(spec),
+                node=ex.node.name,
+                queue=kind.value,
+                locality=loc.name,
+                reason=reason,
+                speculative=speculative,
+                mem_estimate_mb=self.tm.memory_estimate_mb(spec),
+                free_memory_mb=ex.free_memory_mb,
+                locked_node=self.tm.locked_node_of(spec),
+                wait_s=None if enqueued_at is None else now - enqueued_at,
+                node_utilization=util,
+            )
+        )
 
     # -- fallbacks ----------------------------------------------------------------------
 
@@ -213,6 +317,10 @@ class Dispatcher:
                     ex, running_nodes, task_kind
                 ):
                     continue
+                self._record_launch(
+                    ts, spec, ex, loc, kind,
+                    reason=obs.LAUNCH_SPECULATIVE, speculative=True,
+                )
                 self._launch(ts, spec, ex, loc, kind, speculative=True)
                 return True
         return False
@@ -264,6 +372,10 @@ class Dispatcher:
             if self.tm.memory_estimate_mb(entry.spec) > ex.free_memory_mb:
                 continue
             loc = self.ctx.blocks.locality_for(entry.spec, ex.node.name)
+            self._record_launch(
+                entry.ts, entry.spec, ex, loc, ResourceKind.CPU,
+                reason=obs.LAUNCH_GPU_ON_CPU, enqueued_at=entry.enqueued_at,
+            )
             self._launch(entry.ts, entry.spec, ex, loc, ResourceKind.CPU)
             self.gpu_cpu_races += 1
             return True
@@ -285,6 +397,10 @@ class Dispatcher:
                 if run.elapsed < self.cfg.gpu_race_min_remaining_s:
                     continue
                 loc = self.ctx.blocks.locality_for(st.spec, ex.node.name)
+                self._record_launch(
+                    ts, st.spec, ex, loc, ResourceKind.GPU,
+                    reason=obs.LAUNCH_GPU_RACE, speculative=True,
+                )
                 self._launch(ts, st.spec, ex, loc, ResourceKind.GPU, speculative=True)
                 self.gpu_cpu_races += 1
                 return True

@@ -162,6 +162,13 @@ class TaskQueues:
             q.extend(kept)
         return removed
 
+    def depths(self) -> dict[str, int]:
+        """Live entries per kind (the telemetry queue-depth sample)."""
+        return {
+            kind.value: sum(1 for e in self._queues[kind] if self._live(e))
+            for kind in ALL_KINDS
+        }
+
     def total_pending(self) -> int:
         """Distinct pending tasks across all queues."""
         seen: set[tuple[int, int]] = set()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.nodeinfo import NodeMetrics
+from repro.core.nodeinfo import ALL_KINDS, NodeMetrics
 from repro.spark.scheduler import SchedulerContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -87,9 +87,24 @@ class ResourceMonitor:
         if self._stopped:
             return
         self.collect_now()
+        self.ctx.obs.metrics.inc("rm.beats")
+        self.ctx.obs.sample_utilization(self.ctx.now, self._mean_utilization)
         if self._on_beat is not None:
             self._on_beat()
         self.ctx.sim.after(self.ctx.conf.heartbeat_interval_s, self._beat)
+
+    def _mean_utilization(self) -> dict[str, float]:
+        """Cluster-mean utilization per resource kind (telemetry sample)."""
+        out: dict[str, float] = {}
+        data = list(self.executor_data.values())
+        if not data:
+            return out
+        for kind in ALL_KINDS:
+            nodes = [m for m in data if m.has(kind)]
+            if nodes:
+                out[kind.value] = sum(m.utilization(kind) for m in nodes) / len(nodes)
+        out["low_memory_nodes"] = float(len(self.low_memory_nodes))
+        return out
 
     def metrics_for(self, node_name: str) -> NodeMetrics | None:
         return self.executor_data.get(node_name)

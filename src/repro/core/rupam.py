@@ -222,6 +222,7 @@ class RupamScheduler(TaskScheduler):
             speculative=speculative,
             extra_dispatch_delay=self.cfg.extra_dispatch_delay_s,
         )
+        self.ctx.obs.metrics.inc(f"rupam.launch.kind.{kind.value}")
         self._run_kind[id(run)] = (ex.executor_id, kind)
         counts = self._kind_counts.setdefault(ex.executor_id, {})
         counts[kind] = counts.get(kind, 0) + 1

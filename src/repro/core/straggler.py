@@ -59,4 +59,5 @@ class MemoryStragglerHandler:
             victim.kill(reason="memory-straggler")
             self.kills += 1
             killed += 1
+            self.ctx.obs.metrics.inc("straggler.memory_kills")
         return killed

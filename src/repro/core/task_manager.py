@@ -55,6 +55,15 @@ class TaskManager:
 
     def admit(self, ts: "TaskSetManager", spec: "TaskSpec") -> ResourceKind | None:
         """Queue one pending task; returns its classified kind (None = all)."""
+        kind = self._admit(ts, spec)
+        obs = self.ctx.obs
+        if obs.enabled:
+            queue = kind.value if kind is not None else "all"
+            obs.metrics.inc(f"tm.admit.{queue}")
+            obs.decisions.record_enqueue(self.ctx.now, spec.key, queue)
+        return kind
+
+    def _admit(self, ts: "TaskSetManager", spec: "TaskSpec") -> ResourceKind | None:
         self.admissions += 1
         now = self.ctx.now
         rec = self.db.lookup(spec.key)
@@ -158,6 +167,9 @@ class TaskManager:
                     continue  # has its own history
                 self.queues.remove_task(ts, spec)
                 self.queues.enqueue(majority, ts, spec, self.ctx.now)
+                self.ctx.obs.decisions.record_enqueue(
+                    self.ctx.now, spec.key, majority.value
+                )
 
     # -- queries used by the Dispatcher ----------------------------------------------
 

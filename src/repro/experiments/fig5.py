@@ -10,7 +10,8 @@ around 37.7%.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,9 @@ from repro.experiments.report import render_table
 from repro.experiments.runner import RunSpec
 from repro.experiments.trials import TrialStats, run_trials
 from repro.workloads.registry import PAPER_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.driver import AppResult
 
 
 @dataclass
@@ -40,6 +44,9 @@ class Fig5Row:
 @dataclass
 class Fig5Result:
     rows: list[Fig5Row]
+    # Last RUPAM run per workload, kept with its observability data so the
+    # benchmark harness can export queue-depth/dispatch-latency artifacts.
+    sample_results: dict[str, "AppResult"] = field(default_factory=dict)
 
     @property
     def average_improvement_pct(self) -> float:
@@ -84,16 +91,18 @@ def run_fig5(
 ) -> Fig5Result:
     sc = get_scale(scale)
     rows = []
+    samples: dict[str, "AppResult"] = {}
     for wl in workloads or FIG5_WORKLOADS:
         spark_stats, _ = run_trials(
             RunSpec(workload=wl, scheduler="spark", monitor_interval=None),
             trials=sc.trials,
             base_seed=sc.base_seed,
         )
-        rupam_stats, _ = run_trials(
+        rupam_stats, rupam_results = run_trials(
             RunSpec(workload=wl, scheduler="rupam", monitor_interval=None),
             trials=sc.trials,
             base_seed=sc.base_seed,
         )
         rows.append(Fig5Row(workload=wl, spark=spark_stats, rupam=rupam_stats))
-    return Fig5Result(rows=rows)
+        samples[wl] = rupam_results[-1]
+    return Fig5Result(rows=rows, sample_results=samples)

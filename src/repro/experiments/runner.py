@@ -15,6 +15,7 @@ from repro.cluster.presets import (
 from repro.core.config import RupamConfig
 from repro.core.rupam import RupamScheduler
 from repro.core.taskdb import TaskCharDB
+from repro.obs.decision import Observability
 from repro.simulate.engine import Simulator
 from repro.simulate.randomness import RandomSource
 from repro.simulate.trace import TraceRecorder
@@ -55,6 +56,8 @@ class RunSpec:
     rupam_overrides: dict[str, Any] = field(default_factory=dict)
     workload_overrides: dict[str, Any] = field(default_factory=dict)
     trace: bool = False
+    trace_max_events: int | None = None   # ring-buffer cap for long runs
+    observe: bool = True                  # metrics + decision tracing
     max_sim_time: float = 50_000.0
 
     def make_conf(self) -> SparkConf:
@@ -99,8 +102,9 @@ def run_once(spec: RunSpec, db: TaskCharDB | None = None) -> AppResult:
         blocks=blocks,
         shuffle=ShuffleManager(),
         rng=rng,
-        trace=TraceRecorder(enabled=spec.trace),
+        trace=TraceRecorder(enabled=spec.trace, max_events=spec.trace_max_events),
         driver_node=DRIVER_NODES[spec.cluster],
+        obs=Observability(enabled=spec.observe),
     )
     monitor = (
         ClusterMonitor(sim, cluster, interval=spec.monitor_interval)

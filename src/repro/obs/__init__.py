@@ -1,0 +1,71 @@
+"""Observability: metrics registry, dispatch-decision tracing, run reports.
+
+This package is the telemetry layer every perf PR measures itself against.
+It is dependency-light (stdlib + numpy-for-rendering) and safe to keep
+enabled by default: see :mod:`repro.obs.metrics` for the cost model.
+"""
+
+from repro.obs.decision import (
+    LAUNCH_BEST_LOCALITY,
+    LAUNCH_DELAY_SCHED,
+    LAUNCH_GPU_ON_CPU,
+    LAUNCH_GPU_RACE,
+    LAUNCH_LOCKED,
+    LAUNCH_MEM_OVERRIDE,
+    LAUNCH_PROCESS_LOCAL,
+    LAUNCH_SPECULATIVE,
+    LOCALITY_WAIT,
+    LOCK_WAIT,
+    NO_FIT_MEMORY,
+    NODE_BUSY,
+    QUEUE_EMPTY,
+    REJECTION_REASONS,
+    TASKSET_BLOCKED,
+    DecisionTrace,
+    DispatchDecision,
+    Observability,
+    Rejection,
+    TaskExplanation,
+)
+from repro.obs.export import (
+    bench_payload,
+    events,
+    read_jsonl,
+    write_bench_json,
+    write_jsonl,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, TimeSeries
+from repro.obs.report import RunReport, build_run_report
+
+__all__ = [
+    "LAUNCH_BEST_LOCALITY",
+    "LAUNCH_DELAY_SCHED",
+    "LAUNCH_GPU_ON_CPU",
+    "LAUNCH_GPU_RACE",
+    "LAUNCH_LOCKED",
+    "LAUNCH_MEM_OVERRIDE",
+    "LAUNCH_PROCESS_LOCAL",
+    "LAUNCH_SPECULATIVE",
+    "LOCALITY_WAIT",
+    "LOCK_WAIT",
+    "NO_FIT_MEMORY",
+    "NODE_BUSY",
+    "QUEUE_EMPTY",
+    "REJECTION_REASONS",
+    "TASKSET_BLOCKED",
+    "DecisionTrace",
+    "DispatchDecision",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Rejection",
+    "RunReport",
+    "TaskExplanation",
+    "TimeSeries",
+    "bench_payload",
+    "build_run_report",
+    "events",
+    "read_jsonl",
+    "write_bench_json",
+    "write_jsonl",
+]

@@ -1,0 +1,279 @@
+"""Dispatch-decision tracing: why every task landed where it did.
+
+Each launch emits one :class:`DispatchDecision` carrying the full context of
+Algorithm 2's choice — the resource queue the round-robin was servicing, the
+node popped from the per-resource priority queue (with its utilization
+vector), the task selected, its locality level and memory-fit numbers, the
+``optExecutor`` lock status, and how long the task had waited in queue.
+Every *rejection* along the way is tallied by reason code; per-task
+rejection histories are kept in small ring buffers so a long run's memory
+stays bounded while ``explain(task)`` can still show recent skip reasons.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+# Reason codes for rejections (why a candidate placement did NOT happen).
+NO_FIT_MEMORY = "no-fit-memory"      # task's est. peak memory > node free heap
+QUEUE_EMPTY = "queue-empty"          # a kind's task queue had no live entry
+LOCALITY_WAIT = "locality-wait"      # delay scheduling withheld the task
+NODE_BUSY = "node-busy"              # popped node had no free slot/unit
+LOCK_WAIT = "lock-wait"              # task waits for its optExecutor node
+TASKSET_BLOCKED = "taskset-blocked"  # parent shuffle re-run blocks the stage
+
+REJECTION_REASONS = (
+    NO_FIT_MEMORY,
+    QUEUE_EMPTY,
+    LOCALITY_WAIT,
+    NODE_BUSY,
+    LOCK_WAIT,
+    TASKSET_BLOCKED,
+)
+
+# Reason codes for launches (why this placement DID happen).
+LAUNCH_LOCKED = "locked-node"        # cross-queue optExecutor lock match
+LAUNCH_MEM_OVERRIDE = "mem-override-lock"  # lock overrode the memory check
+LAUNCH_PROCESS_LOCAL = "process-local"
+LAUNCH_BEST_LOCALITY = "best-locality"
+LAUNCH_DELAY_SCHED = "delay-scheduling"    # stock Spark's only policy
+LAUNCH_SPECULATIVE = "speculative-straggler"
+LAUNCH_GPU_ON_CPU = "gpu-task-on-cpu"      # starving GPU task ran on CPU
+LAUNCH_GPU_RACE = "gpu-race"               # idle GPU raced a CPU copy
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """One launch decision, with everything needed to explain it."""
+
+    time: float
+    task_key: str
+    attempt: int
+    node: str
+    queue: str               # resource queue serviced by the round-robin
+    locality: str
+    reason: str              # one of the LAUNCH_* codes
+    speculative: bool = False
+    mem_estimate_mb: float = 0.0
+    free_memory_mb: float = 0.0
+    locked_node: str | None = None
+    wait_s: float | None = None  # enqueue -> launch (dispatch latency)
+    node_utilization: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "decision",
+            "t": self.time,
+            "task": self.task_key,
+            "attempt": self.attempt,
+            "node": self.node,
+            "queue": self.queue,
+            "locality": self.locality,
+            "reason": self.reason,
+            "speculative": self.speculative,
+            "mem_estimate_mb": self.mem_estimate_mb,
+            "free_memory_mb": self.free_memory_mb,
+            "locked_node": self.locked_node,
+            "wait_s": self.wait_s,
+            "node_utilization": self.node_utilization,
+        }
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One skipped placement, with its reason code."""
+
+    time: float
+    reason: str              # one of the rejection reason codes
+    task_key: str | None = None
+    node: str | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "rejection",
+            "t": self.time,
+            "reason": self.reason,
+            "task": self.task_key,
+            "node": self.node,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class TaskExplanation:
+    """Everything the trace knows about one task key."""
+
+    task_key: str
+    queues: list[tuple[float, str]]       # (time, kind) admission history
+    decisions: list[DispatchDecision]
+    rejections: list[Rejection]
+    rejections_dropped: int = 0
+
+    def render(self) -> str:
+        lines = [f"task {self.task_key}"]
+        if self.queues:
+            lines.append("  admitted to queues:")
+            for t, kind in self.queues:
+                lines.append(f"    t={t:10.3f}s  -> {kind}")
+        if self.rejections:
+            dropped = (
+                f" ({self.rejections_dropped} older dropped)"
+                if self.rejections_dropped
+                else ""
+            )
+            lines.append(f"  rejections{dropped}:")
+            for r in self.rejections:
+                where = f" on {r.node}" if r.node else ""
+                extra = (
+                    "  " + " ".join(f"{k}={v}" for k, v in r.detail.items())
+                    if r.detail
+                    else ""
+                )
+                lines.append(f"    t={r.time:10.3f}s  {r.reason}{where}{extra}")
+        if self.decisions:
+            lines.append("  launches:")
+            for d in self.decisions:
+                wait = f" wait={d.wait_s:.3f}s" if d.wait_s is not None else ""
+                lock = f" lock={d.locked_node}" if d.locked_node else ""
+                spec = " speculative" if d.speculative else ""
+                lines.append(
+                    f"    t={d.time:10.3f}s  attempt {d.attempt} -> {d.node}"
+                    f"  queue={d.queue} locality={d.locality}"
+                    f" reason={d.reason}{spec}"
+                    f" mem={d.mem_estimate_mb:.0f}/{d.free_memory_mb:.0f}MB"
+                    f"{lock}{wait}"
+                )
+        else:
+            lines.append("  launches: (none)")
+        return "\n".join(lines)
+
+
+class DecisionTrace:
+    """Collects dispatch decisions and rejections for one run."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        enabled: bool = True,
+        max_rejections_per_task: int = 16,
+    ):
+        self.enabled = enabled
+        self.metrics = metrics
+        self.max_rejections_per_task = max_rejections_per_task
+        self.decisions: list[DispatchDecision] = []
+        self.reason_counts: dict[str, int] = {}
+        self._queues_of: dict[str, list[tuple[float, str]]] = {}
+        self._decisions_of: dict[str, list[DispatchDecision]] = {}
+        self._rejections_of: dict[str, deque[Rejection]] = {}
+        self._rejections_dropped: dict[str, int] = {}
+
+    # -- write path --------------------------------------------------------------
+
+    def record_enqueue(self, time: float, task_key: str, queue: str) -> None:
+        if not self.enabled:
+            return
+        self._queues_of.setdefault(task_key, []).append((time, queue))
+
+    def record_launch(self, decision: DispatchDecision) -> None:
+        if not self.enabled:
+            return
+        self.decisions.append(decision)
+        self._decisions_of.setdefault(decision.task_key, []).append(decision)
+        self.metrics.inc(f"dispatch.launch.{decision.reason}")
+        if decision.wait_s is not None:
+            self.metrics.observe("dispatch.latency_s", decision.wait_s)
+
+    def record_rejection(
+        self,
+        time: float,
+        reason: str,
+        task_key: str | None = None,
+        node: str | None = None,
+        **detail: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.reason_counts[reason] = self.reason_counts.get(reason, 0) + 1
+        self.metrics.inc(f"dispatch.reject.{reason}")
+        if task_key is None:
+            return
+        ring = self._rejections_of.get(task_key)
+        if ring is None:
+            ring = self._rejections_of[task_key] = deque(
+                maxlen=self.max_rejections_per_task
+            )
+        if len(ring) == ring.maxlen:
+            self._rejections_dropped[task_key] = (
+                self._rejections_dropped.get(task_key, 0) + 1
+            )
+        ring.append(Rejection(time, reason, task_key, node, detail))
+
+    # -- read path ---------------------------------------------------------------
+
+    def task_keys(self) -> list[str]:
+        keys = set(self._decisions_of) | set(self._rejections_of)
+        keys.update(self._queues_of)
+        return sorted(keys)
+
+    def explain(self, task_key: str) -> TaskExplanation:
+        return TaskExplanation(
+            task_key=task_key,
+            queues=list(self._queues_of.get(task_key, [])),
+            decisions=list(self._decisions_of.get(task_key, [])),
+            rejections=list(self._rejections_of.get(task_key, [])),
+            rejections_dropped=self._rejections_dropped.get(task_key, 0),
+        )
+
+    def matching_keys(self, query: str) -> list[str]:
+        """Exact match wins; otherwise substring matches, sorted."""
+        keys = self.task_keys()
+        if query in keys:
+            return [query]
+        return [k for k in keys if query in k]
+
+
+class Observability:
+    """The per-run observability bundle: metrics registry + decision trace.
+
+    Created once per simulated application and carried on the
+    :class:`~repro.spark.scheduler.SchedulerContext`; disabled instances
+    turn every recording call into a cheap no-op.
+    """
+
+    def __init__(self, enabled: bool = True, sample_interval_s: float = 1.0):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.decisions = DecisionTrace(self.metrics, enabled=enabled)
+        self.sample_interval_s = sample_interval_s
+        self._last_queue_sample = -math.inf
+        self._last_util_sample = -math.inf
+
+    def sample_queue_depths(
+        self, now: float, depths: "dict[str, int] | Callable[[], dict[str, int]]"
+    ) -> None:
+        """Record queue-depth series, rate-limited to the sample interval.
+
+        ``depths`` may be a callable so the (possibly costly) depth count is
+        only computed when a sample is actually due.
+        """
+        if not self.enabled or now - self._last_queue_sample < self.sample_interval_s:
+            return
+        self._last_queue_sample = now
+        for name, depth in (depths() if callable(depths) else depths).items():
+            self.metrics.sample(f"queue.depth.{name}", now, float(depth))
+
+    def sample_utilization(
+        self, now: float, utils: "dict[str, float] | Callable[[], dict[str, float]]"
+    ) -> None:
+        """Record per-resource-kind utilization series, rate-limited."""
+        if not self.enabled or now - self._last_util_sample < self.sample_interval_s:
+            return
+        self._last_util_sample = now
+        for name, value in (utils() if callable(utils) else utils).items():
+            self.metrics.sample(f"util.{name}", now, value)

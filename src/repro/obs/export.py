@@ -1,0 +1,85 @@
+"""Exporters: JSONL event logs and benchmark metrics artifacts.
+
+The JSONL log is one JSON object per line, ordered by simulated time, with a
+``type`` discriminator (``decision`` | ``rejection`` | ``series`` |
+``counters``) — see README's Observability section for the schema.  The
+benchmark artifact (``BENCH_<name>.json``) wraps a :class:`RunReport` with
+benchmark identity so the perf trajectory across PRs is machine-diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.report import build_run_report
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.decision import Observability
+    from repro.spark.driver import AppResult
+
+SCHEMA_VERSION = 1
+
+
+def events(obs: "Observability") -> list[dict[str, Any]]:
+    """All observability output as JSON-ready records, time-ordered."""
+    out: list[dict[str, Any]] = []
+    trace = obs.decisions
+    out.extend(d.to_dict() for d in trace.decisions)
+    for key in trace.task_keys():
+        exp = trace.explain(key)
+        out.extend(r.to_dict() for r in exp.rejections)
+    out.sort(key=lambda e: e["t"])
+    reg = obs.metrics
+    for name in reg.series_names():
+        s = reg.series(name)
+        assert s is not None
+        out.append({"type": "series", "name": name, **s.to_dict()})
+    out.append({"type": "counters", "counters": dict(sorted(reg.counters.items()))})
+    return out
+
+
+def write_jsonl(obs: "Observability", path: str | Path) -> int:
+    """Write the event log; returns the number of lines written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    recs = events(obs)
+    with path.open("w") as f:
+        for rec in recs:
+            f.write(json.dumps(rec, sort_keys=True) + "\n")
+    return len(recs)
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse an event log back into records."""
+    with Path(path).open() as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def bench_payload(
+    name: str,
+    result: "AppResult",
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The BENCH_<name>.json body: run report + benchmark identity."""
+    payload: dict[str, Any] = {
+        "bench": name,
+        "schema_version": SCHEMA_VERSION,
+        "report": build_run_report(result).to_dict(),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(
+    name: str,
+    payload: dict[str, Any],
+    out_dir: str | Path,
+) -> Path:
+    """Write ``BENCH_<name>.json`` under ``out_dir`` and return its path."""
+    out = Path(out_dir) / f"BENCH_{name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

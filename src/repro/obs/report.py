@@ -1,0 +1,138 @@
+"""Per-run report: the observability layer's human/machine summary.
+
+``build_run_report`` distills one :class:`AppResult`'s observability data
+into a :class:`RunReport`: dispatch-latency quantiles, decision-reason
+tallies, queue depths over simulated time, per-resource-kind utilization,
+and the raw counters.  ``render()`` prints it; ``to_dict()`` feeds the
+JSON exporters and the ``BENCH_*.json`` benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.driver import AppResult
+
+
+@dataclass
+class RunReport:
+    """Machine-readable summary of one run's scheduling behavior."""
+
+    app_name: str
+    scheduler_name: str
+    runtime_s: float
+    task_attempts: int
+    successful_tasks: int
+    dispatch_latency: dict[str, float]
+    launch_reasons: dict[str, int]
+    rejection_reasons: dict[str, int]
+    queue_depth: dict[str, dict[str, list[float]]]   # kind -> {"t": [...], "v": [...]}
+    utilization: dict[str, dict[str, list[float]]]   # kind -> {"t": [...], "v": [...]}
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app_name,
+            "scheduler": self.scheduler_name,
+            "runtime_s": self.runtime_s,
+            "task_attempts": self.task_attempts,
+            "successful_tasks": self.successful_tasks,
+            "dispatch_latency_s": self.dispatch_latency,
+            "launch_reasons": self.launch_reasons,
+            "rejection_reasons": self.rejection_reasons,
+            "queue_depth": self.queue_depth,
+            "utilization": self.utilization,
+            "counters": self.counters,
+        }
+
+    def render(self) -> str:
+        # Imported lazily: the renderers live in the experiments layer, which
+        # transitively imports the schedulers (and they import repro.obs).
+        import numpy as np
+
+        from repro.experiments.report import render_series, render_table
+
+        out: list[str] = [
+            f"run report: {self.app_name} under {self.scheduler_name}"
+            f"  runtime={self.runtime_s:.1f}s"
+            f"  attempts={self.task_attempts}"
+            f"  ok={self.successful_tasks}"
+        ]
+        lat = self.dispatch_latency
+        if lat.get("count"):
+            out.append(
+                "dispatch latency (s): "
+                f"n={lat['count']:.0f} mean={lat['mean']:.3f} "
+                f"p50={lat['p50']:.3f} p95={lat['p95']:.3f} "
+                f"p99={lat['p99']:.3f} max={lat['max']:.3f}"
+            )
+        if self.launch_reasons:
+            out.append(
+                render_table(
+                    ["launch reason", "count"],
+                    sorted(self.launch_reasons.items(), key=lambda kv: -kv[1]),
+                )
+            )
+        if self.rejection_reasons:
+            out.append(
+                render_table(
+                    ["rejection reason", "count"],
+                    sorted(self.rejection_reasons.items(), key=lambda kv: -kv[1]),
+                )
+            )
+        for label, series in (("queue depth", self.queue_depth),
+                              ("utilization", self.utilization)):
+            for kind, ts in sorted(series.items()):
+                if ts["t"]:
+                    out.append(
+                        render_series(
+                            f"{label}[{kind}]",
+                            np.asarray(ts["t"]),
+                            np.asarray(ts["v"]),
+                        )
+                    )
+        return "\n".join(out)
+
+
+def _strip_prefix(names: list[str], prefix: str) -> dict[str, str]:
+    return {n[len(prefix):]: n for n in names}
+
+
+def build_run_report(result: "AppResult") -> RunReport:
+    """Build the report from a finished run (requires ``result.obs``)."""
+    obs = result.obs
+    if obs is None:
+        raise ValueError("run was executed without observability enabled")
+    reg = obs.metrics
+    lat_hist = reg.histogram("dispatch.latency_s")
+    latency = lat_hist.summary() if lat_hist is not None else {"count": 0}
+    launch_reasons = {
+        name.removeprefix("dispatch.launch."): int(v)
+        for name, v in reg.counters.items()
+        if name.startswith("dispatch.launch.")
+    }
+    queue_depth = {
+        short: reg.series(full).to_dict()
+        for short, full in _strip_prefix(
+            reg.series_names("queue.depth."), "queue.depth."
+        ).items()
+    }
+    utilization = {
+        short: reg.series(full).to_dict()
+        for short, full in _strip_prefix(reg.series_names("util."), "util.").items()
+    }
+    return RunReport(
+        app_name=result.app_name,
+        scheduler_name=result.scheduler_name,
+        runtime_s=result.runtime_s,
+        task_attempts=len(result.task_metrics),
+        successful_tasks=len(result.successful_metrics()),
+        dispatch_latency=latency,
+        launch_reasons=launch_reasons,
+        rejection_reasons=dict(obs.decisions.reason_counts),
+        queue_depth=queue_depth,
+        utilization=utilization,
+        counters=dict(sorted(reg.counters.items())),
+    )

@@ -1,11 +1,15 @@
 """Structured trace recording for simulations.
 
-Traces are append-only lists of :class:`TraceEvent`; analysis code filters by
-``kind``.  Recording can be disabled entirely for large benchmark runs.
+Traces are append-only sequences of :class:`TraceEvent`; analysis code
+filters by ``kind``.  Recording can be disabled entirely for large benchmark
+runs, or bounded with ``max_events``: the recorder then keeps the most
+recent events in a ring buffer and counts what it dropped, so unbounded
+simulations cannot grow memory without bound.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -21,18 +25,40 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` records, optionally filtered by kind."""
+    """Collects :class:`TraceEvent` records, optionally filtered by kind.
 
-    def __init__(self, enabled: bool = True, kinds: set[str] | None = None):
+    Args:
+        enabled: master switch; a disabled recorder drops everything.
+        kinds: when given, only these event kinds are recorded.
+        max_events: when given, keep only the most recent ``max_events``
+            events (oldest are evicted; ``dropped`` counts the evictions).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: set[str] | None = None,
+        max_events: int | None = None,
+    ):
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1")
         self.enabled = enabled
         self.kinds = kinds
-        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        # A plain list when unbounded (cheapest append, supports slicing);
+        # a maxlen deque when bounded (O(1) ring-buffer eviction).
+        self.events: list[TraceEvent] | deque[TraceEvent] = (
+            [] if max_events is None else deque(maxlen=max_events)
+        )
+        self.dropped = 0
 
     def record(self, time: float, kind: str, **data: Any) -> None:
         if not self.enabled:
             return
         if self.kinds is not None and kind not in self.kinds:
             return
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped += 1
         self.events.append(TraceEvent(time, kind, data))
 
     def of_kind(self, kind: str) -> Iterator[TraceEvent]:
@@ -43,6 +69,7 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.events)

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs import decision as obs
+from repro.obs.decision import DispatchDecision
 from repro.simulate.engine import EventHandle
+from repro.spark.locality import Locality
 from repro.spark.scheduler import TaskScheduler
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,6 +63,14 @@ class DefaultScheduler(TaskScheduler):
             return
         self._reviving = True
         try:
+            self.ctx.obs.sample_queue_depths(
+                self.ctx.now,
+                lambda: {
+                    "pending": sum(
+                        len(ts.pending) for ts in self.tasksets if ts.is_active()
+                    )
+                },
+            )
             launched = True
             while launched:
                 launched = False
@@ -93,15 +104,60 @@ class DefaultScheduler(TaskScheduler):
                 if sel is not None:
                     spec, loc = sel
                     ts.note_launch(loc, now)
+                    self._record_launch(ts, spec, ex, loc, allowed)
                     driver.launch_task(ts, spec, ex, loc)
                     return True
+                self.ctx.obs.decisions.record_rejection(
+                    now, obs.LOCALITY_WAIT, node=ex.node.name,
+                    allowed=allowed.name, stage=ts.stage.template_id,
+                )
             if ts.has_speculatable():
                 sel = ts.select_speculative(ex)
                 if sel is not None:
                     spec, loc = sel
+                    self._record_launch(
+                        ts, spec, ex, loc, allowed=None, speculative=True
+                    )
                     driver.launch_task(ts, spec, ex, loc, speculative=True)
                     return True
         return False
+
+    def _record_launch(
+        self,
+        ts: "TaskSetManager",
+        spec,
+        ex: "Executor",
+        loc: Locality,
+        allowed: Locality | None,
+        speculative: bool = False,
+    ) -> None:
+        assert self.ctx is not None
+        trace = self.ctx.obs.decisions
+        if not trace.enabled:
+            return
+        # Same {kind: fraction} shape as the RUPAM dispatcher's decisions.
+        snap = ex.node.utilization_snapshot()
+        used_mb = snap.pop("mem_used_mb")
+        total_mb = used_mb + snap.pop("mem_free_mb")
+        snap["mem"] = used_mb / total_mb if total_mb else 0.0
+        trace.record_launch(
+            DispatchDecision(
+                time=self.ctx.now,
+                task_key=spec.key,
+                attempt=ts.next_attempt_number(spec),
+                node=ex.node.name,
+                queue="slots" if allowed is None else f"slots@{allowed.name}",
+                locality=loc.name,
+                reason=(
+                    obs.LAUNCH_SPECULATIVE if speculative else obs.LAUNCH_DELAY_SCHED
+                ),
+                speculative=speculative,
+                mem_estimate_mb=spec.peak_memory_mb,
+                free_memory_mb=ex.free_memory_mb,
+                wait_s=max(0.0, self.ctx.now - ts.submit_time),
+                node_utilization={k: round(v, 4) for k, v in snap.items()},
+            )
+        )
 
     def _schedule_escalation_revive(self) -> None:
         """Wake up when some taskset's locality level will loosen."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.monitor import ClusterMonitor
+from repro.obs.decision import Observability
 from repro.spark.application import Application, Job
 from repro.spark.executor import Executor
 from repro.spark.metrics import TaskMetrics
@@ -37,6 +38,7 @@ class AppResult:
     executor_kills: int = 0
     monitor: ClusterMonitor | None = None
     extras: dict[str, float] = field(default_factory=dict)
+    obs: Observability | None = field(default=None, repr=False)
 
     def successful_metrics(self) -> list[TaskMetrics]:
         return [m for m in self.task_metrics if m.succeeded]
@@ -122,6 +124,7 @@ class Driver:
             oom_task_failures=oom_failures,
             executor_kills=self.executor_kills,
             monitor=self.monitor,
+            obs=self.ctx.obs,
         )
 
     def active_tasksets(self) -> list[TaskSetManager]:
@@ -147,6 +150,7 @@ class Driver:
         if not executor.alive:
             return
         self.executor_kills += 1
+        self.ctx.obs.metrics.inc("executors.killed")
         self.ctx.trace.record(
             self.ctx.now, "executor_killed", node=executor.node.name
         )
@@ -269,10 +273,18 @@ class Driver:
         )
         ts.register_launch(spec, run)
         self.all_runs.append(run)
+        self.ctx.obs.metrics.inc("tasks.launched")
         run.start()
         return run
 
     def task_ended(self, run: TaskRun) -> None:
+        m = run.metrics
+        outcome = (
+            "succeeded"
+            if m.succeeded
+            else "oom" if m.failed_oom else "killed" if m.killed else "failed"
+        )
+        self.ctx.obs.metrics.inc(f"tasks.{outcome}")
         ts = run.taskset
         stage_completed = False
         try:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster
+from repro.obs.decision import Observability
 from repro.simulate.engine import Simulator
 from repro.simulate.randomness import RandomSource
 from repro.simulate.trace import TraceRecorder
@@ -40,6 +41,7 @@ class SchedulerContext:
     trace: TraceRecorder
     driver_node: str
     driver: "Driver | None" = field(default=None, repr=False)
+    obs: Observability = field(default_factory=Observability, repr=False)
 
     @property
     def now(self) -> float:

@@ -1,0 +1,87 @@
+"""Tests for the ``repro metrics`` and ``repro explain`` CLI commands."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestMetricsCommand:
+    def test_prints_run_report(self, capsys):
+        rc = main(["metrics", "gramian", "--scheduler", "rupam", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run report: GM under rupam" in out
+        assert "launch reason" in out
+        assert "dispatch latency" in out
+
+    def test_json_and_events_outputs(self, capsys, tmp_path):
+        report_path = tmp_path / "sub" / "report.json"
+        events_path = tmp_path / "sub" / "events.jsonl"
+        rc = main([
+            "metrics", "gramian", "--scheduler", "rupam", "--seed", "3",
+            "--json", str(report_path), "--events-out", str(events_path),
+        ])
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        assert report["scheduler"] == "rupam"
+        assert {"p50", "p95", "p99"} <= set(report["dispatch_latency_s"])
+        lines = [json.loads(x) for x in events_path.read_text().splitlines()]
+        assert any(r["type"] == "decision" for r in lines)
+
+    def test_spark_scheduler_also_reports(self, capsys):
+        rc = main(["metrics", "gramian", "--scheduler", "spark", "--seed", "3"])
+        assert rc == 0
+        assert "under spark" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explains_matching_tasks(self, capsys):
+        rc = main([
+            "explain", "#0", "--workload", "gramian",
+            "--scheduler", "rupam", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "task " in out
+        assert "launches:" in out
+        assert "reason=" in out
+
+    def test_exact_key_shows_single_task(self, capsys):
+        # Find one real key via a broad query, then ask for it exactly.
+        main([
+            "explain", "#0", "--workload", "gramian",
+            "--scheduler", "rupam", "--seed", "3", "--max-matches", "1",
+        ])
+        out = capsys.readouterr().out
+        key = next(
+            line.split()[1] for line in out.splitlines() if line.startswith("task ")
+        )
+        rc = main([
+            "explain", key, "--workload", "gramian",
+            "--scheduler", "rupam", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\ntask ") + out.startswith("task ") == 1
+
+    def test_no_match_lists_known_keys(self, capsys):
+        rc = main([
+            "explain", "definitely-not-a-task", "--workload", "gramian",
+            "--seed", "3",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "no task matches" in out
+        assert "e.g." in out
+
+    def test_match_cap_is_respected(self, capsys):
+        rc = main([
+            "explain", "#", "--workload", "gramian", "--seed", "3",
+            "--max-matches", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "showing first 2" in out
+        assert out.count("launches:") == 2

@@ -1,0 +1,144 @@
+"""Tests for the metrics primitives: histograms, series, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.decision import Observability
+from repro.obs.metrics import Histogram, MetricsRegistry, TimeSeries
+
+
+class TestHistogram:
+    def test_quantiles_match_numpy_within_bucket_error(self):
+        """Log buckets (10/decade) bound the quantile error at ~±13%."""
+        rng = np.random.default_rng(42)
+        samples = rng.lognormal(mean=0.0, sigma=1.5, size=5000)
+        h = Histogram()
+        for s in samples:
+            h.observe(float(s))
+        for q in (0.50, 0.90, 0.95, 0.99):
+            exact = float(np.percentile(samples, q * 100))
+            approx = h.quantile(q)
+            assert approx == pytest.approx(exact, rel=0.13), f"q={q}"
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram()
+        for v in (3.0, 4.0, 5.0):
+            h.observe(v)
+        assert 3.0 <= h.quantile(0.0) <= 5.0
+        assert h.quantile(1.0) <= 5.0
+
+    def test_zero_values_report_zero_not_bucket_floor(self):
+        """Sub-resolution waits (0.0s) must not inflate to the 1e-6 clamp."""
+        h = Histogram()
+        for _ in range(10):
+            h.observe(0.0)
+        h.observe(2.0)
+        assert h.quantile(0.50) == 0.0
+        assert h.min == 0.0 and h.max == 2.0
+
+    def test_summary_fields(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["p50"] <= s["p95"] <= s["p99"]
+
+    def test_empty_summary_is_all_zero(self):
+        s = Histogram().summary()
+        assert s["count"] == 0 and s["p99"] == 0.0 and s["min"] == 0.0
+
+    def test_extreme_values_land_in_clamp_buckets(self):
+        h = Histogram()
+        h.observe(1e-12)
+        h.observe(1e12)
+        assert h.count == 2
+        assert h.quantile(0.99) <= 1e12
+
+
+class TestTimeSeries:
+    def test_unbounded_below_cap(self):
+        s = TimeSeries(max_points=100)
+        for i in range(50):
+            s.append(float(i), float(i))
+        assert len(s) == 50
+        assert s.to_dict()["t"][-1] == 49.0
+
+    def test_stride_doubling_keeps_full_time_coverage(self):
+        s = TimeSeries(max_points=64)
+        for i in range(10_000):
+            s.append(float(i), float(i))
+        assert len(s) < 64
+        d = s.to_dict()
+        assert d["t"][0] == 0.0
+        # Coverage reaches near the end despite the cap (no tail truncation).
+        assert d["t"][-1] > 9000.0
+        assert d["t"] == sorted(d["t"])
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms_series(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2.0)
+        reg.set_gauge("g", 7.0)
+        reg.observe("h", 1.0)
+        reg.sample("s", 0.0, 1.0)
+        assert reg.counter("a") == 3.0
+        assert reg.gauges["g"] == 7.0
+        assert reg.histogram("h") is not None
+        assert reg.series("s") is not None
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms", "series"}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        reg.sample("s", 0.0, 1.0)
+        assert not reg.counters and not reg.gauges
+        assert not reg.histograms and not reg.series_names()
+
+    def test_series_names_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.sample("queue.depth.cpu", 0.0, 1.0)
+        reg.sample("queue.depth.gpu", 0.0, 1.0)
+        reg.sample("util.cpu", 0.0, 1.0)
+        assert reg.series_names("queue.depth.") == [
+            "queue.depth.cpu",
+            "queue.depth.gpu",
+        ]
+
+
+class TestObservabilitySampling:
+    def test_queue_depth_sampling_is_rate_limited(self):
+        ob = Observability(sample_interval_s=1.0)
+        ob.sample_queue_depths(0.0, {"cpu": 3})
+        ob.sample_queue_depths(0.5, {"cpu": 9})   # within the interval: dropped
+        ob.sample_queue_depths(1.5, {"cpu": 5})
+        s = ob.metrics.series("queue.depth.cpu")
+        assert s is not None and s.to_dict() == {"t": [0.0, 1.5], "v": [3.0, 5.0]}
+
+    def test_callable_depths_not_invoked_when_rate_limited(self):
+        ob = Observability(sample_interval_s=1.0)
+        calls = []
+
+        def depths():
+            calls.append(1)
+            return {"cpu": 1}
+
+        ob.sample_queue_depths(0.0, depths)
+        ob.sample_queue_depths(0.1, depths)  # skipped: callable must not run
+        assert len(calls) == 1
+
+    def test_disabled_observability_samples_nothing(self):
+        ob = Observability(enabled=False)
+        ob.sample_queue_depths(0.0, {"cpu": 1})
+        ob.sample_utilization(0.0, {"cpu": 0.5})
+        assert not ob.metrics.series_names()
