@@ -1,0 +1,522 @@
+"""Frozen pre-rewrite dispatch engine, kept as the scale-benchmark baseline.
+
+This is a verbatim snapshot of ``repro.core.queues`` (list-based
+``ResourceQueues`` rebuilt+sorted per round, deque-based ``TaskQueues``
+rebuilt on every ``entries()`` call) and ``repro.core.dispatcher`` as they
+stood before the incremental-dispatch rewrite.  ``test_sched_scale.py`` runs
+the same synthetic workload through this engine and the live one so
+``BENCH_sched_scale.json`` always reports the speedup against a fixed
+baseline, not against whatever the last release happened to be.
+
+The only deliberate edit: the legacy dispatcher calls
+``collect_now(force=True)`` so the (now version-gated) ResourceMonitor
+rebuilds every node's metrics each round, exactly as the old monitor did.
+
+Do not "improve" this module — its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterator, NamedTuple
+
+from repro.core.config import RupamConfig
+from repro.core.nodeinfo import ALL_KINDS, NodeMetrics, ResourceKind
+from repro.core.resource_monitor import ResourceMonitor
+from repro.core.task_manager import TaskManager
+from repro.obs import decision as obs
+from repro.obs.decision import DispatchDecision
+from repro.spark.locality import Locality
+from repro.spark.scheduler import SchedulerContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.executor import Executor
+    from repro.spark.task import TaskSpec
+    from repro.spark.taskset import TaskSetManager
+
+
+class LegacyResourceQueues:
+    """One priority queue of candidate nodes per resource kind."""
+
+    def __init__(self) -> None:
+        self._queues: dict[ResourceKind, list[NodeMetrics]] = {
+            k: [] for k in ALL_KINDS
+        }
+
+    def populate(
+        self,
+        metrics: list[NodeMetrics],
+        load_hint: "Callable[[str, ResourceKind], float] | None" = None,
+    ) -> None:
+        """Rebuild all queues from the current offer round's nodes."""
+        unit_kinds = (ResourceKind.CPU, ResourceKind.GPU)
+        for kind in ALL_KINDS:
+            eligible = [m for m in metrics if m.has(kind)]
+
+            def load(m: NodeMetrics, kind: ResourceKind = kind) -> float:
+                util = m.utilization(kind)
+                if load_hint is not None:
+                    util = max(util, load_hint(m.name, kind))
+                return util
+
+            def eff(m: NodeMetrics, kind: ResourceKind = kind) -> float:
+                if kind in unit_kinds:
+                    return m.capability(kind)
+                return m.capability(kind) * max(0.0, 1.0 - load(m))
+
+            eligible.sort(key=lambda m: (-eff(m), load(m), m.name))
+            self._queues[kind] = eligible
+
+    def pop(self, kind: ResourceKind) -> NodeMetrics | None:
+        q = self._queues[kind]
+        return q.pop(0) if q else None
+
+    def peek(self, kind: ResourceKind) -> NodeMetrics | None:
+        q = self._queues[kind]
+        return q[0] if q else None
+
+    def size(self, kind: ResourceKind) -> int:
+        return len(self._queues[kind])
+
+    def clear(self) -> None:
+        for q in self._queues.values():
+            q.clear()
+
+    def remove_node(self, name: str) -> None:
+        """Drop a node from every queue (it just received a task)."""
+        for kind in ALL_KINDS:
+            self._queues[kind] = [m for m in self._queues[kind] if m.name != name]
+
+
+class LegacyQueuedTask(NamedTuple):
+    ts: "TaskSetManager"
+    spec: "TaskSpec"
+    enqueued_at: float
+
+
+class LegacyTaskQueues:
+    """Pending tasks bucketed by their characterized bottleneck."""
+
+    def __init__(self) -> None:
+        self._queues: dict[ResourceKind, deque[LegacyQueuedTask]] = {
+            k: deque() for k in ALL_KINDS
+        }
+
+    def enqueue(
+        self,
+        kind: ResourceKind,
+        ts: "TaskSetManager",
+        spec: "TaskSpec",
+        now: float,
+    ) -> None:
+        self._queues[kind].append(LegacyQueuedTask(ts, spec, now))
+
+    def enqueue_all_kinds(
+        self, ts: "TaskSetManager", spec: "TaskSpec", now: float
+    ) -> None:
+        for kind in ALL_KINDS:
+            self._queues[kind].append(LegacyQueuedTask(ts, spec, now))
+
+    @staticmethod
+    def _live(entry: LegacyQueuedTask) -> bool:
+        return entry.ts.is_active() and entry.spec.index in entry.ts.pending
+
+    def entries(self, kind: ResourceKind) -> Iterator[LegacyQueuedTask]:
+        """Live (still-pending) entries in FIFO order, pruning stale ones."""
+        q = self._queues[kind]
+        alive = [e for e in q if self._live(e)]
+        q.clear()
+        q.extend(alive)
+        return iter(list(alive))
+
+    def oldest_waiting(self, kind: ResourceKind) -> LegacyQueuedTask | None:
+        for e in self.entries(kind):
+            return e
+        return None
+
+    def find_for_node(
+        self, node_name: str, locked_node_of: "Callable[[TaskSpec], str | None]"
+    ) -> LegacyQueuedTask | None:
+        """First live entry (any kind) locked to ``node_name``."""
+        seen: set[tuple[int, int]] = set()
+        for kind in ALL_KINDS:
+            for e in self.entries(kind):
+                key = (id(e.ts), e.spec.index)
+                if key in seen or e.ts.blocked:
+                    continue
+                seen.add(key)
+                if locked_node_of(e.spec) == node_name:
+                    return e
+        return None
+
+    def remove_task(self, ts: "TaskSetManager", spec: "TaskSpec") -> int:
+        removed = 0
+        for kind in ALL_KINDS:
+            q = self._queues[kind]
+            kept = [e for e in q if not (e.ts is ts and e.spec.index == spec.index)]
+            removed += len(q) - len(kept)
+            q.clear()
+            q.extend(kept)
+        return removed
+
+    def depths(self) -> dict[str, int]:
+        return {
+            kind.value: sum(1 for e in self._queues[kind] if self._live(e))
+            for kind in ALL_KINDS
+        }
+
+    def total_pending(self) -> int:
+        seen: set[tuple[int, int]] = set()
+        for kind in ALL_KINDS:
+            for e in self._queues[kind]:
+                if self._live(e):
+                    seen.add((id(e.ts), e.spec.index))
+        return len(seen)
+
+    def prune(self) -> None:
+        for kind in ALL_KINDS:
+            self.entries(kind)
+
+    def clear(self) -> None:
+        for q in self._queues.values():
+            q.clear()
+
+
+class LegacyDispatcher:
+    """The pre-rewrite Dispatcher: rebuilds everything every round."""
+
+    def __init__(
+        self,
+        ctx: SchedulerContext,
+        cfg: RupamConfig,
+        rm: ResourceMonitor,
+        tm: TaskManager,
+        executors: Callable[[], dict[str, "Executor"]],
+        available_for: Callable[["Executor", ResourceKind], bool],
+        launch: Callable[..., None],
+        active_tasksets: Callable[[], list["TaskSetManager"]],
+        load_hint: Callable[[str, ResourceKind], float] | None = None,
+    ):
+        self.ctx = ctx
+        self.cfg = cfg
+        self.rm = rm
+        self.tm = tm
+        self._executors = executors
+        self._available_for = available_for
+        self._launch = launch
+        self._active_tasksets = active_tasksets
+        self._load_hint = load_hint
+        self.resource_queues = LegacyResourceQueues()
+        self._rr = 0
+        self.launches = 0
+        self.gpu_cpu_races = 0
+        self.obs = ctx.obs
+        self._last_selection: tuple[str, float | None] = (
+            obs.LAUNCH_BEST_LOCALITY,
+            None,
+        )
+
+    # -- main loop ----------------------------------------------------------------
+
+    def dispatch(self) -> int:
+        self.obs.sample_queue_depths(self.ctx.now, self.tm.queues.depths)
+        total = 0
+        while True:
+            launched = self._dispatch_round()
+            total += launched
+            if launched == 0:
+                break
+        self.launches += total
+        self.obs.metrics.inc("dispatch.calls")
+        return total
+
+    def _dispatch_round(self) -> int:
+        self.tm.db.drain(self.cfg.db_drain_batch)
+        self.rm.collect_now(force=True)
+        executors = self._executors()
+        metrics: list[NodeMetrics] = []
+        for name, ex in executors.items():
+            if not ex.alive:
+                continue
+            m = self.rm.metrics_for(name)
+            if m is not None:
+                metrics.append(m)
+        if not metrics:
+            return 0
+        self.resource_queues.populate(metrics, load_hint=self._load_hint)
+        self.obs.metrics.inc("dispatch.rounds")
+        launched = 0
+        for _ in range(len(ALL_KINDS)):
+            kind = ALL_KINDS[self._rr % len(ALL_KINDS)]
+            self._rr += 1
+            if self.obs.enabled and self.tm.queues.oldest_waiting(kind) is None:
+                self.obs.decisions.record_rejection(
+                    self.ctx.now, obs.QUEUE_EMPTY, queue=kind.value
+                )
+            while True:
+                node_metrics = self._pop_available(kind, executors)
+                if node_metrics is None:
+                    break
+                ex = executors[node_metrics.name]
+                if self._try_node(kind, ex):
+                    self.resource_queues.remove_node(node_metrics.name)
+                    launched += 1
+                    break
+        return launched
+
+    def _pop_available(
+        self, kind: ResourceKind, executors: dict[str, "Executor"]
+    ) -> NodeMetrics | None:
+        while True:
+            m = self.resource_queues.pop(kind)
+            if m is None:
+                return None
+            ex = executors.get(m.name)
+            if ex is not None and ex.alive and self._available_for(ex, kind):
+                return m
+            self.obs.decisions.record_rejection(
+                self.ctx.now, obs.NODE_BUSY, node=m.name, queue=kind.value
+            )
+
+    # -- Algorithm 2 core ---------------------------------------------------------
+
+    def _try_node(self, kind: ResourceKind, ex: "Executor") -> bool:
+        locked = self.tm.queues.find_for_node(
+            ex.node.name, self.tm.locked_node_of
+        )
+        if locked is not None:
+            est_mb = self.tm.memory_estimate_mb(locked.spec)
+            if est_mb <= ex.free_memory_mb:
+                loc = self.ctx.blocks.locality_for(locked.spec, ex.node.name)
+                self._record_launch(
+                    locked.ts, locked.spec, ex, loc, kind,
+                    reason=obs.LAUNCH_LOCKED,
+                    enqueued_at=locked.enqueued_at,
+                )
+                self._launch(locked.ts, locked.spec, ex, loc, kind)
+                return True
+            self.obs.decisions.record_rejection(
+                self.ctx.now, obs.NO_FIT_MEMORY,
+                task_key=locked.spec.key, node=ex.node.name,
+                est_mb=round(est_mb, 1),
+                free_mb=round(ex.free_memory_mb, 1),
+                locked=True,
+            )
+        sel = self.schedule_task(kind, ex)
+        if sel is not None:
+            ts, spec, loc = sel
+            reason, enqueued_at = self._last_selection
+            self._record_launch(
+                ts, spec, ex, loc, kind, reason=reason, enqueued_at=enqueued_at
+            )
+            self._launch(ts, spec, ex, loc, kind)
+            return True
+        if self._try_speculative(ex, kind):
+            return True
+        if self.cfg.gpu_race_enabled:
+            if kind is ResourceKind.CPU and self._try_gpu_task_on_cpu(ex):
+                return True
+            if kind is ResourceKind.GPU and self._try_race_on_gpu(ex):
+                return True
+        return False
+
+    def schedule_task(
+        self, kind: ResourceKind, ex: "Executor"
+    ) -> tuple["TaskSetManager", "TaskSpec", Locality] | None:
+        blocks = self.ctx.blocks
+        node = ex.node.name
+        free_mb = ex.free_memory_mb
+        best: tuple[LegacyQueuedTask, Locality, float] | None = None
+        now = self.ctx.now
+        reject = self.obs.decisions.record_rejection
+        for entry in self.tm.queues.entries(kind):
+            if entry.ts.blocked:
+                reject(
+                    now, obs.TASKSET_BLOCKED,
+                    task_key=entry.spec.key, node=node,
+                )
+                continue
+            spec = entry.spec
+            est_mb = self.tm.memory_estimate_mb(spec)
+            fits = est_mb <= free_mb
+            locked_here = self.tm.is_locked_to(spec, node)
+            if not fits:
+                if locked_here:
+                    self._last_selection = (
+                        obs.LAUNCH_MEM_OVERRIDE,
+                        entry.enqueued_at,
+                    )
+                    return entry.ts, spec, blocks.locality_for(spec, node)
+                reject(
+                    now, obs.NO_FIT_MEMORY,
+                    task_key=spec.key, node=node,
+                    est_mb=round(est_mb, 1), free_mb=round(free_mb, 1),
+                )
+                continue
+            if (
+                not locked_here
+                and self.tm.locked_node_of(spec) is not None
+                and now - entry.enqueued_at < self.cfg.lock_break_wait_s
+            ):
+                reject(
+                    now, obs.LOCK_WAIT,
+                    task_key=spec.key, node=node,
+                    locked_node=self.tm.locked_node_of(spec),
+                )
+                continue
+            loc = blocks.locality_for(spec, node)
+            if locked_here or loc is Locality.PROCESS_LOCAL:
+                self._last_selection = (
+                    obs.LAUNCH_LOCKED if locked_here else obs.LAUNCH_PROCESS_LOCAL,
+                    entry.enqueued_at,
+                )
+                return entry.ts, spec, loc
+            if best is None or loc < best[1] or (loc == best[1] and est_mb > best[2]):
+                best = (entry, loc, est_mb)
+        if best is None:
+            return None
+        entry, loc, _ = best
+        self._last_selection = (obs.LAUNCH_BEST_LOCALITY, entry.enqueued_at)
+        return entry.ts, entry.spec, loc
+
+    # -- decision recording -------------------------------------------------------
+
+    def _record_launch(
+        self,
+        ts: "TaskSetManager",
+        spec: "TaskSpec",
+        ex: "Executor",
+        loc: Locality,
+        kind: ResourceKind,
+        reason: str,
+        enqueued_at: float | None = None,
+        speculative: bool = False,
+    ) -> None:
+        trace = self.obs.decisions
+        if not trace.enabled:
+            return
+        now = self.ctx.now
+        m = self.rm.metrics_for(ex.node.name)
+        util = (
+            {k.value: round(m.utilization(k), 4) for k in ALL_KINDS}
+            if m is not None
+            else {}
+        )
+        trace.record_launch(
+            DispatchDecision(
+                time=now,
+                task_key=spec.key,
+                attempt=ts.next_attempt_number(spec),
+                node=ex.node.name,
+                queue=kind.value,
+                locality=loc.name,
+                reason=reason,
+                speculative=speculative,
+                mem_estimate_mb=self.tm.memory_estimate_mb(spec),
+                free_memory_mb=ex.free_memory_mb,
+                locked_node=self.tm.locked_node_of(spec),
+                wait_s=None if enqueued_at is None else now - enqueued_at,
+                node_utilization=util,
+            )
+        )
+
+    # -- fallbacks ----------------------------------------------------------------
+
+    def _try_speculative(self, ex: "Executor", kind: ResourceKind) -> bool:
+        for ts in self._active_tasksets():
+            if not ts.has_speculatable():
+                continue
+            for spec, loc, running_nodes in ts.speculative_candidates(ex):
+                if self.tm.memory_estimate_mb(spec) > ex.free_memory_mb:
+                    continue
+                task_kind = self._task_kind(spec)
+                if task_kind is not None and not self._node_improves(
+                    ex, running_nodes, task_kind
+                ):
+                    continue
+                self._record_launch(
+                    ts, spec, ex, loc, kind,
+                    reason=obs.LAUNCH_SPECULATIVE, speculative=True,
+                )
+                self._launch(ts, spec, ex, loc, kind, speculative=True)
+                return True
+        return False
+
+    def _task_kind(self, spec: "TaskSpec") -> ResourceKind | None:
+        from repro.core.characterize import classify_record
+
+        rec = self.tm.record_for(spec)
+        if rec is None or rec.runs == 0:
+            return None
+        return classify_record(rec, self.cfg, self.tm.reference_heap_mb)
+
+    @staticmethod
+    def _node_capability(ex: "Executor", kind: ResourceKind) -> float:
+        spec = ex.node.spec
+        if kind is ResourceKind.CPU:
+            return spec.cpu.core_rate
+        if kind is ResourceKind.GPU:
+            return ex.node.gpu_task_rate
+        if kind is ResourceKind.DISK:
+            return spec.disk.read_mbps * (2.0 if spec.disk.is_ssd else 1.0)
+        if kind is ResourceKind.NET:
+            return spec.net_mbps
+        if kind is ResourceKind.MEM:
+            return ex.free_memory_mb
+        raise ValueError(kind)
+
+    def _node_improves(
+        self, ex: "Executor", running_nodes: list[str], kind: ResourceKind
+    ) -> bool:
+        executors = self._executors()
+        here = self._node_capability(ex, kind)
+        for name in running_nodes:
+            other = executors.get(name)
+            if other is None:
+                return True
+            if here > 1.1 * self._node_capability(other, kind):
+                return True
+        return False
+
+    def _try_gpu_task_on_cpu(self, ex: "Executor") -> bool:
+        now = self.ctx.now
+        for entry in self.tm.queues.entries(ResourceKind.GPU):
+            if entry.ts.blocked:
+                continue
+            if now - entry.enqueued_at < self.cfg.gpu_wait_before_cpu_s:
+                continue
+            if self.tm.memory_estimate_mb(entry.spec) > ex.free_memory_mb:
+                continue
+            loc = self.ctx.blocks.locality_for(entry.spec, ex.node.name)
+            self._record_launch(
+                entry.ts, entry.spec, ex, loc, ResourceKind.CPU,
+                reason=obs.LAUNCH_GPU_ON_CPU, enqueued_at=entry.enqueued_at,
+            )
+            self._launch(entry.ts, entry.spec, ex, loc, ResourceKind.CPU)
+            self.gpu_cpu_races += 1
+            return True
+        return False
+
+    def _try_race_on_gpu(self, ex: "Executor") -> bool:
+        if ex.node.gpus_idle() <= 0:
+            return False
+        for ts in self._active_tasksets():
+            for st in ts.states:
+                if st.finished or st.speculated or not st.running:
+                    continue
+                if not st.spec.gpu_capable:
+                    continue
+                run = st.running[0]
+                if run.metrics.used_gpu or run.executor.node.name == ex.node.name:
+                    continue
+                if run.elapsed < self.cfg.gpu_race_min_remaining_s:
+                    continue
+                loc = self.ctx.blocks.locality_for(st.spec, ex.node.name)
+                self._record_launch(
+                    ts, st.spec, ex, loc, ResourceKind.GPU,
+                    reason=obs.LAUNCH_GPU_RACE, speculative=True,
+                )
+                self._launch(ts, st.spec, ex, loc, ResourceKind.GPU, speculative=True)
+                self.gpu_cpu_races += 1
+                return True
+        return False

@@ -66,6 +66,15 @@ class Dispatcher:
         self.launches = 0
         self.gpu_cpu_races = 0
         self.obs = ctx.obs
+        # Round-level memoization: memory estimates are stable for a whole
+        # dispatch call (no record update can land mid-dispatch), locality is
+        # stable until a launch evicts cached partitions.
+        self._mem_memo: dict[str, float] = {}
+        # node -> {id(spec) -> Locality}; nested so the hot scan hashes a
+        # plain int per entry instead of allocating a (id, node) tuple.
+        self._loc_memo: dict[str, dict[int, Locality]] = {}
+        self._memo_hits = 0
+        self._dirty_seen = 0
         # (reason, enqueued_at) of schedule_task's last selection, consumed
         # by _try_node when it records the launch decision.
         self._last_selection: tuple[str, float | None] = (
@@ -80,6 +89,11 @@ class Dispatcher:
         # Sample the backlog before placing anything: depth-after-drain is
         # always near zero and hides the demand the scheduler actually saw.
         self.obs.sample_queue_depths(self.ctx.now, self.tm.queues.depths)
+        self._mem_memo.clear()
+        self._loc_memo.clear()
+        memo0 = self._memo_hits
+        requeue0 = self.resource_queues.requeue_ops
+        dirty0 = self._dirty_seen
         total = 0
         while True:
             launched = self._dispatch_round()
@@ -87,13 +101,54 @@ class Dispatcher:
             if launched == 0:
                 break
         self.launches += total
-        self.obs.metrics.inc("dispatch.calls")
+        if self.obs.enabled:
+            self.obs.metrics.inc("dispatch.calls")
+            self.obs.metrics.inc("dispatch.memo_hits", self._memo_hits - memo0)
+            self.obs.metrics.inc(
+                "dispatch.requeue_ops", self.resource_queues.requeue_ops - requeue0
+            )
+            self.obs.metrics.inc("dispatch.dirty_nodes", self._dirty_seen - dirty0)
         return total
+
+    # -- memoized hot-path lookups ------------------------------------------------
+
+    def _mem_est(self, spec: "TaskSpec") -> float:
+        est = self._mem_memo.get(spec.key)
+        if est is None:
+            est = self.tm.memory_estimate_mb(spec)
+            self._mem_memo[spec.key] = est
+        else:
+            self._memo_hits += 1
+        return est
+
+    def _locality(self, spec: "TaskSpec", node: str) -> Locality:
+        memo = self._loc_memo.get(node)
+        if memo is None:
+            memo = self._loc_memo[node] = {}
+        sid = id(spec)
+        loc = memo.get(sid)
+        if loc is None:
+            loc = self.ctx.blocks.locality_for(spec, node)
+            memo[sid] = loc
+        else:
+            self._memo_hits += 1
+        return loc
+
+    def _do_launch(self, *args, speculative: bool = False) -> None:
+        if speculative:
+            self._launch(*args, speculative=True)
+        else:
+            self._launch(*args)
+        # Launching can evict cached partitions (execution-memory reservation
+        # displaces storage LRU-first), which changes locality for any task:
+        # the locality memo only survives until the next launch.
+        self._loc_memo.clear()
 
     def _dispatch_round(self) -> int:
         self.tm.db.drain(self.cfg.db_drain_batch)
         # Refresh heartbeat data each round: launches made in the previous
-        # round change utilization and free memory.
+        # round change utilization and free memory.  The collection is
+        # version-gated — nodes whose resources did not move are skipped.
         self.rm.collect_now()
         executors = self._executors()
         metrics: list[NodeMetrics] = []
@@ -105,13 +160,19 @@ class Dispatcher:
                 metrics.append(m)
         if not metrics:
             return 0
-        self.resource_queues.populate(metrics, load_hint=self._load_hint)
+        # Re-key only the nodes the monitor saw change; everything else keeps
+        # its heap position from the previous round.
+        dirty = self.rm.consume_dirty()
+        self._dirty_seen += len(dirty)
+        self.resource_queues.begin_round(
+            metrics, dirty=dirty, load_hint=self._load_hint
+        )
         self.obs.metrics.inc("dispatch.rounds")
         launched = 0
         for _ in range(len(ALL_KINDS)):
             kind = ALL_KINDS[self._rr % len(ALL_KINDS)]
             self._rr += 1
-            if self.obs.enabled and self.tm.queues.oldest_waiting(kind) is None:
+            if self.obs.enabled and self.tm.queues.live_count(kind) == 0:
                 # Nothing pending of this kind this round (fallbacks below
                 # may still find speculative/racing work).
                 self.obs.decisions.record_rejection(
@@ -150,20 +211,19 @@ class Dispatcher:
 
     def _try_node(self, kind: ResourceKind, ex: "Executor") -> bool:
         # A task locked to this node takes priority regardless of which
-        # queue its bottleneck put it in.
-        locked = self.tm.queues.find_for_node(
-            ex.node.name, self.tm.locked_node_of
-        )
+        # queue its bottleneck put it in (served straight from the lock
+        # index — no queue walk).
+        locked = self.tm.queues.find_for_node(ex.node.name)
         if locked is not None:
-            est_mb = self.tm.memory_estimate_mb(locked.spec)
+            est_mb = self._mem_est(locked.spec)
             if est_mb <= ex.free_memory_mb:
-                loc = self.ctx.blocks.locality_for(locked.spec, ex.node.name)
+                loc = self._locality(locked.spec, ex.node.name)
                 self._record_launch(
                     locked.ts, locked.spec, ex, loc, kind,
                     reason=obs.LAUNCH_LOCKED,
                     enqueued_at=locked.enqueued_at,
                 )
-                self._launch(locked.ts, locked.spec, ex, loc, kind)
+                self._do_launch(locked.ts, locked.spec, ex, loc, kind)
                 return True
             self.obs.decisions.record_rejection(
                 self.ctx.now, obs.NO_FIT_MEMORY,
@@ -179,7 +239,7 @@ class Dispatcher:
             self._record_launch(
                 ts, spec, ex, loc, kind, reason=reason, enqueued_at=enqueued_at
             )
-            self._launch(ts, spec, ex, loc, kind)
+            self._do_launch(ts, spec, ex, loc, kind)
             return True
         # Nothing pending of this kind: consider stragglers (speculative set).
         if self._try_speculative(ex, kind):
@@ -196,7 +256,6 @@ class Dispatcher:
         self, kind: ResourceKind, ex: "Executor"
     ) -> tuple["TaskSetManager", "TaskSpec", Locality] | None:
         """Algorithm 2's schedule_task(): best launchable task of this kind."""
-        blocks = self.ctx.blocks
         node = ex.node.name
         free_mb = ex.free_memory_mb
         # best = (entry, locality, memory_estimate); ties on locality go to
@@ -205,54 +264,80 @@ class Dispatcher:
         best: tuple[QueuedTask, Locality, float] | None = None
         now = self.ctx.now
         reject = self.obs.decisions.record_rejection
-        for entry in self.tm.queues.entries(kind):
-            if entry.ts.blocked:
-                reject(
-                    now, obs.TASKSET_BLOCKED,
-                    task_key=entry.spec.key, node=node,
-                )
-                continue
-            spec = entry.spec
-            est_mb = self.tm.memory_estimate_mb(spec)
-            fits = est_mb <= free_mb
-            locked_here = self.tm.is_locked_to(spec, node)
-            if not fits:
-                # Only the fully-characterized best-on-this-node task may
-                # override the memory check (Algorithm 2 lines 12-16).
-                if locked_here:
+        # Hot loop: the memo lookups are inlined (locals, no method calls) —
+        # this scan visits every live entry of the kind once per launch.
+        mem_memo = self._mem_memo
+        node_memo = self._loc_memo.get(node)
+        if node_memo is None:
+            node_memo = self._loc_memo[node] = {}
+        mem_estimate = self.tm.memory_estimate_mb
+        locality_for = self.ctx.blocks.locality_for
+        locked_map = self.tm._locked
+        memo_hits = 0
+        try:
+            for entry in self.tm.queues.entries(kind):
+                if entry.ts.blocked:
+                    reject(
+                        now, obs.TASKSET_BLOCKED,
+                        task_key=entry.spec.key, node=node,
+                    )
+                    continue
+                spec = entry.spec
+                skey = spec.key
+                est_mb = mem_memo.get(skey)
+                if est_mb is None:
+                    est_mb = mem_estimate(spec)
+                    mem_memo[skey] = est_mb
+                else:
+                    memo_hits += 1
+                fits = est_mb <= free_mb
+                locked_node = locked_map.get(skey)
+                locked_here = locked_node == node
+                if not fits:
+                    # Only the fully-characterized best-on-this-node task may
+                    # override the memory check (Algorithm 2 lines 12-16).
+                    if locked_here:
+                        self._last_selection = (
+                            obs.LAUNCH_MEM_OVERRIDE,
+                            entry.enqueued_at,
+                        )
+                        return entry.ts, spec, self._locality(spec, node)
+                    reject(
+                        now, obs.NO_FIT_MEMORY,
+                        task_key=skey, node=node,
+                        est_mb=round(est_mb, 1), free_mb=round(free_mb, 1),
+                    )
+                    continue
+                # A task locked to a *different* node waits for it rather than
+                # run here (bounded by lock_break_wait_s to avoid starvation).
+                if (
+                    locked_node is not None
+                    and not locked_here
+                    and now - entry.enqueued_at < self.cfg.lock_break_wait_s
+                ):
+                    reject(
+                        now, obs.LOCK_WAIT,
+                        task_key=skey, node=node,
+                        locked_node=locked_node,
+                    )
+                    continue
+                sid = id(spec)
+                loc = node_memo.get(sid)
+                if loc is None:
+                    loc = locality_for(spec, node)
+                    node_memo[sid] = loc
+                else:
+                    memo_hits += 1
+                if locked_here or loc is Locality.PROCESS_LOCAL:
                     self._last_selection = (
-                        obs.LAUNCH_MEM_OVERRIDE,
+                        obs.LAUNCH_LOCKED if locked_here else obs.LAUNCH_PROCESS_LOCAL,
                         entry.enqueued_at,
                     )
-                    return entry.ts, spec, blocks.locality_for(spec, node)
-                reject(
-                    now, obs.NO_FIT_MEMORY,
-                    task_key=spec.key, node=node,
-                    est_mb=round(est_mb, 1), free_mb=round(free_mb, 1),
-                )
-                continue
-            # A task locked to a *different* node waits for it rather than
-            # run here (bounded by lock_break_wait_s to avoid starvation).
-            if (
-                not locked_here
-                and self.tm.locked_node_of(spec) is not None
-                and now - entry.enqueued_at < self.cfg.lock_break_wait_s
-            ):
-                reject(
-                    now, obs.LOCK_WAIT,
-                    task_key=spec.key, node=node,
-                    locked_node=self.tm.locked_node_of(spec),
-                )
-                continue
-            loc = blocks.locality_for(spec, node)
-            if locked_here or loc is Locality.PROCESS_LOCAL:
-                self._last_selection = (
-                    obs.LAUNCH_LOCKED if locked_here else obs.LAUNCH_PROCESS_LOCAL,
-                    entry.enqueued_at,
-                )
-                return entry.ts, spec, loc
-            if best is None or loc < best[1] or (loc == best[1] and est_mb > best[2]):
-                best = (entry, loc, est_mb)
+                    return entry.ts, spec, loc
+                if best is None or loc < best[1] or (loc == best[1] and est_mb > best[2]):
+                    best = (entry, loc, est_mb)
+        finally:
+            self._memo_hits += memo_hits
         if best is None:
             return None
         entry, loc, _ = best
@@ -292,7 +377,7 @@ class Dispatcher:
                 locality=loc.name,
                 reason=reason,
                 speculative=speculative,
-                mem_estimate_mb=self.tm.memory_estimate_mb(spec),
+                mem_estimate_mb=self._mem_est(spec),
                 free_memory_mb=ex.free_memory_mb,
                 locked_node=self.tm.locked_node_of(spec),
                 wait_s=None if enqueued_at is None else now - enqueued_at,
@@ -310,7 +395,7 @@ class Dispatcher:
             if not ts.has_speculatable():
                 continue
             for spec, loc, running_nodes in ts.speculative_candidates(ex):
-                if self.tm.memory_estimate_mb(spec) > ex.free_memory_mb:
+                if self._mem_est(spec) > ex.free_memory_mb:
                     continue
                 task_kind = self._task_kind(spec)
                 if task_kind is not None and not self._node_improves(
@@ -321,7 +406,7 @@ class Dispatcher:
                     ts, spec, ex, loc, kind,
                     reason=obs.LAUNCH_SPECULATIVE, speculative=True,
                 )
-                self._launch(ts, spec, ex, loc, kind, speculative=True)
+                self._do_launch(ts, spec, ex, loc, kind, speculative=True)
                 return True
         return False
 
@@ -369,14 +454,14 @@ class Dispatcher:
                 continue
             if now - entry.enqueued_at < self.cfg.gpu_wait_before_cpu_s:
                 continue
-            if self.tm.memory_estimate_mb(entry.spec) > ex.free_memory_mb:
+            if self._mem_est(entry.spec) > ex.free_memory_mb:
                 continue
-            loc = self.ctx.blocks.locality_for(entry.spec, ex.node.name)
+            loc = self._locality(entry.spec, ex.node.name)
             self._record_launch(
                 entry.ts, entry.spec, ex, loc, ResourceKind.CPU,
                 reason=obs.LAUNCH_GPU_ON_CPU, enqueued_at=entry.enqueued_at,
             )
-            self._launch(entry.ts, entry.spec, ex, loc, ResourceKind.CPU)
+            self._do_launch(entry.ts, entry.spec, ex, loc, ResourceKind.CPU)
             self.gpu_cpu_races += 1
             return True
         return False
@@ -396,12 +481,12 @@ class Dispatcher:
                     continue
                 if run.elapsed < self.cfg.gpu_race_min_remaining_s:
                     continue
-                loc = self.ctx.blocks.locality_for(st.spec, ex.node.name)
+                loc = self._locality(st.spec, ex.node.name)
                 self._record_launch(
                     ts, st.spec, ex, loc, ResourceKind.GPU,
                     reason=obs.LAUNCH_GPU_RACE, speculative=True,
                 )
-                self._launch(ts, st.spec, ex, loc, ResourceKind.GPU, speculative=True)
+                self._do_launch(ts, st.spec, ex, loc, ResourceKind.GPU, speculative=True)
                 self.gpu_cpu_races += 1
                 return True
         return False

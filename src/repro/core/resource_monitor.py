@@ -37,6 +37,14 @@ class ResourceMonitor:
         # Low-memory notifications for the memory-straggler path.
         self.low_memory_nodes: set[str] = set()
         self.low_memory_fraction = 0.08
+        # Incremental collection: per-node version signature of everything
+        # a NodeMetrics reads.  An unchanged signature means the previous
+        # report is still exact (utilizations are rate-based, constant
+        # between resource refits), so the node is skipped entirely.
+        self._signatures: dict[str, tuple] = {}
+        # Nodes whose report changed since the last consume_dirty() call —
+        # this feeds the dispatcher's lazy resource-queue re-keying.
+        self.dirty_nodes: set[str] = set()
 
     def start(self) -> None:
         self._beat()
@@ -44,13 +52,38 @@ class ResourceMonitor:
     def stop(self) -> None:
         self._stopped = True
 
-    def collect_now(self) -> None:
-        """One collection round (also usable without the periodic loop)."""
-        self.low_memory_nodes.clear()
+    @staticmethod
+    def _signature(ex: "Executor") -> tuple:
+        node = ex.node
+        return (
+            id(ex),
+            ex.memory.version,
+            node.cpu.version,
+            node.net.version,
+            node.disk.version,
+            node.gpu.version if node.gpu is not None else -1,
+        )
+
+    def collect_now(self, force: bool = False) -> None:
+        """One collection round (also usable without the periodic loop).
+
+        Only nodes whose resource/memory versions moved since their last
+        report are re-read; ``force=True`` restores the rebuild-everything
+        behavior (used by tooling that bypasses the dirty protocol).
+        """
         for ex in self._executors():
+            name = ex.node.name
             if not ex.alive:
+                # A dead executor no longer reports; drop any low-memory flag
+                # it left behind (forget() removes the rest on deregistration).
+                self.low_memory_nodes.discard(name)
                 continue
-            self.executor_data[ex.node.name] = self._collect(ex)
+            sig = self._signature(ex)
+            if not force and self._signatures.get(name) == sig:
+                continue
+            self._signatures[name] = sig
+            self.executor_data[name] = self._collect(ex)
+            self.dirty_nodes.add(name)
             usable = ex.memory.usable_mb
             # Flag only genuine OOM danger (overcommitted heap), not a heap
             # that is merely well-used by tasks that fit.
@@ -59,8 +92,26 @@ class ResourceMonitor:
                 and ex.memory.free_mb < self.low_memory_fraction * usable
                 and ex.memory.overcommit_ratio() > 1.0
             ):
-                self.low_memory_nodes.add(ex.node.name)
+                self.low_memory_nodes.add(name)
+            else:
+                self.low_memory_nodes.discard(name)
         self.beats += 1
+
+    def consume_dirty(self) -> set[str]:
+        """Nodes re-collected since the previous call (and reset the set)."""
+        dirty = self.dirty_nodes
+        self.dirty_nodes = set()
+        return dirty
+
+    def mark_dirty(self, node_name: str) -> None:
+        """Flag a node whose *scheduling inputs* changed outside the metrics.
+
+        The scheduler's own accounting (per-node launched-task counts feeding
+        the load hint) is invisible to the resource versions this monitor
+        watches, so it reports such changes here to keep the dirty protocol
+        complete.
+        """
+        self.dirty_nodes.add(node_name)
 
     def _collect(self, ex: "Executor") -> NodeMetrics:
         node = ex.node
@@ -112,3 +163,5 @@ class ResourceMonitor:
     def forget(self, node_name: str) -> None:
         self.executor_data.pop(node_name, None)
         self.low_memory_nodes.discard(node_name)
+        self._signatures.pop(node_name, None)
+        self.dirty_nodes.add(node_name)

@@ -149,6 +149,8 @@ class RupamScheduler(TaskScheduler):
     def taskset_finished(self, ts: "TaskSetManager") -> None:
         if ts in self._tasksets:
             self._tasksets.remove(ts)
+        if self.tm is not None:
+            self.tm.queues.invalidate_taskset(ts)
 
     def on_executor_added(self, executor: "Executor") -> None:
         self.executors[executor.node.name] = executor
@@ -171,6 +173,11 @@ class RupamScheduler(TaskScheduler):
             counts = self._kind_counts.get(ex_id)
             if counts is not None and counts.get(kind, 0) > 0:
                 counts[kind] -= 1
+                # The load hint for this node just changed; memory/utilization
+                # versions may not move (e.g. a pre-start kill), so dirty the
+                # node explicitly.
+                if self.rm is not None:
+                    self.rm.mark_dirty(run.executor.node.name)
         self.tm.record_task_end(run)
         # A killed/failed attempt whose task went back to pending must be
         # re-queued for dispatch.
@@ -226,3 +233,12 @@ class RupamScheduler(TaskScheduler):
         self._run_kind[id(run)] = (ex.executor_id, kind)
         counts = self._kind_counts.setdefault(ex.executor_id, {})
         counts[kind] = counts.get(kind, 0) + 1
+        # Memory reservation happens when the run *starts* (after the dispatch
+        # delay), so the version signature can't cover this increment yet.
+        if self.rm is not None:
+            self.rm.mark_dirty(ex.node.name)
+        if not speculative:
+            # The task left pending: tombstone its queue entries (O(1) per
+            # entry) instead of leaving them for lazy pruning.
+            assert self.tm is not None
+            self.tm.queues.invalidate_task(ts, spec)

@@ -50,6 +50,15 @@ class TaskManager:
         # configuration's executor size.
         self.reference_heap_mb = ctx.conf.usable_heap_mb()
         self.admissions = 0
+        # optExecutor lock cache: key → node, kept current by the DB's
+        # update callback so the dispatcher's hot path never recomputes the
+        # lock rule per entry.  Seeded from any pre-loaded records.
+        self._locked: dict[str, str] = {}
+        for key, rec in self.db.effective_records().items():
+            node = self._compute_lock(rec)
+            if node is not None:
+                self._locked[key] = node
+        self.db.on_update = self._on_record_update
 
     # -- admission -------------------------------------------------------------
 
@@ -66,15 +75,16 @@ class TaskManager:
     def _admit(self, ts: "TaskSetManager", spec: "TaskSpec") -> ResourceKind | None:
         self.admissions += 1
         now = self.ctx.now
+        lock = self._locked.get(spec.key)
         rec = self.db.lookup(spec.key)
         if rec is not None and rec.runs > 0:
             kind = classify_record(rec, self.cfg, self.reference_heap_mb)
             if spec.stage is not None and spec.stage.template_id in self.gpu_stages:
                 kind = ResourceKind.GPU
-            self.queues.enqueue(kind, ts, spec, now)
+            self.queues.enqueue(kind, ts, spec, now, locked_node=lock)
             return kind
         if spec.stage is not None and spec.stage.template_id in self.gpu_stages:
-            self.queues.enqueue(ResourceKind.GPU, ts, spec, now)
+            self.queues.enqueue(ResourceKind.GPU, ts, spec, now, locked_node=lock)
             return ResourceKind.GPU
         majority = (
             self.stage_majority(spec.stage.template_id)
@@ -82,7 +92,7 @@ class TaskManager:
             else None
         )
         if majority is not None:
-            self.queues.enqueue(majority, ts, spec, now)
+            self.queues.enqueue(majority, ts, spec, now, locked_node=lock)
             return majority
         if spec.stage is not None:
             lst = self._stage_tasksets.setdefault(spec.stage.template_id, [])
@@ -91,9 +101,9 @@ class TaskManager:
         if spec.stage is not None and spec.stage.is_result:
             # First-seen reduce tasks are assumed network-bound: they read
             # shuffle data and ship results to the driver.
-            self.queues.enqueue(ResourceKind.NET, ts, spec, now)
+            self.queues.enqueue(ResourceKind.NET, ts, spec, now, locked_node=lock)
             return ResourceKind.NET
-        self.queues.enqueue_all_kinds(ts, spec, now)
+        self.queues.enqueue_all_kinds(ts, spec, now, locked_node=lock)
         return None
 
     def admit_taskset(self, ts: "TaskSetManager") -> None:
@@ -166,7 +176,13 @@ class TaskManager:
                 if rec is not None and rec.runs > 0:
                     continue  # has its own history
                 self.queues.remove_task(ts, spec)
-                self.queues.enqueue(majority, ts, spec, self.ctx.now)
+                self.queues.enqueue(
+                    majority,
+                    ts,
+                    spec,
+                    self.ctx.now,
+                    locked_node=self._locked.get(spec.key),
+                )
                 self.ctx.obs.decisions.record_enqueue(
                     self.ctx.now, spec.key, majority.value
                 )
@@ -185,7 +201,11 @@ class TaskManager:
         return self.locked_node_of(spec) == node_name
 
     def locked_node_of(self, spec: "TaskSpec") -> str | None:
-        """The node this task is pinned to, if it is locked at all.
+        """The node this task is pinned to, if it is locked at all (cached)."""
+        return self._locked.get(spec.key)
+
+    def _compute_lock(self, rec: TaskRecord) -> str | None:
+        """The lock rule (evaluated once per record update, then cached).
 
         Locking requires both enough observations *and* evidence that the
         best node was meaningfully faster than the latest run — pinning a
@@ -193,8 +213,7 @@ class TaskManager:
         an arbitrary placement, the opposite of the paper's intent (lock the
         placement that "achieved the best performance").
         """
-        rec = self.db.lookup(spec.key)
-        if rec is None or rec.best_node is None:
+        if rec.best_node is None:
             return None
         fully_characterized = len(rec.history_resources) == 5
         if not (fully_characterized or rec.runs >= self.cfg.lock_after_runs):
@@ -202,6 +221,17 @@ class TaskManager:
         if rec.best_runtime < self.cfg.lock_advantage * rec.last_runtime:
             return rec.best_node
         return None
+
+    def _on_record_update(self, rec: TaskRecord) -> None:
+        """DB update hook: refresh the lock cache and the queues' lock index."""
+        node = self._compute_lock(rec)
+        if node == self._locked.get(rec.key):
+            return
+        if node is None:
+            del self._locked[rec.key]
+        else:
+            self._locked[rec.key] = node
+        self.queues.update_lock(rec.key, node)
 
     def record_for(self, spec: "TaskSpec") -> TaskRecord | None:
         return self.db.lookup(spec.key)

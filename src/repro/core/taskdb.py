@@ -17,6 +17,7 @@ import math
 from collections import deque
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import Callable
 
 from repro.core.nodeinfo import ResourceKind
 
@@ -90,28 +91,44 @@ class TaskCharDB:
     def __init__(self) -> None:
         self._db: dict[str, TaskRecord] = {}
         self._write_queue: deque[TaskRecord] = deque()
+        # key → newest queued record, so read-your-writes is O(1) instead of
+        # scanning the queue back-to-front on every lookup.
+        self._queued_latest: dict[str, TaskRecord] = {}
+        # Fired whenever the *effective* record for a key changes (i.e. at
+        # enqueue time — draining never changes what lookup() returns).  The
+        # task manager uses this to keep its lock cache current.
+        self.on_update: Callable[[TaskRecord], None] | None = None
         self.reads = 0
         self.writes = 0
         self.queue_hits = 0
 
     def __len__(self) -> int:
-        keys = {r.key for r in self._write_queue}
+        keys = set(self._queued_latest)
         keys.update(self._db.keys())
         return len(keys)
 
     def lookup(self, key: str) -> TaskRecord | None:
         """Read-your-writes: newest queued record wins over the stored one."""
         self.reads += 1
-        for rec in reversed(self._write_queue):
-            if rec.key == key:
-                self.queue_hits += 1
-                return rec
+        rec = self._queued_latest.get(key)
+        if rec is not None:
+            self.queue_hits += 1
+            return rec
         return self._db.get(key)
+
+    def effective_records(self) -> dict[str, TaskRecord]:
+        """Every key's current lookup() result, without draining."""
+        out = dict(self._db)
+        out.update(self._queued_latest)
+        return out
 
     def enqueue_update(self, record: TaskRecord) -> None:
         """Queue a write for the helper thread."""
         self.writes += 1
         self._write_queue.append(record)
+        self._queued_latest[record.key] = record
+        if self.on_update is not None:
+            self.on_update(record)
 
     def drain(self, batch: int | None = None) -> int:
         """Helper-thread progress: apply up to ``batch`` queued writes."""
@@ -119,6 +136,10 @@ class TaskCharDB:
         for _ in range(n):
             rec = self._write_queue.popleft()
             self._db[rec.key] = rec
+            # Only the newest queued record answers lookups; release the
+            # latest-pointer once that exact record lands in the store.
+            if self._queued_latest.get(rec.key) is rec:
+                del self._queued_latest[rec.key]
         return n
 
     @property
@@ -129,6 +150,7 @@ class TaskCharDB:
         """Wipe all knowledge (the paper clears DB_task_char between trials)."""
         self._db.clear()
         self._write_queue.clear()
+        self._queued_latest.clear()
 
     def snapshot(self) -> dict[str, TaskRecord]:
         """Consistent view after draining (for tests/analysis)."""

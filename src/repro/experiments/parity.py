@@ -1,0 +1,138 @@
+"""Decision-parity harness: prove a scheduler change is behavior-preserving.
+
+A RUPAM run is fully deterministic for a given (workload, cluster, seed), so
+the sequence of launch decisions — ``(task, node, queue, locality, reason)``
+from the :class:`~repro.obs.decision.DecisionTrace` — is a complete
+fingerprint of the dispatcher's choices.  ``capture_fig5_signature`` replays
+the fig5 RUPAM trials and extracts that fingerprint; the benchmark suite
+compares it against a golden trace captured *before* a hot-path rewrite to
+assert the optimized dispatcher makes the identical sequence of decisions.
+
+Regenerate the golden file (only when decisions are *intentionally* changed):
+
+    PYTHONPATH=src python -m repro.experiments.parity benchmarks/golden/fig5_decisions.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.calibration import FIG5_WORKLOADS, get_scale
+from repro.experiments.runner import RunSpec, run_once
+
+# Bump when the signature layout changes (forces golden regeneration).
+SIGNATURE_VERSION = 1
+
+
+def decision_signature(result: Any) -> list[list[Any]]:
+    """The launch-decision fingerprint of one run (requires ``result.obs``)."""
+    if result.obs is None:
+        raise ValueError("run was executed without observability enabled")
+    return [
+        [d.task_key, d.node, d.queue, d.locality, d.reason]
+        for d in result.obs.decisions.decisions
+    ]
+
+
+def capture_fig5_signature(
+    scale: str = "smoke", workloads: tuple[str, ...] | None = None
+) -> dict[str, Any]:
+    """Replay the fig5 RUPAM trials and collect every decision sequence.
+
+    Only the RUPAM side is captured: the stock-Spark scheduler is not touched
+    by dispatch-engine work, and the two sides run independently in fig5.
+    """
+    sc = get_scale(scale)
+    sig: dict[str, Any] = {
+        "version": SIGNATURE_VERSION,
+        "scale": scale,
+        "trials": sc.trials,
+        "base_seed": sc.base_seed,
+        "workloads": {},
+    }
+    spec = RunSpec(workload="lr", scheduler="rupam", monitor_interval=None)
+    for wl in workloads or FIG5_WORKLOADS:
+        trials = []
+        for t in range(sc.trials):
+            res = run_once(replace(spec, workload=wl, seed=sc.base_seed + 1000 * t))
+            trials.append(
+                {
+                    "seed": sc.base_seed + 1000 * t,
+                    "runtime_s": round(res.runtime_s, 6),
+                    "decisions": decision_signature(res),
+                }
+            )
+        sig["workloads"][wl] = trials
+    return sig
+
+
+def diff_signatures(golden: dict[str, Any], fresh: dict[str, Any]) -> list[str]:
+    """Human-readable mismatches between two signatures (empty == parity)."""
+    problems: list[str] = []
+    if golden.get("version") != fresh.get("version"):
+        problems.append(
+            f"signature version {fresh.get('version')} != golden "
+            f"{golden.get('version')} — regenerate the golden trace"
+        )
+        return problems
+    for key in ("scale", "trials", "base_seed"):
+        if golden.get(key) != fresh.get(key):
+            problems.append(f"{key}: {fresh.get(key)!r} != golden {golden.get(key)!r}")
+    for wl, gold_trials in golden.get("workloads", {}).items():
+        new_trials = fresh.get("workloads", {}).get(wl)
+        if new_trials is None:
+            problems.append(f"{wl}: missing from fresh capture")
+            continue
+        for i, (g, n) in enumerate(zip(gold_trials, new_trials)):
+            gd, nd = g["decisions"], n["decisions"]
+            if gd == nd:
+                continue
+            if len(gd) != len(nd):
+                problems.append(
+                    f"{wl} trial {i} (seed {g['seed']}): "
+                    f"{len(nd)} decisions != golden {len(gd)}"
+                )
+            for j, (a, b) in enumerate(zip(gd, nd)):
+                if a != b:
+                    problems.append(
+                        f"{wl} trial {i} (seed {g['seed']}) decision {j}: "
+                        f"{b} != golden {a}"
+                    )
+                    break
+    return problems
+
+
+def load_signature(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def write_signature(path: str | Path, sig: dict[str, Any]) -> None:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(sig, indent=1, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    import argparse
+
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("out", help="path to write the golden signature JSON")
+    p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    args = p.parse_args(argv)
+    sig = capture_fig5_signature(args.scale)
+    write_signature(args.out, sig)
+    total = sum(
+        len(t["decisions"]) for wl in sig["workloads"].values() for t in wl
+    )
+    print(f"wrote {args.out}: {len(sig['workloads'])} workloads, "
+          f"{sig['trials']} trials each, {total} decisions")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -135,6 +135,10 @@ class FluidResource:
         self.capacity = float(capacity)
         self.name = name
         self.rate_scale = rate_scale
+        # Monotonic change counter: bumped whenever the flow set or granted
+        # rates change (every mutation funnels through _refit).  Observers
+        # (ResourceMonitor) compare versions to skip re-reading idle resources.
+        self.version = 0
         self._flows: list[FlowHandle] = []
         self._last_settle = sim.now
         self.total_work_done = 0.0
@@ -243,6 +247,7 @@ class FluidResource:
 
     def _refit(self) -> None:
         """Recompute fair rates and re-project every flow's completion event."""
+        self.version += 1
         scale = self._scale()
         active = [f for f in self._flows if f.active]
         weighted_caps = []

@@ -37,6 +37,9 @@ class ExecutorMemory:
         self._cached: "OrderedDict[str, float]" = OrderedDict()
         self.storage_used = 0.0
         self.evictions = 0
+        # Monotonic change counter bumped by every occupancy mutation
+        # (LRU touches excluded — they do not move free_mb or pressure).
+        self.version = 0
 
     # -- execution memory -----------------------------------------------------
 
@@ -49,6 +52,7 @@ class ExecutorMemory:
         """
         if mb < 0:
             raise ValueError("reservation must be >= 0")
+        self.version += 1
         evicted: list[str] = []
         free = self.usable_mb - self.execution_used - self.storage_used
         need = mb - free
@@ -62,6 +66,7 @@ class ExecutorMemory:
         return self.overcommit_ratio(), evicted
 
     def release_execution(self, mb: float) -> None:
+        self.version += 1
         self.execution_used = max(0.0, self.execution_used - mb)
 
     def overcommit_ratio(self) -> float:
@@ -84,6 +89,7 @@ class ExecutorMemory:
         """
         if mb <= 0:
             return True
+        self.version += 1
         if mb > self.storage_limit_mb:
             return False
         if key in self._cached:
@@ -106,6 +112,7 @@ class ExecutorMemory:
         return True
 
     def drop_block(self, key: str) -> None:
+        self.version += 1
         size = self._cached.pop(key, None)
         if size is not None:
             self.storage_used -= size
@@ -115,6 +122,7 @@ class ExecutorMemory:
 
     def clear(self) -> list[str]:
         """Release everything (executor death).  Returns lost cache keys."""
+        self.version += 1
         lost = list(self._cached.keys())
         self._cached.clear()
         self.storage_used = 0.0

@@ -55,6 +55,9 @@ class TaskSpec:
     cache_output_mb: float = 0.0
     recompute_cycles: float = 0.0
     stage: "Stage | None" = field(default=None, repr=False, compare=False)
+    # Lazily-computed cache of ``key`` — the dispatcher reads the key for
+    # every queue entry it scans, so the f-string must not be rebuilt there.
+    _key: str | None = field(default=None, repr=False, compare=False, init=False)
 
     def __post_init__(self) -> None:
         for name in (
@@ -84,9 +87,13 @@ class TaskSpec:
     @property
     def key(self) -> str:
         """Stable identity across iterations/runs — the DB_task_char key."""
-        if self.stage is None:
-            raise RuntimeError("task not attached to a stage")
-        return f"{self.stage.template_id}#{self.index}"
+        k = self._key
+        if k is None:
+            if self.stage is None:
+                raise RuntimeError("task not attached to a stage")
+            k = f"{self.stage.template_id}#{self.index}"
+            self._key = k
+        return k
 
     @property
     def total_io_mb(self) -> float:

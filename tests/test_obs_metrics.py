@@ -142,3 +142,42 @@ class TestObservabilitySampling:
         ob.sample_queue_depths(0.0, {"cpu": 1})
         ob.sample_utilization(0.0, {"cpu": 0.5})
         assert not ob.metrics.series_names()
+
+
+class TestDispatchEngineCounters:
+    """The incremental dispatch engine reports its bookkeeping through the
+    registry: re-key pushes, memo hits, and dirty-set sizes per dispatch."""
+
+    def test_dispatch_counters_exposed(self):
+        from repro.spark.driver import Driver
+        from repro.core.rupam import RupamScheduler
+        from repro.simulate.engine import Simulator
+        from tests.conftest import hetero_cluster, make_ctx, simple_app
+
+        sim = Simulator()
+        ctx = make_ctx(hetero_cluster(sim))
+        sched = RupamScheduler()
+        Driver(ctx, sched).run(simple_app(n_map=8, jobs=2))
+        c = ctx.obs.metrics.counters
+        assert c.get("dispatch.calls", 0) > 0
+        # Every dispatch re-keys at least the nodes it launched on, so both
+        # the requeue and dirty counters must have moved.
+        assert c.get("dispatch.requeue_ops", 0) > 0
+        assert c.get("dispatch.dirty_nodes", 0) > 0
+        # The memo counter must be registered even if a tiny app never
+        # re-reads an estimate within one dispatch.
+        assert "dispatch.memo_hits" in c
+
+    def test_counters_silent_when_disabled(self):
+        from repro.spark.driver import Driver
+        from repro.core.rupam import RupamScheduler
+        from repro.simulate.engine import Simulator
+        from tests.conftest import hetero_cluster, make_ctx, simple_app
+
+        sim = Simulator()
+        ctx = make_ctx(hetero_cluster(sim))
+        ctx.obs.enabled = False
+        ctx.obs.metrics.enabled = False
+        sched = RupamScheduler()
+        Driver(ctx, sched).run(simple_app(n_map=4))
+        assert not ctx.obs.metrics.counters

@@ -1,0 +1,293 @@
+"""Regression tests for the incremental scheduler data structures.
+
+The heap-based :class:`ResourceQueues` and tombstone-based
+:class:`TaskQueues` must behave observably like the original
+sort-and-rebuild implementations: identical pop order, identical live-entry
+iteration, identical lock lookups — while doing asymptotically less work.
+These tests pin (a) the pop/remove ordering contract including the lazy
+re-key paths, (b) the O(live + dead) maintenance bound via the ``work_ops``
+counter, and (c) equivalence with a naive reference model under seeded
+random churn.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.nodeinfo import ALL_KINDS, NodeMetrics, ResourceKind
+from repro.core.queues import ResourceQueues, TaskQueues
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+
+
+def metrics(name, core_rate=1.0, cores=4, gpus=0, cpuutil=0.0, net=100.0,
+            netutil=0.0, disk=100.0, mem=16_000.0, free_mb=None) -> NodeMetrics:
+    return NodeMetrics(
+        name=name,
+        time=0.0,
+        core_rate=core_rate,
+        cores=cores,
+        gpus=gpus,
+        ssd=False,
+        netbandwidth=net,
+        disk_bandwidth=disk,
+        memory_mb=mem,
+        cpuutil=cpuutil,
+        diskutil=0.0,
+        netutil=netutil,
+        gpus_idle=gpus,
+        freememory_mb=mem if free_mb is None else free_mb,
+    )
+
+
+class FakeTaskSet:
+    """Minimal stand-in: the queues only read pending/blocked/is_active."""
+
+    def __init__(self, n_tasks: int, template: str):
+        self.stage = Stage(
+            template,
+            StageKind.SHUFFLE_MAP,
+            [TaskSpec(index=i, compute_gigacycles=1.0) for i in range(n_tasks)],
+        )
+        self.pending = set(range(n_tasks))
+        self.blocked = False
+        self.aborted = False
+
+    @property
+    def specs(self):
+        return self.stage.tasks
+
+    def is_active(self) -> bool:
+        return not self.aborted and bool(self.pending)
+
+
+class TestResourceQueuePopOrdering:
+    """(a) pop/remove ordering across rounds, re-keys, and lazy deletion."""
+
+    def _drain(self, q: ResourceQueues, kind: ResourceKind) -> list[str]:
+        out = []
+        while (m := q.pop(kind)) is not None:
+            out.append(m.name)
+        return out
+
+    def test_pop_order_matches_full_sort(self):
+        rates = {f"n{i}": 1.0 + (i * 7 % 5) + i / 100 for i in range(12)}
+        q = ResourceQueues()
+        q.populate([metrics(n, core_rate=r) for n, r in rates.items()])
+        expect = sorted(rates, key=lambda n: (-rates[n], 0.0, n))
+        assert self._drain(q, ResourceKind.CPU) == expect
+
+    def test_remove_node_mid_drain_is_skipped(self):
+        q = ResourceQueues()
+        q.populate([metrics(n, core_rate=r) for n, r in
+                    [("a", 3.0), ("b", 2.0), ("c", 1.0)]])
+        assert q.pop(ResourceKind.CPU).name == "a"
+        q.remove_node("b")
+        assert self._drain(q, ResourceKind.CPU) == ["c"]
+
+    def test_rekey_back_to_original_key_pops_once(self):
+        """Regression: a node re-keyed K1 -> K2 -> K1 must not leave a second
+        valid heap entry behind (the push-token guard)."""
+        base = [metrics("a", core_rate=2.0), metrics("b", core_rate=1.0)]
+        worse = [metrics("a", core_rate=0.5), metrics("b", core_rate=1.0)]
+        q = ResourceQueues()
+        q.populate(base)
+        q.begin_round(worse, dirty={"a"})
+        q.begin_round(base, dirty={"a"})  # back to the original key
+        assert self._drain(q, ResourceKind.CPU) == ["a", "b"]
+
+    def test_begin_round_restores_popped_and_rekeys_dirty(self):
+        ms = [metrics("a", core_rate=3.0), metrics("b", core_rate=2.0),
+              metrics("c", core_rate=1.0)]
+        q = ResourceQueues()
+        q.populate(ms)
+        assert q.pop(ResourceKind.CPU).name == "a"
+        assert q.pop(ResourceKind.CPU).name == "b"
+        # Next round: "c" got faster; "a"/"b" keep their old keys but must
+        # reappear (popped entries are restored before dirty re-keys).
+        faster = [metrics("a", core_rate=3.0), metrics("b", core_rate=2.0),
+                  metrics("c", core_rate=9.0)]
+        q.begin_round(faster, dirty={"c"})
+        assert self._drain(q, ResourceKind.CPU) == ["c", "a", "b"]
+
+    def test_consumed_node_stays_out_until_next_round(self):
+        ms = [metrics("a", core_rate=2.0), metrics("b", core_rate=1.0)]
+        q = ResourceQueues()
+        q.populate(ms)
+        q.remove_node("a")  # launched on: out for the rest of this round
+        assert self._drain(q, ResourceKind.CPU) == ["b"]
+        q.begin_round(ms, dirty=set())
+        assert self._drain(q, ResourceKind.CPU) == ["a", "b"]
+
+    def test_departed_node_dropped_on_begin_round(self):
+        ms = [metrics("a", core_rate=2.0), metrics("b", core_rate=1.0)]
+        q = ResourceQueues()
+        q.populate(ms)
+        q.begin_round([metrics("b", core_rate=1.0)], dirty=set())
+        assert self._drain(q, ResourceKind.CPU) == ["b"]
+
+
+class TestTaskQueueWorkBound:
+    """(b) maintenance work is O(live + dead), not O(iterations x depth)."""
+
+    def test_repeated_iteration_is_free_after_folding(self):
+        ts = FakeTaskSet(100, "wb:map")
+        q = TaskQueues()
+        for spec in ts.specs:
+            q.enqueue(ResourceKind.CPU, ts, spec, now=0.0)
+        # 10 tasks complete out-of-band: no invalidate_task call, so the
+        # queue discovers them lazily during iteration.
+        for i in range(10):
+            ts.pending.discard(i)
+        for _ in range(20):
+            assert len(list(q.entries(ResourceKind.CPU))) == 90
+        # Each stale entry was folded exactly once; the other 19 sweeps did
+        # zero maintenance.  The rebuild-per-call design would have visited
+        # 20 x 100 = 2000 entries.
+        assert q.work_ops == 10
+
+    def test_compaction_is_amortized(self):
+        ts = FakeTaskSet(100, "wb2:map")
+        q = TaskQueues()
+        for spec in ts.specs:
+            q.enqueue(ResourceKind.CPU, ts, spec, now=0.0)
+        # Tombstone exactly half explicitly (the launch path).
+        for i in range(50):
+            ts.pending.discard(i)
+            q.invalidate_task(ts, ts.specs[i])
+        assert q.work_ops == 0  # tombstoning itself does no list work
+        assert len(list(q.entries(ResourceKind.CPU))) == 50
+        # One compaction pass over the 100-entry list, then never again.
+        assert q.work_ops == 100
+        for _ in range(10):
+            assert len(list(q.entries(ResourceKind.CPU))) == 50
+        assert q.work_ops == 100
+
+    def test_counters_track_live_entries_o1(self):
+        ts = FakeTaskSet(30, "wb3:map")
+        q = TaskQueues()
+        for spec in ts.specs:
+            q.enqueue_all_kinds(ts, spec, now=0.0)
+        assert q.total_pending() == 30
+        assert q.live_count(ResourceKind.NET) == 30
+        q.invalidate_task(ts, ts.specs[0])
+        assert q.total_pending() == 29
+        assert all(d == 29 for d in q.depths().values())
+        ts.aborted = True
+        assert q.total_pending() == 0
+        assert q.live_count(ResourceKind.CPU) == 0
+
+
+class _ReferenceQueues:
+    """Naive model: per-kind FIFO lists, filtered on every read."""
+
+    def __init__(self):
+        self.entries = {k: [] for k in ALL_KINDS}
+        self.locks: dict[str, str | None] = {}
+        self.seq = 0
+
+    def enqueue(self, kind, ts, spec):
+        self.seq += 1
+        self.entries[kind].append((ts, spec, self.seq))
+
+    def _live(self, ts, spec):
+        return ts.is_active() and spec.index in ts.pending
+
+    def live_specs(self, kind):
+        return [
+            (id(ts), spec.index)
+            for ts, spec, _ in self.entries[kind]
+            if self._live(ts, spec)
+        ]
+
+    def depths(self):
+        return {k.value: len(self.live_specs(k)) for k in ALL_KINDS}
+
+    def total_pending(self):
+        seen = set()
+        for k in ALL_KINDS:
+            seen.update(self.live_specs(k))
+        return len(seen)
+
+    def find_for_node(self, node):
+        best = None
+        for rank, kind in enumerate(ALL_KINDS):
+            for ts, spec, seq in self.entries[kind]:
+                if not self._live(ts, spec) or ts.blocked:
+                    continue
+                if self.locks.get(spec.key) != node:
+                    continue
+                if best is None or (rank, seq) < best[0]:
+                    best = ((rank, seq), ts, spec)
+        return None if best is None else (id(best[1]), best[2].index)
+
+
+class TestSeededChurnEquivalence:
+    """(c) random enqueue/complete/abort/lock churn vs the naive model."""
+
+    def test_churn_matches_reference_model(self):
+        rng = random.Random(0xC0FFEE)
+        nodes = [f"node{i}" for i in range(6)]
+        q = TaskQueues()
+        ref = _ReferenceQueues()
+        tasksets: list[FakeTaskSet] = []
+
+        def sweep():
+            # Fold every lazily-dead entry so the counters are exact, the
+            # same point the dispatcher reaches after one scan per kind.
+            for kind in ALL_KINDS:
+                list(q.entries(kind))
+
+        for step in range(400):
+            op = rng.random()
+            if op < 0.30 or not tasksets:
+                ts = FakeTaskSet(rng.randint(1, 6), f"churn{len(tasksets)}:s")
+                tasksets.append(ts)
+                for spec in ts.specs:
+                    lock = ref.locks.get(spec.key)
+                    if rng.random() < 0.5:
+                        kind = rng.choice(ALL_KINDS)
+                        q.enqueue(kind, ts, spec, now=float(step),
+                                  locked_node=lock)
+                        ref.enqueue(kind, ts, spec)
+                    else:
+                        q.enqueue_all_kinds(ts, spec, now=float(step),
+                                            locked_node=lock)
+                        for kind in ALL_KINDS:
+                            ref.enqueue(kind, ts, spec)
+            elif op < 0.60:
+                ts = rng.choice(tasksets)
+                if ts.pending:
+                    idx = rng.choice(sorted(ts.pending))
+                    ts.pending.discard(idx)
+                    if rng.random() < 0.5:  # launch path: eager tombstone
+                        q.invalidate_task(ts, ts.specs[idx])
+            elif op < 0.70:
+                ts = rng.choice(tasksets)
+                ts.aborted = True
+                if rng.random() < 0.5:
+                    q.invalidate_taskset(ts)
+            elif op < 0.85:
+                ts = rng.choice(tasksets)
+                spec = rng.choice(ts.specs)
+                node = rng.choice(nodes + [None])
+                ref.locks[spec.key] = node
+                q.update_lock(spec.key, node)
+            else:
+                ts = rng.choice(tasksets)
+                ts.blocked = not ts.blocked
+
+            if step % 20 == 19:
+                sweep()
+                for kind in ALL_KINDS:
+                    got = [(id(e.ts), e.spec.index)
+                           for e in q.entries(kind)]
+                    assert got == ref.live_specs(kind), f"kind {kind} step {step}"
+                assert q.depths() == ref.depths()
+                assert q.total_pending() == ref.total_pending()
+                for node in nodes:
+                    found = q.find_for_node(node)
+                    got_key = None if found is None else (
+                        id(found.ts), found.spec.index)
+                    assert got_key == ref.find_for_node(node), (
+                        f"find_for_node({node}) step {step}")

@@ -155,12 +155,28 @@ class TestTaskQueues:
     def test_find_for_node(self):
         ctx, ts = self._ts(n=2)
         q = TaskQueues()
-        for spec in ts.pending_specs():
-            q.enqueue(ResourceKind.NET, ts, spec, now=0.0)
-        locked = {ts.states[1].spec.key: "n2"}
-        found = q.find_for_node("n2", lambda s: locked.get(s.key))
+        specs = ts.pending_specs()
+        q.enqueue(ResourceKind.NET, ts, specs[0], now=0.0)
+        q.enqueue(ResourceKind.NET, ts, specs[1], now=0.0, locked_node="n2")
+        found = q.find_for_node("n2")
         assert found is not None and found.spec.index == 1
-        assert q.find_for_node("n3", lambda s: locked.get(s.key)) is None
+        assert q.find_for_node("n3") is None
+
+    def test_update_lock_retargets_entries(self):
+        ctx, ts = self._ts(n=2)
+        q = TaskQueues()
+        specs = ts.pending_specs()
+        for spec in specs:
+            q.enqueue(ResourceKind.CPU, ts, spec, now=0.0)
+        assert q.find_for_node("n1") is None
+        q.update_lock(specs[0].key, "n1")
+        found = q.find_for_node("n1")
+        assert found is not None and found.spec.index == 0
+        q.update_lock(specs[0].key, "n2")
+        assert q.find_for_node("n1") is None
+        assert q.find_for_node("n2").spec.index == 0
+        q.update_lock(specs[0].key, None)
+        assert q.find_for_node("n2") is None
 
     def test_oldest_waiting(self):
         ctx, ts = self._ts(n=2)
