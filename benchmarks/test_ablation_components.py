@@ -7,8 +7,9 @@ a time and reports the slowdown relative to full RUPAM.
 from __future__ import annotations
 
 from benchmarks.conftest import emit
+from repro.experiments.pool import run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 
 ABLATIONS: dict[str, dict] = {
     "full": {},
@@ -20,26 +21,30 @@ ABLATIONS: dict[str, dict] = {
 
 
 def run_ablation(workload: str = "pagerank", seed: int = 7) -> dict[str, float]:
-    out = {}
-    for name, overrides in ABLATIONS.items():
-        res = run_once(
-            RunSpec(
-                workload=workload,
-                scheduler="rupam",
-                seed=seed,
-                monitor_interval=None,
-                rupam_overrides=overrides,
-            )
+    # One spec per ablation variant plus the stock-Spark baseline, fanned out
+    # together (worker count from $RUPAM_JOBS; serial by default).
+    specs = [
+        RunSpec(
+            workload=workload,
+            scheduler="rupam",
+            seed=seed,
+            monitor_interval=None,
+            rupam_overrides=overrides,
         )
-        out[name] = res.runtime_s
+        for overrides in ABLATIONS.values()
+    ]
+    specs.append(
+        RunSpec(workload=workload, scheduler="spark", seed=seed, monitor_interval=None)
+    )
+    results = run_many(specs)
+    out = {name: r.runtime_s for name, r in zip(ABLATIONS, results)}
+    out["stock spark"] = results[-1].runtime_s
     return out
 
 
 def test_ablation_components(benchmark):
     runtimes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    spark = run_once(
-        RunSpec(workload="pagerank", scheduler="spark", seed=7, monitor_interval=None)
-    ).runtime_s
+    spark = runtimes.pop("stock spark")
     rows = [
         (name, f"{t:.1f}", f"{t / runtimes['full']:.2f}x")
         for name, t in runtimes.items()

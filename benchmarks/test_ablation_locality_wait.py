@@ -8,29 +8,32 @@ spark.locality.wait shows stock Spark cannot close the gap by tuning it.
 from __future__ import annotations
 
 from benchmarks.conftest import emit
+from repro.experiments.pool import run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 
 WAITS = (0.0, 1.0, 3.0, 10.0)
 
 
 def run_sweep(workload: str = "lr", seed: int = 7) -> dict[str, float]:
-    out: dict[str, float] = {}
-    for wait in WAITS:
-        res = run_once(
-            RunSpec(
-                workload=workload,
-                scheduler="spark",
-                seed=seed,
-                monitor_interval=None,
-                conf_overrides={"locality_wait_s": wait},
-            )
+    # The whole sweep plus the RUPAM reference as one grid (worker count
+    # from $RUPAM_JOBS; serial by default).
+    specs = [
+        RunSpec(
+            workload=workload,
+            scheduler="spark",
+            seed=seed,
+            monitor_interval=None,
+            conf_overrides={"locality_wait_s": wait},
         )
-        out[f"spark wait={wait}"] = res.runtime_s
-    rupam = run_once(
+        for wait in WAITS
+    ]
+    specs.append(
         RunSpec(workload=workload, scheduler="rupam", seed=seed, monitor_interval=None)
     )
-    out["rupam"] = rupam.runtime_s
+    results = run_many(specs)
+    out = {f"spark wait={wait}": r.runtime_s for wait, r in zip(WAITS, results)}
+    out["rupam"] = results[-1].runtime_s
     return out
 
 

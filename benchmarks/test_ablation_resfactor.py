@@ -7,16 +7,18 @@ shuffle-bound (the paper exposes it as the user-tunable sensitivity).
 from __future__ import annotations
 
 from benchmarks.conftest import emit
+from repro.experiments.pool import run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 
 FACTORS = (1.0, 2.0, 4.0, 8.0)
 
 
 def run_sweep(workload: str = "terasort", seed: int = 7) -> dict[float, float]:
-    out = {}
-    for f in FACTORS:
-        res = run_once(
+    # Declare the sweep grid up front and fan it out (worker count from
+    # $RUPAM_JOBS; serial by default).
+    results = run_many(
+        [
             RunSpec(
                 workload=workload,
                 scheduler="rupam",
@@ -24,9 +26,10 @@ def run_sweep(workload: str = "terasort", seed: int = 7) -> dict[float, float]:
                 monitor_interval=None,
                 rupam_overrides={"res_factor": f},
             )
-        )
-        out[f] = res.runtime_s
-    return out
+            for f in FACTORS
+        ]
+    )
+    return {f: r.runtime_s for f, r in zip(FACTORS, results)}
 
 
 def test_ablation_resfactor(benchmark):

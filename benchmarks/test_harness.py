@@ -1,0 +1,87 @@
+"""Harness benchmark: the parallel pool and the run cache on fig5-smoke.
+
+Regenerates Figure 5 three ways — serial, parallel (``RUPAM_BENCH_JOBS``
+workers, default 4), and twice against a fresh cache (cold store + warm
+100%-hit replay) — asserts every variant renders byte-identically, and
+records the wall clocks in ``BENCH_harness.json`` for the CI gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.experiments.cache import RunCache
+from repro.experiments.fig5 import fig5_grid, run_fig5
+from repro.experiments.report import render_table
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_harness_fig5(bench_scale, bench_artifact, tmp_path):
+    jobs = int(os.environ.get("RUPAM_BENCH_JOBS", "4"))
+    cores = os.cpu_count() or 1
+    n_specs = len(fig5_grid(bench_scale))
+
+    serial_s, serial = _timed(lambda: run_fig5(bench_scale, jobs=1))
+    parallel_s, parallel = _timed(lambda: run_fig5(bench_scale, jobs=jobs))
+
+    cache = RunCache(root=tmp_path / "cache")
+    cold_s, cold = _timed(lambda: run_fig5(bench_scale, jobs=jobs, cache=cache))
+    assert (cache.hits, cache.stores) == (0, n_specs)
+    warm_s, warm = _timed(lambda: run_fig5(bench_scale, jobs=jobs, cache=cache))
+    assert cache.hits == n_specs, "warm pass must be 100% cache hits"
+
+    # The pool and the cache are pure throughput optimizations: every
+    # variant must render the figure byte-identically to the serial run.
+    baseline = serial.render()
+    for name, variant in (("parallel", parallel), ("cold", cold), ("warm", warm)):
+        assert variant.render() == baseline, f"{name} output diverged"
+
+    emit(
+        render_table(
+            ["variant", "wall (s)", "vs serial"],
+            [
+                (f"serial (jobs=1, {n_specs} runs)", f"{serial_s:.2f}", "1.00x"),
+                (f"parallel (jobs={jobs})", f"{parallel_s:.2f}",
+                 f"{serial_s / parallel_s:.2f}x"),
+                (f"cold cache (jobs={jobs})", f"{cold_s:.2f}",
+                 f"{serial_s / cold_s:.2f}x"),
+                ("warm cache", f"{warm_s:.2f}", f"{serial_s / warm_s:.2f}x"),
+            ],
+            title=f"Parallel harness - fig5 {bench_scale} ({cores} cores)",
+        )
+    )
+
+    bench_artifact.name = "harness"
+    bench_artifact.attach(
+        {
+            "scale": bench_scale,
+            "specs": n_specs,
+            "jobs": jobs,
+            "cpu_count": cores,
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "cold_cache_s": round(cold_s, 3),
+            "warm_cache_s": round(warm_s, 3),
+            "parallel_speedup": round(serial_s / parallel_s, 3),
+            "warm_speedup": round(serial_s / warm_s, 3),
+            "warm_hits": cache.hits,
+            "outputs_identical": True,
+        }
+    )
+
+    # A warm cache replaces simulation with unpickling; it must dominate on
+    # any machine.
+    assert warm_s < serial_s / 3.0
+    # The parallel scaling claim needs actual cores to stand on; a 1-core
+    # runner can only measure (and pay) the pool overhead.
+    if cores >= 4 and jobs >= 4:
+        assert serial_s / parallel_s >= 3.0, (
+            f"jobs={jobs} on {cores} cores only {serial_s / parallel_s:.2f}x"
+        )

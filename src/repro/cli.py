@@ -4,7 +4,10 @@ Commands:
 
 * ``run`` — run one workload under one scheduler and print a summary.
 * ``compare`` — run a workload under both schedulers and print the speedup.
-* ``figure`` — regenerate one of the paper's figures/tables.
+* ``figure`` — regenerate one of the paper's figures/tables (``--jobs`` fans
+  the runs over worker processes; results are cached under ``.rupam-cache``
+  unless ``--no-cache``).
+* ``cache`` — inspect or clear the content-addressed run cache.
 * ``metrics`` — run a workload and print its observability run report.
 * ``explain`` — run a workload and explain one task's dispatch decisions.
 * ``list`` — list registered workloads and figures.
@@ -13,6 +16,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
 
@@ -151,9 +155,38 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.pool import RunCache
+
     fn = _resolve(FIGURES[args.name])
-    result = fn(args.scale) if args.name in SCALED_FIGURES else fn()
+    # Figures accept different subsets of (scale, jobs, cache) — table4 runs
+    # no simulations at all — so pass only what each one declares.
+    accepted = inspect.signature(fn).parameters
+    kwargs = {}
+    if args.name in SCALED_FIGURES:
+        kwargs["scale"] = args.scale
+    if "jobs" in accepted:
+        kwargs["jobs"] = args.jobs
+    if "cache" in accepted and not args.no_cache:
+        kwargs["cache"] = RunCache(root=args.cache_dir)
+    result = fn(**kwargs)
     print(result.render())
+    if kwargs.get("cache") is not None:
+        print(kwargs["cache"].stats().render_counts())
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import code_fingerprint
+    from repro.experiments.pool import RunCache
+
+    cache = RunCache(root=args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats().render())
+    elif args.action == "clear":
+        n = cache.clear()
+        print(f"removed {n} cached runs from {cache.root}")
+    elif args.action == "fingerprint":
+        print(code_fingerprint())
     return 0
 
 
@@ -243,7 +276,38 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    fig_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent runs (0 = one per CPU; "
+        "default from $RUPAM_JOBS, else serial)",
+    )
+    fig_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every run instead of using the on-disk run cache",
+    )
+    fig_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="run cache location (default $RUPAM_CACHE_DIR or .rupam-cache)",
+    )
     fig_p.set_defaults(fn=cmd_figure)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed run cache"
+    )
+    cache_p.add_argument("action", choices=("stats", "clear", "fingerprint"))
+    cache_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="run cache location (default $RUPAM_CACHE_DIR or .rupam-cache)",
+    )
+    cache_p.set_defaults(fn=cmd_cache)
 
     list_p = sub.add_parser("list", help="list workloads, clusters, figures")
     list_p.set_defaults(fn=cmd_list)

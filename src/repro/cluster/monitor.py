@@ -75,6 +75,8 @@ class ClusterMonitor:
         self._started = False
 
     def start(self) -> None:
+        if self.sim is None:
+            raise RuntimeError("monitor was detached (unpickled) and cannot sample")
         if self._started:
             raise RuntimeError("monitor already started")
         self._started = True
@@ -82,6 +84,24 @@ class ClusterMonitor:
 
     def stop(self) -> None:
         self._stopped = True
+
+    # -- pickling ------------------------------------------------------------
+    #
+    # A finished monitor travels across process boundaries (parallel
+    # experiment workers, the on-disk run cache) as pure data: the live
+    # ``sim``/``cluster`` references would drag the entire simulation object
+    # graph (event heap, scheduler closures) into the pickle, so they are
+    # dropped.  Every aggregation below only reads ``node_series``.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["sim"] = None
+        state["cluster"] = None
+        state["_stopped"] = True
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def _tick(self) -> None:
         if self._stopped:

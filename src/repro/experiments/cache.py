@@ -1,0 +1,238 @@
+"""Content-addressed on-disk cache for deterministic experiment runs.
+
+Every simulated run is a pure function of its :class:`RunSpec` (the engine
+has no wall-clock coupling and all randomness is seeded), so a finished
+:class:`AppResult` can be memoized and replayed byte-identically.  The cache
+key has two parts:
+
+* ``spec_key(spec)`` — a SHA-256 over the spec's canonical JSON form
+  (dataclass fields, sorted keys), so any knob change produces a new entry;
+* ``code_fingerprint()`` — a SHA-256 over the contents of every ``*.py``
+  file in the installed ``repro`` package, so *any* source edit invalidates
+  the whole cache cleanly (entries are namespaced per fingerprint, never
+  served across code versions).
+
+Entries are pickled ``AppResult``s with a small JSON sidecar (spec + run
+summary) for ``repro cache stats``.  Writes are atomic (temp file +
+``os.replace``) so parallel workers and concurrent invocations never observe
+torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import RunSpec
+    from repro.spark.driver import AppResult
+
+#: Default cache location (relative to the working directory); override with
+#: the ``RUPAM_CACHE_DIR`` environment variable or the ``root`` argument.
+DEFAULT_CACHE_DIR = ".rupam-cache"
+CACHE_DIR_ENV = "RUPAM_CACHE_DIR"
+
+# How many hex chars of each hash to keep in paths: 16 (64 bits) is ample
+# for grids of at most a few thousand entries and keeps paths readable.
+_HASH_CHARS = 16
+
+_fingerprint_memo: dict[Path, str] = {}
+
+
+def canonical_spec(spec: "RunSpec") -> str:
+    """The spec's canonical wire form: JSON with sorted keys at every level.
+
+    Dataclass field order, dict insertion order, and tuple-vs-list spelling
+    of override values all normalize away, so two specs hash equal iff they
+    describe the same run.
+    """
+    return json.dumps(
+        asdict(spec), sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+def spec_key(spec: "RunSpec") -> str:
+    """Content hash of one run's full configuration."""
+    return hashlib.sha256(canonical_spec(spec).encode()).hexdigest()[:_HASH_CHARS]
+
+
+def code_fingerprint(root: str | Path | None = None) -> str:
+    """Hash of every ``*.py`` file under the repro package (or ``root``).
+
+    Any source change — an edited constant, a new module, a deleted file —
+    yields a new fingerprint, which namespaces the cache so stale results
+    can never be served after a code edit.  Memoized per root per process
+    (the experiment grid calls this once per run otherwise).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root).resolve()
+    memo = _fingerprint_memo.get(root)
+    if memo is not None:
+        return memo
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    digest = h.hexdigest()[:_HASH_CHARS]
+    _fingerprint_memo[root] = digest
+    return digest
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What ``repro cache stats`` reports."""
+
+    root: str
+    fingerprint: str            # the *current* code fingerprint
+    current_entries: int        # entries valid for the current fingerprint
+    stale_entries: int          # entries under superseded fingerprints
+    fingerprints: int           # distinct code versions present
+    total_bytes: int
+    hits: int                   # this RunCache instance's session counters
+    misses: int
+    stores: int
+
+    def render_counts(self) -> str:
+        """One-line session summary, printed after cached figure runs."""
+        return (
+            f"[cache {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s) -> {self.root}]"
+        )
+
+    def render(self) -> str:
+        return (
+            f"run cache at {self.root}\n"
+            f"  code fingerprint: {self.fingerprint}\n"
+            f"  entries: {self.current_entries} current, "
+            f"{self.stale_entries} stale across "
+            f"{self.fingerprints} code version(s), "
+            f"{self.total_bytes / 1e6:.2f} MB total\n"
+            f"  this session: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores"
+        )
+
+
+class RunCache:
+    """Content-addressed run memoization under ``root``.
+
+    ``get``/``put`` are keyed by ``<fingerprint>/<spec_key>``; a corrupt or
+    unreadable entry counts as a miss (and is deleted) rather than an error,
+    so a torn cache never breaks an experiment.
+    """
+
+    def __init__(
+        self, root: str | Path | None = None, fingerprint: str | None = None
+    ):
+        self.root = Path(
+            root
+            if root is not None
+            else os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        )
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, spec: "RunSpec") -> Path:
+        return self.root / self.fingerprint / f"{spec_key(spec)}.pkl"
+
+    def get(self, spec: "RunSpec") -> "AppResult | None":
+        path = self.path_for(spec)
+        try:
+            payload = path.read_bytes()
+            result = pickle.loads(payload)
+        except OSError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Torn/corrupt entry (e.g. interrupted write on an old layout):
+            # drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.from_cache = True
+        return result
+
+    def put(self, spec: "RunSpec", result: "AppResult") -> Path:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A cached entry must replay as "freshly computed" data; the reader
+        # stamps from_cache itself.
+        was_cached, result.from_cache = result.from_cache, False
+        try:
+            payload = pickle.dumps(result)
+        finally:
+            result.from_cache = was_cached
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        sidecar = {
+            "spec": json.loads(canonical_spec(spec)),
+            "runtime_s": result.runtime_s,
+            "scheduler": result.scheduler_name,
+            "app": result.app_name,
+            "aborted": result.aborted,
+            "bytes": len(payload),
+        }
+        tmp_json = path.with_suffix(".json.tmp")
+        tmp_json.write_text(json.dumps(sidecar, sort_keys=True) + "\n")
+        os.replace(tmp_json, path.with_suffix(".json"))
+        self.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry (all fingerprints).  Returns entries removed."""
+        if not self.root.exists():
+            return 0
+        removed = sum(1 for _ in self.root.glob("*/*.pkl"))
+        shutil.rmtree(self.root)
+        return removed
+
+    def stats(self) -> CacheStats:
+        current = stale = versions = total_bytes = 0
+        if self.root.exists():
+            for sub in sorted(self.root.iterdir()):
+                if not sub.is_dir():
+                    continue
+                entries = list(sub.glob("*.pkl"))
+                if not entries:
+                    continue
+                versions += 1
+                if sub.name == self.fingerprint:
+                    current += len(entries)
+                else:
+                    stale += len(entries)
+                total_bytes += sum(p.stat().st_size for p in sub.iterdir())
+        return CacheStats(
+            root=str(self.root),
+            fingerprint=self.fingerprint,
+            current_entries=current,
+            stale_entries=stale,
+            fingerprints=versions,
+            total_bytes=total_bytes,
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+        )
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Sidecar metadata for every current-fingerprint entry."""
+        out = []
+        for path in sorted((self.root / self.fingerprint).glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (OSError, ValueError):  # pragma: no cover - torn sidecar
+                continue
+        return out

@@ -17,9 +17,10 @@ import numpy as np
 
 from repro.analysis.stats import improvement_pct, speedup
 from repro.experiments.calibration import FIG5_WORKLOADS, get_scale
+from repro.experiments.pool import RunCache, run_many
 from repro.experiments.report import render_table
 from repro.experiments.runner import RunSpec
-from repro.experiments.trials import TrialStats, run_trials
+from repro.experiments.trials import TrialStats, summarize, trial_specs
 from repro.workloads.registry import PAPER_NAMES
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -86,23 +87,48 @@ class Fig5Result:
         )
 
 
-def run_fig5(
+def fig5_grid(
     scale: str = "smoke", workloads: tuple[str, ...] | None = None
+) -> list[RunSpec]:
+    """The full (workload x scheduler x trial) spec grid, declared up front
+    so the whole figure fans out through one :func:`run_many` call."""
+    sc = get_scale(scale)
+    specs: list[RunSpec] = []
+    for wl in workloads or FIG5_WORKLOADS:
+        for sched in ("spark", "rupam"):
+            specs.extend(
+                trial_specs(
+                    RunSpec(workload=wl, scheduler=sched, monitor_interval=None),
+                    trials=sc.trials,
+                    base_seed=sc.base_seed,
+                )
+            )
+    return specs
+
+
+def run_fig5(
+    scale: str = "smoke",
+    workloads: tuple[str, ...] | None = None,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ) -> Fig5Result:
     sc = get_scale(scale)
+    wls = tuple(workloads or FIG5_WORKLOADS)
+    results = run_many(fig5_grid(scale, wls), jobs=jobs, cache=cache)
     rows = []
     samples: dict[str, "AppResult"] = {}
-    for wl in workloads or FIG5_WORKLOADS:
-        spark_stats, _ = run_trials(
-            RunSpec(workload=wl, scheduler="spark", monitor_interval=None),
-            trials=sc.trials,
-            base_seed=sc.base_seed,
+    # The grid is laid out (workload-major, scheduler, trial); slice it back.
+    per_wl = 2 * sc.trials
+    for w, wl in enumerate(wls):
+        block = results[w * per_wl : (w + 1) * per_wl]
+        spark_results = block[: sc.trials]
+        rupam_results = block[sc.trials :]
+        rows.append(
+            Fig5Row(
+                workload=wl,
+                spark=summarize([r.runtime_s for r in spark_results]),
+                rupam=summarize([r.runtime_s for r in rupam_results]),
+            )
         )
-        rupam_stats, rupam_results = run_trials(
-            RunSpec(workload=wl, scheduler="rupam", monitor_interval=None),
-            trials=sc.trials,
-            base_seed=sc.base_seed,
-        )
-        rows.append(Fig5Row(workload=wl, spark=spark_stats, rupam=rupam_stats))
         samples[wl] = rupam_results[-1]
     return Fig5Result(rows=rows, sample_results=samples)

@@ -11,8 +11,9 @@ from dataclasses import dataclass
 
 from repro.analysis.stats import speedup
 from repro.experiments.calibration import get_scale
+from repro.experiments.pool import RunCache, run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 
 
 @dataclass
@@ -44,31 +45,33 @@ class Fig6Result:
         )
 
 
-def run_fig6(scale: str = "smoke", seed: int | None = None) -> Fig6Result:
+def run_fig6(
+    scale: str = "smoke",
+    seed: int | None = None,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+) -> Fig6Result:
     sc = get_scale(scale)
     seed = sc.base_seed if seed is None else seed
-    points = []
-    for iters in sc.lr_iterations:
-        overrides = {"iterations": iters}
-        spark = run_once(
-            RunSpec(
-                workload="lr",
-                scheduler="spark",
-                seed=seed,
-                monitor_interval=None,
-                workload_overrides=overrides,
-            )
+    # Declare the (iterations x scheduler) grid up front and fan it out.
+    specs = [
+        RunSpec(
+            workload="lr",
+            scheduler=sched,
+            seed=seed,
+            monitor_interval=None,
+            workload_overrides={"iterations": iters},
         )
-        rupam = run_once(
-            RunSpec(
-                workload="lr",
-                scheduler="rupam",
-                seed=seed,
-                monitor_interval=None,
-                workload_overrides=overrides,
-            )
+        for iters in sc.lr_iterations
+        for sched in ("spark", "rupam")
+    ]
+    results = run_many(specs, jobs=jobs, cache=cache)
+    points = [
+        Fig6Point(
+            iterations=iters,
+            spark_s=results[2 * i].runtime_s,
+            rupam_s=results[2 * i + 1].runtime_s,
         )
-        points.append(
-            Fig6Point(iterations=iters, spark_s=spark.runtime_s, rupam_s=rupam.runtime_s)
-        )
+        for i, iters in enumerate(sc.lr_iterations)
+    ]
     return Fig6Result(points=points)

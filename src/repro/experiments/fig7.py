@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 from repro.analysis.breakdown import FIG7_CATEGORIES, total_breakdown
 from repro.experiments.calibration import get_scale
+from repro.experiments.pool import RunCache, run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 
 FIG7_WORKLOADS = ("lr", "sql", "pagerank")
 
@@ -50,17 +51,24 @@ class Fig7Result:
         return "\n\n".join(out)
 
 
-def run_fig7(scale: str = "smoke") -> Fig7Result:
+def run_fig7(
+    scale: str = "smoke",
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+) -> Fig7Result:
     sc = get_scale(scale)
+    grid = [(wl, sched) for wl in FIG7_WORKLOADS for sched in ("spark", "rupam")]
+    results = run_many(
+        [
+            RunSpec(workload=wl, scheduler=sched, seed=sc.base_seed, monitor_interval=None)
+            for wl, sched in grid
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
     data: dict[str, dict[str, dict[str, float]]] = {}
     runtimes: dict[str, dict[str, float]] = {}
-    for wl in FIG7_WORKLOADS:
-        data[wl] = {}
-        runtimes[wl] = {}
-        for sched in ("spark", "rupam"):
-            res = run_once(
-                RunSpec(workload=wl, scheduler=sched, seed=sc.base_seed, monitor_interval=None)
-            )
-            data[wl][sched] = total_breakdown(res)
-            runtimes[wl][sched] = res.runtime_s
+    for (wl, sched), res in zip(grid, results):
+        data.setdefault(wl, {})[sched] = total_breakdown(res)
+        runtimes.setdefault(wl, {})[sched] = res.runtime_s
     return Fig7Result(data=data, runtimes=runtimes)

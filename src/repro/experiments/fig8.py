@@ -12,8 +12,9 @@ from dataclasses import dataclass
 
 from repro.analysis.utilization import average_utilization_row
 from repro.experiments.calibration import get_scale
+from repro.experiments.pool import RunCache, run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 
 FIG8_WORKLOADS = ("lr", "sql", "pagerank")
 FIG8_FIELDS = ("cpu_user_pct", "memory_used_gb", "network_mb_s", "disk_kb_s")
@@ -59,23 +60,31 @@ class Fig8Result:
         )
 
 
-def run_fig8(scale: str = "smoke", monitor_interval: float = 1.0) -> Fig8Result:
+def run_fig8(
+    scale: str = "smoke",
+    monitor_interval: float = 1.0,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+) -> Fig8Result:
     sc = get_scale(scale)
+    grid = [(wl, sched) for wl in FIG8_WORKLOADS for sched in ("spark", "rupam")]
+    results = run_many(
+        [
+            RunSpec(
+                workload=wl,
+                scheduler=sched,
+                seed=sc.base_seed,
+                monitor_interval=monitor_interval,
+            )
+            for wl, sched in grid
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
     data: dict[str, dict[str, dict[str, float]]] = {}
     runtimes: dict[str, dict[str, float]] = {}
-    for wl in FIG8_WORKLOADS:
-        data[wl] = {}
-        runtimes[wl] = {}
-        for sched in ("spark", "rupam"):
-            res = run_once(
-                RunSpec(
-                    workload=wl,
-                    scheduler=sched,
-                    seed=sc.base_seed,
-                    monitor_interval=monitor_interval,
-                )
-            )
-            assert res.monitor is not None
-            data[wl][sched] = average_utilization_row(res.monitor)
-            runtimes[wl][sched] = res.runtime_s
+    for (wl, sched), res in zip(grid, results):
+        assert res.monitor is not None
+        data.setdefault(wl, {})[sched] = average_utilization_row(res.monitor)
+        runtimes.setdefault(wl, {})[sched] = res.runtime_s
     return Fig8Result(data=data, runtimes=runtimes)

@@ -14,8 +14,9 @@ import numpy as np
 
 from repro.analysis.utilization import utilization_stddev_series
 from repro.experiments.calibration import get_scale
+from repro.experiments.pool import RunCache, run_many
 from repro.experiments.report import render_series
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 
 FIG9_FIELDS = ("cpu", "net_util", "disk_util")
 
@@ -46,19 +47,29 @@ class Fig9Result:
 
 
 def run_fig9(
-    scale: str = "smoke", workload: str = "pagerank", monitor_interval: float = 1.0
+    scale: str = "smoke",
+    workload: str = "pagerank",
+    monitor_interval: float = 1.0,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ) -> Fig9Result:
     sc = get_scale(scale)
-    data: dict[str, dict[str, tuple[np.ndarray, np.ndarray]]] = {}
-    for sched in ("spark", "rupam"):
-        res = run_once(
+    scheds = ("spark", "rupam")
+    results = run_many(
+        [
             RunSpec(
                 workload=workload,
                 scheduler=sched,
                 seed=sc.base_seed,
                 monitor_interval=monitor_interval,
             )
-        )
+            for sched in scheds
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    data: dict[str, dict[str, tuple[np.ndarray, np.ndarray]]] = {}
+    for sched, res in zip(scheds, results):
         assert res.monitor is not None
         data[sched] = {
             field: utilization_stddev_series(res.monitor, field)

@@ -1,0 +1,220 @@
+"""Parallel fan-out for independent experiment runs.
+
+Every figure/table in the reproduction is a grid of independent,
+deterministic simulations (workload x scheduler x trial).  ``run_many`` is
+the one execution path they all share: it serves cached runs from the
+content-addressed :class:`~repro.experiments.cache.RunCache`, fans the
+remaining specs out over a ``ProcessPoolExecutor`` (forked workers, worker
+count from ``--jobs``/``RUPAM_JOBS``), and returns results in spec order —
+bit-identical to a serial loop, because each run is a pure function of its
+spec.
+
+Design points:
+
+* **Serial fallback.** ``jobs=1``, a single pending spec, or a platform
+  without ``fork`` (macOS/Windows spawn would re-import per task) all run
+  inline in the parent; the parallel path is a pure throughput optimization.
+* **Deterministic order.** Results are indexed by spec position, never by
+  completion order.
+* **Error propagation.** A failing run raises :class:`PoolRunError` carrying
+  the offending spec (``.spec``) with the worker's exception chained; a
+  crashed worker process (``BrokenProcessPool``) surfaces the same way.
+* **Observability merge.** Pass ``obs=`` to fold every run's metrics
+  counters/histograms and decision-reason tallies into a parent
+  :class:`~repro.obs.decision.Observability` (see ``merge_run`` for the
+  exact semantics), plus ``pool.*`` counters describing the fan-out itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.experiments.cache import RunCache
+from repro.experiments.runner import RunSpec, run_once
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.decision import Observability
+    from repro.spark.driver import AppResult
+
+__all__ = [
+    "PoolRunError",
+    "RunCache",
+    "RunSummary",
+    "resolve_jobs",
+    "run_many",
+]
+
+JOBS_ENV = "RUPAM_JOBS"
+
+
+class PoolRunError(RuntimeError):
+    """One grid run failed.  ``spec`` identifies which; the worker's original
+    exception is chained as ``__cause__``."""
+
+    def __init__(self, spec: RunSpec, message: str):
+        super().__init__(message)
+        self.spec = spec
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Compact, picklable digest of one run — the wire form for callers that
+    aggregate over large grids without holding every task's metrics."""
+
+    app_name: str
+    scheduler_name: str
+    seed: int
+    runtime_s: float
+    aborted: bool
+    oom_task_failures: int
+    executor_kills: int
+    task_attempts: int
+    successful_tasks: int
+    from_cache: bool
+
+    @classmethod
+    def from_result(cls, spec: RunSpec, result: "AppResult") -> "RunSummary":
+        return cls(
+            app_name=result.app_name,
+            scheduler_name=result.scheduler_name,
+            seed=spec.seed,
+            runtime_s=result.runtime_s,
+            aborted=result.aborted,
+            oom_task_failures=result.oom_task_failures,
+            executor_kills=result.executor_kills,
+            task_attempts=len(result.task_metrics),
+            successful_tasks=len(result.successful_metrics()),
+            from_cache=result.from_cache,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app_name,
+            "scheduler": self.scheduler_name,
+            "seed": self.seed,
+            "runtime_s": self.runtime_s,
+            "aborted": self.aborted,
+            "oom_task_failures": self.oom_task_failures,
+            "executor_kills": self.executor_kills,
+            "task_attempts": self.task_attempts,
+            "successful_tasks": self.successful_tasks,
+            "from_cache": self.from_cache,
+        }
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument > ``RUPAM_JOBS`` env > serial (1).
+
+    ``0`` (or the env value ``auto``) means "all cores".
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        jobs = 0 if env.lower() == "auto" else int(env)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _execute_spec(spec: RunSpec) -> "AppResult":
+    """The worker body: one fresh, self-contained simulation."""
+    return run_once(spec)
+
+
+def run_many(
+    specs: Iterable[RunSpec] | Sequence[RunSpec],
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+    obs: "Observability | None" = None,
+) -> "list[AppResult]":
+    """Run every spec and return results in spec order.
+
+    Cached results are served without touching the pool; only misses are
+    simulated (in parallel when ``jobs > 1``) and then stored back.  The
+    output is indistinguishable from ``[run_once(s) for s in specs]`` —
+    byte-identical runtimes, task metrics, and decision traces — which
+    ``tests/test_pool_cache.py`` and ``benchmarks/test_harness.py`` enforce.
+    """
+    specs = list(specs)
+    results: list["AppResult | None"] = [None] * len(specs)
+
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+
+    jobs = resolve_jobs(jobs)
+    workers = min(jobs, len(pending))
+    if workers > 1 and _fork_available():
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = [(i, pool.submit(_execute_spec, specs[i])) for i in pending]
+            try:
+                for i, fut in futures:
+                    try:
+                        results[i] = fut.result()
+                    except Exception as exc:
+                        raise PoolRunError(
+                            specs[i],
+                            f"parallel run failed for {specs[i].workload}/"
+                            f"{specs[i].scheduler} seed={specs[i].seed}: {exc}",
+                        ) from exc
+            except PoolRunError:
+                # Don't wait for the rest of a doomed grid.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+    else:
+        for i in pending:
+            try:
+                results[i] = _execute_spec(specs[i])
+            except Exception as exc:
+                raise PoolRunError(
+                    specs[i],
+                    f"run failed for {specs[i].workload}/{specs[i].scheduler} "
+                    f"seed={specs[i].seed}: {exc}",
+                ) from exc
+
+    if cache is not None:
+        for i in pending:
+            assert results[i] is not None
+            cache.put(specs[i], results[i])
+
+    if obs is not None:
+        for r in results:
+            if r is not None and r.obs is not None:
+                obs.merge_run(r.obs)
+        obs.metrics.inc("pool.runs", float(len(specs)))
+        obs.metrics.inc("pool.fresh", float(len(pending)))
+        if cache is not None:
+            obs.metrics.inc("pool.cache_hits", float(len(specs) - len(pending)))
+            obs.metrics.inc("pool.cache_misses", float(len(pending)))
+
+    return results  # type: ignore[return-value]
+
+
+def run_many_summaries(
+    specs: Iterable[RunSpec] | Sequence[RunSpec],
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+    obs: "Observability | None" = None,
+) -> list[RunSummary]:
+    """Like :func:`run_many`, returning only the compact per-run digests."""
+    specs = list(specs)
+    return [
+        RunSummary.from_result(spec, res)
+        for spec, res in zip(specs, run_many(specs, jobs=jobs, cache=cache, obs=obs))
+    ]

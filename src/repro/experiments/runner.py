@@ -75,6 +75,27 @@ def make_scheduler(spec: RunSpec, db: TaskCharDB | None = None) -> TaskScheduler
     raise ValueError(f"unknown scheduler {spec.scheduler!r}")
 
 
+def reset_run_ids() -> None:
+    """Restart every process-global id sequence (stages, jobs, executors).
+
+    The absolute values of these ids leak into run artifacts
+    (``TaskMetrics.stage_id``, job/executor names in traces), so without a
+    reset a run's output would depend on how many runs this *process* had
+    executed before it — and a serial loop would differ from forked pool
+    workers.  Resetting per run makes every run a pure function of its
+    :class:`RunSpec`, which the parallel harness and the run cache rely on.
+    Ids only need to be unique within one run (tasksets, shuffle registries,
+    and executor maps are all per-driver).
+    """
+    from repro.spark.application import Job
+    from repro.spark.executor import Executor
+    from repro.spark.stage import Stage
+
+    Stage.reset_ids()
+    Job.reset_ids()
+    Executor.reset_ids()
+
+
 def run_once(spec: RunSpec, db: TaskCharDB | None = None) -> AppResult:
     """Build the cluster and workload, run the app, return its results.
 
@@ -83,6 +104,7 @@ def run_once(spec: RunSpec, db: TaskCharDB | None = None) -> AppResult:
     """
     if spec.cluster not in CLUSTERS:
         raise ValueError(f"unknown cluster {spec.cluster!r}")
+    reset_run_ids()
     sim = Simulator()
     cluster: Cluster = CLUSTERS[spec.cluster](sim)
     conf = spec.make_conf()

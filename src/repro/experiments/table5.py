@@ -12,8 +12,9 @@ from dataclasses import dataclass
 
 from repro.analysis.locality import locality_table_row
 from repro.experiments.calibration import FIG5_WORKLOADS, get_scale
+from repro.experiments.pool import RunCache, run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.runner import RunSpec
 from repro.workloads.registry import PAPER_NAMES
 
 
@@ -58,22 +59,28 @@ class Table5Result:
 
 
 def run_table5(
-    scale: str = "smoke", workloads: tuple[str, ...] | None = None
+    scale: str = "smoke",
+    workloads: tuple[str, ...] | None = None,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ) -> Table5Result:
     sc = get_scale(scale)
-    rows = []
-    for wl in workloads or FIG5_WORKLOADS:
-        spark = run_once(
-            RunSpec(workload=wl, scheduler="spark", seed=sc.base_seed, monitor_interval=None)
+    wls = tuple(workloads or FIG5_WORKLOADS)
+    results = run_many(
+        [
+            RunSpec(workload=wl, scheduler=sched, seed=sc.base_seed, monitor_interval=None)
+            for wl in wls
+            for sched in ("spark", "rupam")
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    rows = [
+        Table5Row(
+            workload=wl,
+            spark=locality_table_row(results[2 * i]),
+            rupam=locality_table_row(results[2 * i + 1]),
         )
-        rupam = run_once(
-            RunSpec(workload=wl, scheduler="rupam", seed=sc.base_seed, monitor_interval=None)
-        )
-        rows.append(
-            Table5Row(
-                workload=wl,
-                spark=locality_table_row(spark),
-                rupam=locality_table_row(rupam),
-            )
-        )
+        for i, wl in enumerate(wls)
+    ]
     return Table5Result(rows=rows)

@@ -7,11 +7,20 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.experiments.runner import RunSpec, run_once
+from repro.experiments.pool import RunCache, run_many
+from repro.experiments.runner import RunSpec
 from repro.spark.driver import AppResult
 
-# Two-sided 95% t critical values for small samples (df = n-1).
-_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365}
+# Two-sided 95% t critical values for small samples (df = n-1).  The table
+# deliberately stops at df=15: trial counts beyond 16 are outside any
+# protocol this harness runs, and silently substituting the normal z would
+# understate the CI exactly when someone scales trials up.  ``summarize``
+# raises instead of approximating.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+}
 
 
 @dataclass(frozen=True)
@@ -32,21 +41,43 @@ def summarize(runtimes: list[float]) -> TrialStats:
     mean = float(arr.mean())
     if len(arr) < 2:
         return TrialStats(tuple(arr), mean, 0.0)
+    df = len(arr) - 1
+    if df not in _T95:
+        raise ValueError(
+            f"no t-table entry for df={df} (n={len(arr)} trials); "
+            f"_T95 covers df 1..{max(_T95)} — extend the table rather than "
+            "approximating with z"
+        )
     sem = float(arr.std(ddof=1) / np.sqrt(len(arr)))
-    t = _T95.get(len(arr) - 1, 1.96)
-    return TrialStats(tuple(arr), mean, t * sem)
+    return TrialStats(tuple(arr), mean, _T95[df] * sem)
 
 
-def run_trials(
-    spec: RunSpec, trials: int = 5, base_seed: int | None = None
-) -> tuple[TrialStats, list[AppResult]]:
-    """Run ``trials`` independent runs (fresh DB each — the paper clears
-    DB_task_char after every run) and summarize runtimes."""
+def trial_specs(
+    spec: RunSpec, trials: int, base_seed: int | None = None
+) -> list[RunSpec]:
+    """The per-trial specs for one configuration: seed ``seed0 + 1000*t``
+    per trial (fresh DB each — the paper clears DB_task_char between runs)."""
     if trials < 1:
         raise ValueError("trials must be >= 1")
     seed0 = spec.seed if base_seed is None else base_seed
-    results: list[AppResult] = []
-    for t in range(trials):
-        res = run_once(replace(spec, seed=seed0 + 1000 * t))
-        results.append(res)
+    return [replace(spec, seed=seed0 + 1000 * t) for t in range(trials)]
+
+
+def run_trials(
+    spec: RunSpec,
+    trials: int = 5,
+    base_seed: int | None = None,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+) -> tuple[TrialStats, list[AppResult]]:
+    """Run ``trials`` independent runs and summarize runtimes.
+
+    The runs are independent deterministic simulations, so they fan out
+    through :func:`~repro.experiments.pool.run_many` (``jobs`` worker
+    processes, optional content-addressed ``cache``); results come back in
+    trial order regardless of completion order.
+    """
+    results = run_many(
+        trial_specs(spec, trials, base_seed), jobs=jobs, cache=cache
+    )
     return summarize([r.runtime_s for r in results]), results

@@ -254,6 +254,25 @@ class Observability:
         self._last_queue_sample = -math.inf
         self._last_util_sample = -math.inf
 
+    def merge_run(self, other: "Observability") -> None:
+        """Fold a finished run's observability bundle into this one.
+
+        The parallel experiment pool calls this once per completed run so the
+        parent process keeps a fleet-level aggregate: counters and histograms
+        merge exactly (see :meth:`MetricsRegistry.merge_from`), and the
+        decision trace contributes its *summary* — per-reason launch and
+        rejection tallies — rather than every individual decision, keeping
+        the parent's memory independent of grid size.  Per-task explanation
+        state (``explain``) intentionally stays per-run.
+        """
+        if not self.enabled or other is None:
+            return
+        self.metrics.merge_from(other.metrics)
+        for reason, count in other.decisions.reason_counts.items():
+            self.decisions.reason_counts[reason] = (
+                self.decisions.reason_counts.get(reason, 0) + count
+            )
+
     def sample_queue_depths(
         self, now: float, depths: "dict[str, int] | Callable[[], dict[str, int]]"
     ) -> None:

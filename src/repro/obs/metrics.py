@@ -66,6 +66,22 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one (bucket-wise).
+
+        Exact for counts/mean/min/max; quantiles keep the usual ~±13%
+        bucket-resolution error.  Used to aggregate per-run histograms into a
+        fleet-level view when experiment runs execute in worker processes.
+        """
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -171,6 +187,27 @@ class MetricsRegistry:
         if s is None:
             s = self._series[name] = TimeSeries()
         s.append(time, value)
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Merge semantics (documented in DESIGN.md §10): counters add,
+        histograms merge bucket-wise, gauges take the other side's latest
+        value (last-write-wins), and *time series are not merged* — each
+        run's series lives on its own simulated clock, so concatenating them
+        would interleave unrelated time bases.  Per-run series stay available
+        on the per-run :class:`Observability` bundles.
+        """
+        if not self.enabled:
+            return
+        for name, v in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + v
+        self.gauges.update(other.gauges)
+        for name, h in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge_from(h)
 
     # -- read path ---------------------------------------------------------------
 

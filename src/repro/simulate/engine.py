@@ -28,17 +28,20 @@ class _Entry:
 class EventHandle:
     """A cancellable reference to a scheduled callback."""
 
-    __slots__ = ("fn", "args", "cancelled", "fired", "time")
+    __slots__ = ("fn", "args", "cancelled", "fired", "time", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple, sim: "Simulator"):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if already fired)."""
+        if not (self.cancelled or self.fired):
+            self._sim._pending -= 1
         self.cancelled = True
 
     @property
@@ -63,6 +66,7 @@ class Simulator:
         self._now = 0.0
         self._heap: list[_Entry] = []
         self._seq = 0
+        self._pending = 0
         self._running = False
         self.events_processed = 0
 
@@ -80,8 +84,9 @@ class Simulator:
                 f"cannot schedule event in the past: {time} < now={self._now}"
             )
         time = max(time, self._now)
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, self)
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._heap, _Entry(time, self._seq, handle))
         return handle
 
@@ -100,6 +105,7 @@ class Simulator:
                 continue
             self._now = entry.time
             handle.fired = True
+            self._pending -= 1
             self.events_processed += 1
             handle.fn(*handle.args)
             return True
@@ -140,4 +146,14 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
+        """Number of schedulable (not fired, not cancelled) events.
+
+        Maintained incrementally on push/cancel/pop — O(1), not a heap scan
+        (schedulers poll this on hot paths).
+        """
+        return self._pending
+
+    def _scan_pending(self) -> int:
+        """O(n) reference count of pending events (tests cross-check the
+        incremental counter against this)."""
         return sum(1 for e in self._heap if e.handle.pending)

@@ -95,6 +95,20 @@ def waterfill(capacity: float, caps: Iterable[float | None]) -> list[float]:
         return []
     rates = [0.0] * n
     remaining_cap = capacity
+    if all(c is None for c in caps):
+        # Fast path for the common all-uncapped case (e.g. compute flows):
+        # nobody is ever clipped below the fair share, so no sort is needed.
+        # The arithmetic must stay *bit-identical* to the general path below
+        # (whose stable sort visits all-None consumers in input order), so the
+        # capacity is handed out by the same sequence of divisions rather than
+        # a single capacity/n split.
+        for idx in range(n):
+            if remaining_cap <= _EPS:
+                break
+            fair = remaining_cap / (n - idx)
+            rates[idx] = fair
+            remaining_cap -= fair
+        return rates
     # Indices sorted so capped-small consumers are satisfied first.
     order = sorted(range(n), key=lambda i: math.inf if caps[i] is None else caps[i])
     remaining = n

@@ -18,6 +18,11 @@ class Job:
 
     _next_id = 0
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart the id sequence (run isolation; see runner.reset_run_ids)."""
+        cls._next_id = 0
+
     def __init__(self, stages: Iterable[Stage], name: str = ""):
         self.job_id = Job._next_id
         Job._next_id += 1

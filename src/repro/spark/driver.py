@@ -27,7 +27,15 @@ from repro.spark.taskset import TaskSetAborted, TaskSetManager
 
 @dataclass
 class AppResult:
-    """Everything an experiment needs from one application run."""
+    """Everything an experiment needs from one application run.
+
+    AppResult is the experiment harness's *wire form*: instances must stay
+    picklable (worker processes ship them back to the parent, and the run
+    cache stores them on disk), which every component guarantees — plain
+    dataclasses throughout, and :class:`ClusterMonitor` detaches its live
+    simulator references on serialization.  ``tests/test_pool_cache.py``
+    enforces this.
+    """
 
     app_name: str
     scheduler_name: str
@@ -39,6 +47,9 @@ class AppResult:
     monitor: ClusterMonitor | None = None
     extras: dict[str, float] = field(default_factory=dict)
     obs: Observability | None = field(default=None, repr=False)
+    # Provenance: True when this result was served from the run cache rather
+    # than freshly simulated (stamped by RunCache.get, never pickled as True).
+    from_cache: bool = False
 
     def successful_metrics(self) -> list[TaskMetrics]:
         return [m for m in self.task_metrics if m.succeeded]

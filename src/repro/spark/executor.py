@@ -17,6 +17,11 @@ class Executor:
 
     _next_id = 0
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart the id sequence (run isolation; see runner.reset_run_ids)."""
+        cls._next_id = 0
+
     def __init__(
         self,
         ctx: SchedulerContext,

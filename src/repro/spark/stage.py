@@ -26,6 +26,11 @@ class Stage:
 
     _next_id = 0
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart the id sequence (run isolation; see runner.reset_run_ids)."""
+        cls._next_id = 0
+
     def __init__(
         self,
         template_id: str,

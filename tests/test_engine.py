@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simulate.engine import SimulationError, Simulator
+from repro.simulate.engine import SimulationError
 
 
 def test_events_run_in_time_order(sim):
@@ -135,3 +135,33 @@ def test_pending_count(sim):
     assert sim.pending_count == 2
     h1.cancel()
     assert sim.pending_count == 1
+
+
+def test_pending_count_tracks_heap_scan_under_churn(sim):
+    """The O(1) counter must agree with an O(n) heap scan through arbitrary
+    push / cancel / double-cancel / fire interleavings."""
+    import random
+
+    rng = random.Random(42)
+    handles = []
+    for round_no in range(1, 30):
+        for k in range(rng.randrange(1, 5)):
+            handles.append(sim.at(float(round_no), lambda: None))
+        for _ in range(rng.randrange(0, 3)):
+            # Cancelling twice (or cancelling a fired handle) must not
+            # double-decrement.
+            h = rng.choice(handles)
+            h.cancel()
+            h.cancel()
+        assert sim.pending_count == sim._scan_pending()
+    sim.run()
+    assert sim.pending_count == sim._scan_pending() == 0
+
+
+def test_pending_count_zero_after_cancelling_everything(sim):
+    handles = [sim.at(float(i + 1), lambda: None) for i in range(5)]
+    for h in handles:
+        h.cancel()
+    assert sim.pending_count == 0
+    sim.run()
+    assert sim.pending_count == 0

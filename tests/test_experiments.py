@@ -85,6 +85,28 @@ class TestTrials:
         with pytest.raises(ValueError):
             run_trials(RunSpec(workload="lr"), trials=0)
 
+    def test_summarize_t_values_through_df15(self):
+        # Spot-check the extended t-table: ci95 = t * s/sqrt(n).
+        import numpy as np
+
+        for n, t in ((10, 2.262), (16, 2.131)):
+            vals = [float(v) for v in range(n)]
+            stats = summarize(vals)
+            sem = float(np.std(vals, ddof=1) / np.sqrt(n))
+            assert stats.ci95 == pytest.approx(t * sem)
+
+    def test_summarize_rejects_df_beyond_table(self):
+        with pytest.raises(ValueError, match="df=16"):
+            summarize([float(v) for v in range(17)])
+
+    def test_trial_specs_seed_ladder(self):
+        from repro.experiments.trials import trial_specs
+
+        spec = RunSpec(workload="lr", seed=7)
+        seeds = [s.seed for s in trial_specs(spec, trials=3)]
+        assert seeds == [7, 1007, 2007]
+        assert [s.seed for s in trial_specs(spec, trials=2, base_seed=100)] == [100, 1100]
+
 
 class TestCalibration:
     def test_scales_defined(self):

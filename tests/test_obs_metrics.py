@@ -116,6 +116,49 @@ class TestMetricsRegistry:
         ]
 
 
+class TestMergeFrom:
+    def test_histogram_merge_exact_for_moments(self):
+        a, b, ref = Histogram(), Histogram(), Histogram()
+        for v in (0.5, 1.0, 8.0):
+            a.observe(v)
+            ref.observe(v)
+        for v in (0.1, 200.0):
+            b.observe(v)
+            ref.observe(v)
+        a.merge_from(b)
+        assert a.count == ref.count
+        assert a.mean == ref.mean
+        assert a.min == ref.min and a.max == ref.max
+        assert a.counts == ref.counts  # so quantiles match too
+
+    def test_registry_merge_semantics(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.inc("shared", 2.0)
+        parent.set_gauge("g", 1.0)
+        parent.sample("parent.series", 0.0, 1.0)
+        child.inc("shared", 3.0)
+        child.inc("child.only", 1.0)
+        child.set_gauge("g", 9.0)
+        child.observe("lat", 4.0)
+        child.sample("child.series", 0.0, 1.0)
+        parent.merge_from(child)
+        # Counters add; gauges last-write-wins; histograms fold in.
+        assert parent.counter("shared") == 5.0
+        assert parent.counter("child.only") == 1.0
+        assert parent.gauges["g"] == 9.0
+        assert parent.histogram("lat").count == 1
+        # Time series are NOT merged: per-run sim clocks do not compose.
+        assert parent.series("child.series") is None
+        assert parent.series("parent.series") is not None
+
+    def test_disabled_parent_merge_is_noop(self):
+        parent = MetricsRegistry(enabled=False)
+        child = MetricsRegistry()
+        child.inc("a")
+        parent.merge_from(child)
+        assert parent.counter("a") == 0.0
+
+
 class TestObservabilitySampling:
     def test_queue_depth_sampling_is_rate_limited(self):
         ob = Observability(sample_interval_s=1.0)

@@ -1,0 +1,279 @@
+"""Tests for the parallel run pool and the content-addressed run cache.
+
+The load-bearing guarantee: ``run_many`` over any grid — serial, parallel,
+or cache-served — is indistinguishable from ``[run_once(s) for s in specs]``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments import pool as pool_mod
+from repro.experiments.cache import (
+    RunCache,
+    canonical_spec,
+    code_fingerprint,
+    spec_key,
+)
+from repro.experiments.pool import (
+    PoolRunError,
+    RunSummary,
+    resolve_jobs,
+    run_many,
+    run_many_summaries,
+)
+from repro.experiments.runner import RunSpec, run_once
+from repro.obs.decision import Observability
+
+needs_fork = pytest.mark.skipif(
+    not pool_mod._fork_available(), reason="fork start method unavailable"
+)
+
+
+def small_spec(seed: int = 3, scheduler: str = "rupam", **kwargs) -> RunSpec:
+    """A sub-second run (gramian on 8 partitions) for fast grid tests."""
+    kwargs.setdefault("monitor_interval", None)
+    return RunSpec(
+        workload="gramian",
+        scheduler=scheduler,
+        seed=seed,
+        workload_overrides={"partitions": 8},
+        **kwargs,
+    )
+
+
+def small_grid() -> list[RunSpec]:
+    return [
+        small_spec(seed=s, scheduler=sched)
+        for s in (3, 4)
+        for sched in ("spark", "rupam")
+    ]
+
+
+def signature(res) -> tuple:
+    """Everything observable about a run, for byte-level comparisons."""
+    return (
+        res.runtime_s,
+        res.aborted,
+        [asdict(m) for m in res.task_metrics],
+        [d.to_dict() for d in res.obs.decisions.decisions],
+        dict(res.obs.decisions.reason_counts),
+    )
+
+
+def _crash_worker(spec: RunSpec):
+    """Module-level so forked workers can unpickle it by reference."""
+    os._exit(13)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(pool_mod.JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(pool_mod.JOBS_ENV, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(pool_mod.JOBS_ENV, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_and_auto_mean_all_cores(self, monkeypatch):
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(0) == cores
+        monkeypatch.setenv(pool_mod.JOBS_ENV, "auto")
+        assert resolve_jobs(None) == cores
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestRunMany:
+    def test_serial_matches_run_once_loop(self):
+        grid = small_grid()
+        pooled = run_many(grid, jobs=1)
+        direct = [run_once(s) for s in grid]
+        for p, d in zip(pooled, direct):
+            assert signature(p) == signature(d)
+
+    @needs_fork
+    def test_parallel_matches_serial(self):
+        grid = small_grid()
+        serial = run_many(grid, jobs=1)
+        parallel = run_many(grid, jobs=2)
+        for s, p in zip(serial, parallel):
+            assert signature(s) == signature(p)
+
+    def test_results_in_spec_order(self):
+        grid = small_grid()
+        results = run_many(grid, jobs=1)
+        assert [r.scheduler_name for r in results] == [s.scheduler for s in grid]
+
+    def test_failure_carries_spec_serial(self):
+        grid = [small_spec(), RunSpec(workload="nope", monitor_interval=None)]
+        with pytest.raises(PoolRunError) as err:
+            run_many(grid, jobs=1)
+        assert err.value.spec is grid[1]
+        assert err.value.__cause__ is not None
+
+    @needs_fork
+    def test_failure_carries_spec_parallel(self):
+        grid = [small_spec(), RunSpec(workload="nope", monitor_interval=None)]
+        with pytest.raises(PoolRunError) as err:
+            run_many(grid, jobs=2)
+        assert err.value.spec is grid[1]
+        assert err.value.__cause__ is not None
+
+    @needs_fork
+    def test_worker_crash_surfaces_as_pool_error(self, monkeypatch):
+        monkeypatch.setattr(pool_mod, "_execute_spec", _crash_worker)
+        grid = [small_spec(seed=1), small_spec(seed=2)]
+        with pytest.raises(PoolRunError) as err:
+            run_many(grid, jobs=2)
+        assert err.value.spec in grid
+
+    def test_summaries_digest_runs(self):
+        grid = small_grid()[:2]
+        summaries = run_many_summaries(grid, jobs=1)
+        assert [s.seed for s in summaries] == [s.seed for s in grid]
+        for summ in summaries:
+            assert isinstance(summ, RunSummary)
+            assert summ.runtime_s > 0
+            assert summ.task_attempts >= summ.successful_tasks > 0
+            assert not summ.from_cache
+            assert set(summ.to_dict()) >= {"app", "scheduler", "runtime_s"}
+
+
+class TestRunCache:
+    def test_miss_store_hit_roundtrip(self, tmp_path):
+        cache = RunCache(root=tmp_path, fingerprint="aaaa")
+        spec = small_spec()
+        (fresh,) = run_many([spec], cache=cache)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+        assert not fresh.from_cache
+        (cached,) = run_many([spec], cache=cache)
+        assert cache.hits == 1
+        assert cached.from_cache
+        assert signature(cached) == signature(fresh)
+
+    def test_spec_key_distinguishes_knobs(self):
+        assert spec_key(small_spec(seed=1)) != spec_key(small_spec(seed=2))
+        assert spec_key(small_spec(scheduler="spark")) != spec_key(
+            small_spec(scheduler="rupam")
+        )
+
+    def test_canonical_spec_normalizes_dict_order(self):
+        a = small_spec(rupam_overrides={"res_factor": 2.0, "stage_learning": False})
+        b = small_spec(rupam_overrides={"stage_learning": False, "res_factor": 2.0})
+        assert canonical_spec(a) == canonical_spec(b)
+        assert spec_key(a) == spec_key(b)
+
+    def test_code_fingerprint_tracks_content(self, tmp_path):
+        a, b, c = tmp_path / "a", tmp_path / "b", tmp_path / "c"
+        for root in (a, b, c):
+            root.mkdir()
+            (root / "mod.py").write_text("X = 1\n")
+        (c / "mod.py").write_text("X = 2\n")
+        assert code_fingerprint(a) == code_fingerprint(b)
+        assert code_fingerprint(a) != code_fingerprint(c)
+
+    def test_source_edit_invalidates(self, tmp_path):
+        """A code change (new fingerprint) must never serve old entries."""
+        spec = small_spec()
+        before = RunCache(root=tmp_path, fingerprint="aaaa")
+        (res,) = run_many([spec], cache=before)
+        after = RunCache(root=tmp_path, fingerprint="bbbb")
+        assert after.get(spec) is None
+        st = after.stats()
+        assert st.current_entries == 0 and st.stale_entries == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(root=tmp_path, fingerprint="aaaa")
+        spec = small_spec()
+        run_many([spec], cache=cache)
+        cache.path_for(spec).write_bytes(b"not a pickle")
+        assert cache.get(spec) is None
+        assert not cache.path_for(spec).exists()
+
+    def test_clear_removes_everything(self, tmp_path):
+        spec = small_spec()
+        run_many([spec], cache=RunCache(root=tmp_path, fingerprint="aaaa"))
+        run_many([spec], cache=RunCache(root=tmp_path, fingerprint="bbbb"))
+        cache = RunCache(root=tmp_path, fingerprint="aaaa")
+        assert cache.clear() == 2
+        assert cache.stats().current_entries == 0
+
+    def test_entries_sidecars(self, tmp_path):
+        cache = RunCache(root=tmp_path, fingerprint="aaaa")
+        run_many([small_spec(seed=1), small_spec(seed=2)], cache=cache)
+        entries = cache.entries()
+        assert len(entries) == 2
+        assert {e["spec"]["seed"] for e in entries} == {1, 2}
+        assert all(e["bytes"] > 0 for e in entries)
+
+    def test_env_var_sets_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "envcache"))
+        cache = RunCache(fingerprint="aaaa")
+        assert cache.root == tmp_path / "envcache"
+
+    def test_real_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+
+
+class TestPicklability:
+    def test_app_result_roundtrip_with_monitor_and_obs(self):
+        spec = small_spec(monitor_interval=1.0)
+        res = run_once(spec)
+        assert res.monitor is not None and res.obs is not None
+        clone = pickle.loads(pickle.dumps(res))
+        assert signature(clone) == signature(res)
+        # Monitor samples survive; only the live sim linkage is dropped.
+        assert clone.monitor.node_series.keys() == res.monitor.node_series.keys()
+        with pytest.raises(RuntimeError, match="detached"):
+            clone.monitor.start()
+
+    def test_run_summary_roundtrip(self):
+        spec = small_spec()
+        summ = RunSummary.from_result(spec, run_once(spec))
+        assert pickle.loads(pickle.dumps(summ)) == summ
+
+
+class TestObsMerge:
+    def test_pool_merges_run_observability(self):
+        parent = Observability(enabled=True)
+        grid = small_grid()[:2]
+        run_many(grid, jobs=1, obs=parent)
+        assert parent.metrics.counter("pool.runs") == 2.0
+        assert parent.metrics.counter("pool.fresh") == 2.0
+        # Per-run dispatch activity folded into the parent counters.
+        snap = parent.metrics.snapshot()
+        assert any(k.startswith("dispatch.launch") for k in snap["counters"])
+
+    def test_pool_counts_cache_traffic(self, tmp_path):
+        parent = Observability(enabled=True)
+        cache = RunCache(root=tmp_path, fingerprint="aaaa")
+        spec = small_spec()
+        run_many([spec], cache=cache, obs=parent)
+        run_many([spec], cache=cache, obs=parent)
+        assert parent.metrics.counter("pool.cache_misses") == 1.0
+        assert parent.metrics.counter("pool.cache_hits") == 1.0
+
+    def test_merge_run_folds_reason_counts(self):
+        parent, child = Observability(enabled=True), Observability(enabled=True)
+        parent.decisions.reason_counts["busy"] = 2
+        child.decisions.reason_counts["busy"] = 3
+        child.decisions.reason_counts["mem"] = 1
+        parent.merge_run(child)
+        assert parent.decisions.reason_counts == {"busy": 5, "mem": 1}
+
+    def test_disabled_parent_is_noop(self):
+        parent = Observability(enabled=False)
+        run_many([small_spec()], jobs=1, obs=parent)
+        assert parent.metrics.counter("pool.runs") == 0.0

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -63,6 +61,33 @@ class TestWaterfill:
     def test_work_conserving_when_uncapped(self, capacity, n):
         rates = waterfill(capacity, [None] * n)
         assert sum(rates) == pytest.approx(capacity)
+
+    @given(
+        capacity=st.floats(min_value=1e-6, max_value=1e9),
+        n=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=200)
+    def test_uncapped_fast_path_bit_identical_to_general(self, capacity, n):
+        """The all-uncapped fast path must produce the exact same floats as
+        the sorted general path (golden decision-parity baselines compare
+        runtimes bit-for-bit), so replicate the general path's division
+        sequence here and require ``==``, not ``approx``."""
+
+        def reference(cap: float, count: int) -> list[float]:
+            rates = [0.0] * count
+            remaining_cap = cap
+            remaining = count
+            # Stable sort over all-equal keys visits input order.
+            for idx in sorted(range(count), key=lambda i: float("inf")):
+                if remaining_cap <= 1e-12:
+                    break
+                fair = remaining_cap / remaining
+                rates[idx] = fair
+                remaining_cap -= fair
+                remaining -= 1
+            return rates
+
+        assert waterfill(capacity, [None] * n) == reference(capacity, n)
 
 
 class TestFluidResource:
