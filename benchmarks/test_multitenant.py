@@ -1,0 +1,72 @@
+"""Multi-tenant smoke benchmark: determinism + golden-signature gate.
+
+Regenerates the multitenant figure twice at the CI-sized ``bench`` scale and
+asserts the two passes are byte-identical (same tenant trace, same per-app
+runtimes, same makespans — the whole multi-app driver is a pure function of
+the seed).  The first pass is also compared against the golden signatures in
+``benchmarks/golden/multitenant_smoke_baseline.json``, so any change to
+cross-app scheduling shows up as a diff in review rather than silently
+shifting results.
+
+``RUPAM_BENCH_SCALE=paper`` upgrades to the contended ``smoke`` scale
+(slower; FIFO and fair share visibly diverge there).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.experiments.multitenant import (
+    run_figure_multitenant,
+    scenario_signature,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "multitenant_smoke_baseline.json"
+
+
+def _signatures(result) -> dict[str, list]:
+    return {s.label: scenario_signature(s) for s in result.scenarios}
+
+
+def test_multitenant_determinism(bench_scale, bench_artifact):
+    # CI's smoke tier runs the small uncontended trace; the paper tier runs
+    # the contended smoke figure.
+    mt_scale = "bench" if bench_scale == "smoke" else "smoke"
+
+    first = run_figure_multitenant(mt_scale, jobs=1)
+    second = run_figure_multitenant(mt_scale, jobs=1)
+
+    sig1, sig2 = _signatures(first), _signatures(second)
+    assert json.dumps(sig1, sort_keys=True) == json.dumps(sig2, sort_keys=True), (
+        "multitenant figure is not deterministic across two in-process runs"
+    )
+    assert first.render() == second.render()
+
+    if mt_scale == "bench" and GOLDEN.exists():
+        golden = json.loads(GOLDEN.read_text())
+        assert golden["scale"] == mt_scale
+        assert sig1 == golden["signatures"], (
+            "multi-tenant scheduling diverged from the golden baseline; "
+            "if intentional, regenerate benchmarks/golden/"
+            "multitenant_smoke_baseline.json"
+        )
+
+    bench_artifact.name = "multitenant"
+    bench_artifact.attach(
+        {
+            "scale": mt_scale,
+            "apps": len(first.tenants),
+            "deterministic": True,
+            "scenarios": {
+                s.label: {
+                    "makespan_s": round(s.makespan_s, 3),
+                    "mean_slowdown": round(s.mean_slowdown, 4),
+                    "jain": round(s.jain, 4),
+                }
+                for s in first.scenarios
+            },
+        }
+    )
+    emit(first.render())

@@ -2,21 +2,38 @@
 
 Public entry points:
 
+* :class:`repro.Session` -- the stable facade: build a simulated cluster,
+  submit any number of applications (concurrently, at arbitrary sim times),
+  collect per-app results.
 * :class:`repro.core.RupamScheduler` -- the paper's scheduler.
 * :class:`repro.spark.DefaultScheduler` -- the stock Spark 2.2 baseline.
 * :func:`repro.experiments.run_once` / :class:`repro.experiments.RunSpec` --
   run any registered workload on a simulated cluster under either scheduler.
-* :mod:`repro.experiments.fig2` ... ``fig9`` / ``table4`` / ``table5`` --
-  regenerate each figure/table of the paper.
+* :mod:`repro.experiments.fig2` ... ``fig9`` / ``table4`` / ``table5`` /
+  ``multitenant`` -- regenerate each figure/table of the paper.
 
 Quick start::
 
-    from repro.experiments import RunSpec, run_once
-    spark = run_once(RunSpec(workload="kmeans", scheduler="spark"))
-    rupam = run_once(RunSpec(workload="kmeans", scheduler="rupam"))
-    print(spark.runtime_s / rupam.runtime_s)
+    from repro import Session
+
+    s = Session(scheduler="rupam", seed=7)
+    s.submit("kmeans")
+    s.submit("terasort", at=30.0, weight=2.0)  # joins the running cluster
+    for r in s.run_until_idle():
+        print(r.app_id, r.runtime_s)
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+
+def __getattr__(name):
+    # Lazy import keeps `import repro` light (no numpy/cluster modules) for
+    # tooling that only wants __version__.
+    if name == "Session":
+        from repro.api import Session
+
+        return Session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = ["__version__", "Session"]

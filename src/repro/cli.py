@@ -36,9 +36,10 @@ FIGURES: dict[str, str] = {
     "fig7": "repro.experiments.fig7:run_fig7",
     "fig8": "repro.experiments.fig8:run_fig8",
     "fig9": "repro.experiments.fig9:run_fig9",
+    "multitenant": "repro.experiments.multitenant:run_figure_multitenant",
 }
 
-SCALED_FIGURES = {"fig5", "fig6", "table5", "fig7", "fig8", "fig9"}
+SCALED_FIGURES = {"fig5", "fig6", "table5", "fig7", "fig8", "fig9", "multitenant"}
 
 
 def _resolve(spec: str) -> Callable:
@@ -275,7 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig_p.add_argument("name", choices=sorted(FIGURES))
-    fig_p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    fig_p.add_argument(
+        "--scale",
+        choices=("smoke", "paper", "bench"),
+        default="smoke",
+        help="experiment size (bench: multitenant only, CI-sized)",
+    )
     fig_p.add_argument(
         "--jobs",
         type=int,

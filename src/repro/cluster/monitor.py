@@ -71,19 +71,25 @@ class ClusterMonitor:
         self.node_series: dict[str, NodeSeries] = {
             n.name: NodeSeries(n.name) for n in cluster
         }
-        self._stopped = False
+        self._stopped = True
         self._started = False
+        self._next = None
 
     def start(self) -> None:
+        """Begin (or, after :meth:`stop`, resume) periodic sampling."""
         if self.sim is None:
             raise RuntimeError("monitor was detached (unpickled) and cannot sample")
-        if self._started:
+        if self._started and not self._stopped:
             raise RuntimeError("monitor already started")
         self._started = True
+        self._stopped = False
         self._tick()
 
     def stop(self) -> None:
         self._stopped = True
+        if self._next is not None and self._next.pending:
+            self._next.cancel()
+        self._next = None
 
     # -- pickling ------------------------------------------------------------
     #
@@ -98,6 +104,7 @@ class ClusterMonitor:
         state["sim"] = None
         state["cluster"] = None
         state["_stopped"] = True
+        state["_next"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -107,7 +114,7 @@ class ClusterMonitor:
         if self._stopped:
             return
         self.sample_now()
-        self.sim.after(self.interval, self._tick)
+        self._next = self.sim.after(self.interval, self._tick)
 
     def sample_now(self) -> None:
         for node in self.cluster:

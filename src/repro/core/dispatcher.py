@@ -168,6 +168,10 @@ class Dispatcher:
             metrics, dirty=dirty, load_hint=self._load_hint
         )
         self.obs.metrics.inc("dispatch.rounds")
+        # Cross-app arbitration: None with fewer than two active apps (the
+        # single-tenant fast path — schedule_task scans unfiltered, exactly
+        # the pre-multi-tenant behavior), else the pool layer's policy order.
+        app_order = self.ctx.pools.app_order()
         launched = 0
         for _ in range(len(ALL_KINDS)):
             kind = ALL_KINDS[self._rr % len(ALL_KINDS)]
@@ -186,7 +190,7 @@ class Dispatcher:
                 if node_metrics is None:
                     break
                 ex = executors[node_metrics.name]
-                if self._try_node(kind, ex):
+                if self._try_node(kind, ex, app_order):
                     # One task per node per round keeps utilization honest.
                     self.resource_queues.remove_node(node_metrics.name)
                     launched += 1
@@ -209,10 +213,17 @@ class Dispatcher:
 
     # -- Algorithm 2 core -------------------------------------------------------------
 
-    def _try_node(self, kind: ResourceKind, ex: "Executor") -> bool:
+    def _try_node(
+        self,
+        kind: ResourceKind,
+        ex: "Executor",
+        app_order: list[str] | None = None,
+    ) -> bool:
         # A task locked to this node takes priority regardless of which
         # queue its bottleneck put it in (served straight from the lock
-        # index — no queue walk).
+        # index — no queue walk).  The lock rule is deliberately cross-app:
+        # a task's best-observed node wins over pool order, because breaking
+        # the lock costs more than a round of unfairness.
         locked = self.tm.queues.find_for_node(ex.node.name)
         if locked is not None:
             est_mb = self._mem_est(locked.spec)
@@ -232,7 +243,17 @@ class Dispatcher:
                 free_mb=round(ex.free_memory_mb, 1),
                 locked=True,
             )
-        sel = self.schedule_task(kind, ex)
+        if app_order is None:
+            sel = self.schedule_task(kind, ex)
+        else:
+            # Offer this node to each app in pool order; heterogeneity-aware
+            # placement (the scan below) still picks the task *within* the
+            # chosen app — fair share composes with RUPAM, not replaces it.
+            sel = None
+            for order_app_id in app_order:
+                sel = self.schedule_task(kind, ex, app_id=order_app_id)
+                if sel is not None:
+                    break
         if sel is not None:
             ts, spec, loc = sel
             reason, enqueued_at = self._last_selection
@@ -253,9 +274,13 @@ class Dispatcher:
         return False
 
     def schedule_task(
-        self, kind: ResourceKind, ex: "Executor"
+        self, kind: ResourceKind, ex: "Executor", app_id: str | None = None
     ) -> tuple["TaskSetManager", "TaskSpec", Locality] | None:
-        """Algorithm 2's schedule_task(): best launchable task of this kind."""
+        """Algorithm 2's schedule_task(): best launchable task of this kind.
+
+        With ``app_id`` the scan is restricted to that application's entries
+        (multi-tenant pool order); ``None`` scans everything (single-tenant
+        fast path, byte-identical to the pre-pool behavior)."""
         node = ex.node.name
         free_mb = ex.free_memory_mb
         # best = (entry, locality, memory_estimate); ties on locality go to
@@ -276,6 +301,8 @@ class Dispatcher:
         memo_hits = 0
         try:
             for entry in self.tm.queues.entries(kind):
+                if app_id is not None and entry.ts.app_id != app_id:
+                    continue
                 if entry.ts.blocked:
                     reject(
                         now, obs.TASKSET_BLOCKED,
@@ -382,6 +409,7 @@ class Dispatcher:
                 locked_node=self.tm.locked_node_of(spec),
                 wait_s=None if enqueued_at is None else now - enqueued_at,
                 node_utilization=util,
+                app=ts.app_id,
             )
         )
 

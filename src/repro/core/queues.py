@@ -366,6 +366,18 @@ class TaskQueues:
                 count += 1
         return count
 
+    def invalidate_app(self, app_id: str) -> int:
+        """Tombstone every entry of every taskset owned by ``app_id``.
+
+        Per-app teardown: after this, no index/lock/key bucket keeps a live
+        entry for the departed application (the tombstones themselves are
+        reclaimed by the usual compaction sweeps)."""
+        count = 0
+        for _ts_id, (ts, _entries) in list(self._ts_entries.items()):
+            if ts.app_id == app_id:
+                count += self.invalidate_taskset(ts)
+        return count
+
     def update_lock(self, key: str, node: str | None) -> None:
         """Re-target every live entry of DB key ``key`` to ``node``.
 

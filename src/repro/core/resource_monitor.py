@@ -32,7 +32,8 @@ class ResourceMonitor:
         self._executors = executors
         self._on_beat = on_beat
         self.executor_data: dict[str, NodeMetrics] = {}
-        self._stopped = False
+        self._stopped = True
+        self._next = None
         self.beats = 0
         # Low-memory notifications for the memory-straggler path.
         self.low_memory_nodes: set[str] = set()
@@ -47,10 +48,17 @@ class ResourceMonitor:
         self.dirty_nodes: set[str] = set()
 
     def start(self) -> None:
+        """Begin (or, after :meth:`stop`, resume) the heartbeat loop."""
+        if not self._stopped:
+            return  # already beating
+        self._stopped = False
         self._beat()
 
     def stop(self) -> None:
         self._stopped = True
+        if self._next is not None and self._next.pending:
+            self._next.cancel()
+        self._next = None
 
     @staticmethod
     def _signature(ex: "Executor") -> tuple:
@@ -142,7 +150,9 @@ class ResourceMonitor:
         self.ctx.obs.sample_utilization(self.ctx.now, self._mean_utilization)
         if self._on_beat is not None:
             self._on_beat()
-        self.ctx.sim.after(self.ctx.conf.heartbeat_interval_s, self._beat)
+        self._next = self.ctx.sim.after(
+            self.ctx.conf.heartbeat_interval_s, self._beat
+        )
 
     def _mean_utilization(self) -> dict[str, float]:
         """Cluster-mean utilization per resource kind (telemetry sample)."""

@@ -84,6 +84,11 @@ class RupamScheduler(TaskScheduler):
         if self.rm is not None:
             self.rm.stop()
 
+    def resume(self) -> None:
+        """Cluster waking from idle (a new app arrived after ``stop``)."""
+        if self.rm is not None:
+            self.rm.start()
+
     @property
     def db(self) -> TaskCharDB:
         assert self.tm is not None, "scheduler not attached"
@@ -139,20 +144,26 @@ class RupamScheduler(TaskScheduler):
 
     # -- event feed ----------------------------------------------------------------------
 
-    def submit_taskset(self, ts: "TaskSetManager") -> None:
+    def submit_taskset(
+        self, ts: "TaskSetManager", app_id: str | None = None
+    ) -> None:
         assert self.tm is not None
         if ts not in self._tasksets:  # re-submitted after shuffle loss
             self._tasksets.append(ts)
         self.tm.admit_taskset(ts)
         self.revive()
 
-    def taskset_finished(self, ts: "TaskSetManager") -> None:
+    def taskset_finished(
+        self, ts: "TaskSetManager", app_id: str | None = None
+    ) -> None:
         if ts in self._tasksets:
             self._tasksets.remove(ts)
         if self.tm is not None:
             self.tm.queues.invalidate_taskset(ts)
 
-    def on_executor_added(self, executor: "Executor") -> None:
+    def on_executor_added(
+        self, executor: "Executor", app_id: str | None = None
+    ) -> None:
         self.executors[executor.node.name] = executor
         self._kind_counts[executor.executor_id] = {}
         assert self.rm is not None
@@ -165,7 +176,7 @@ class RupamScheduler(TaskScheduler):
         if self.rm is not None:
             self.rm.forget(executor.node.name)
 
-    def on_task_end(self, run: "TaskRun") -> None:
+    def on_task_end(self, run: "TaskRun", app_id: str | None = None) -> None:
         assert self.tm is not None
         entry = self._run_kind.pop(id(run), None)
         if entry is not None:
@@ -208,8 +219,23 @@ class RupamScheduler(TaskScheduler):
         self.mem_straggler.check(self.rm.low_memory_nodes, self.executors)
         self.revive()
 
+    def on_app_removed(self, app_id: str) -> None:
+        """App teardown: drop its tasksets and queue/lock-index entries."""
+        self._tasksets = [ts for ts in self._tasksets if ts.app_id != app_id]
+        if self.tm is not None:
+            self.tm.release_app(app_id)
+
     def _active_tasksets(self) -> list["TaskSetManager"]:
-        return [ts for ts in self._tasksets if ts.is_active()]
+        """Active tasksets, regrouped by the pool layer's app order when
+        several apps share the cluster (single tenant: original order)."""
+        active = [ts for ts in self._tasksets if ts.is_active()]
+        order = self.ctx.pools.app_order() if self.ctx is not None else None
+        if order is None:
+            return active
+        rank = {app_id: i for i, app_id in enumerate(order)}
+        fallback = len(rank)
+        active.sort(key=lambda ts: rank.get(ts.app_id, fallback))
+        return active
 
     def _launch(
         self,

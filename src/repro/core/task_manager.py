@@ -110,6 +110,23 @@ class TaskManager:
         for spec in ts.pending_specs():
             self.admit(ts, spec)
 
+    def release_app(self, app_id: str) -> None:
+        """App teardown: tombstone its queue entries and drop its taskset
+        references.  The characterization DB and lock cache are keyed by
+        task identity, not app, and deliberately survive — cross-app reuse
+        of task knowledge is the point of the shared DB."""
+        self.queues.invalidate_app(app_id)
+        for template_id in list(self._stage_tasksets):
+            kept = [
+                ts
+                for ts in self._stage_tasksets[template_id]
+                if ts.app_id != app_id
+            ]
+            if kept:
+                self._stage_tasksets[template_id] = kept
+            else:
+                del self._stage_tasksets[template_id]
+
     # -- recording ---------------------------------------------------------------
 
     def record_task_end(self, run: "TaskRun") -> None:

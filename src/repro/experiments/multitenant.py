@@ -1,0 +1,357 @@
+"""Multi-tenant experiment: N apps sharing one cluster, FIFO vs fair share.
+
+A seeded Poisson process draws application arrivals from the workload
+registry; every arrival is submitted to one shared :class:`repro.Session`
+cluster at its arrival time.  The same tenant trace is replayed under each
+(scheduler x scheduler_mode) scenario — stock Spark and RUPAM, each with
+FIFO and weighted fair-share cross-app arbitration (RUPAM + fair = the
+"RUPAM-aware sharing" configuration: fair share picks the app, RUPAM's
+per-resource queues still pick task and node).
+
+Reported per scenario:
+
+* **makespan** — first submission to last completion;
+* **per-app slowdown** — shared-cluster runtime over the same workload's
+  isolated-cluster runtime (isolated baselines run through the existing
+  pool/cache harness, one per distinct workload x scheduler);
+* **Jain's fairness index** over per-app progress (1/slowdown): 1.0 when
+  every tenant degrades equally, toward 1/n when one tenant hogs.
+
+Everything is a pure function of ``(scale, seed)``: two invocations produce
+byte-identical tenant traces and results (``scenario_signature`` is the
+determinism probe the benchmark gates on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api import Session
+from repro.experiments.pool import RunCache, run_many
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunSpec
+from repro.simulate.randomness import RandomSource
+from repro.spark.driver import AppResult
+
+# (scheduler, scheduler_mode) scenarios, in report order.
+SCENARIOS: tuple[tuple[str, str], ...] = (
+    ("spark", "fifo"),
+    ("spark", "fair"),
+    ("rupam", "fifo"),
+    ("rupam", "fair"),
+)
+
+
+@dataclass(frozen=True)
+class MultitenantScale:
+    """Knobs of one experiment size."""
+
+    n_apps: int
+    mean_interarrival_s: float
+    base_seed: int
+    max_sim_time: float
+    # workload name -> builder overrides (kept small at smoke scale)
+    workloads: dict[str, dict[str, Any]]
+
+
+SCALES: dict[str, MultitenantScale] = {
+    "smoke": MultitenantScale(
+        # Contention needs pending tasks >> cluster slots (hydra: 208 cores),
+        # else FIFO and fair share collapse to the same schedule: 8 apps of
+        # ~100+ tasks each, arriving a couple of seconds apart.
+        n_apps=8,
+        mean_interarrival_s=2.0,
+        base_seed=7,
+        max_sim_time=10_000.0,
+        workloads={
+            "lr": {"size_gb": 1.0, "iterations": 1, "partitions": 96},
+            "terasort": {"size_gb": 1.0, "partitions": 96, "reducers": 96},
+            "pagerank": {"size_gb": 0.5, "iterations": 1, "partitions": 96},
+        },
+    ),
+    # CI-sized: small enough that the determinism benchmark can run the
+    # whole figure twice in seconds.  Uncontended — it gates reproducibility,
+    # not policy divergence (that's what "smoke" is for).
+    "bench": MultitenantScale(
+        n_apps=4,
+        mean_interarrival_s=4.0,
+        base_seed=7,
+        max_sim_time=10_000.0,
+        workloads={
+            "lr": {"size_gb": 0.5, "iterations": 1, "partitions": 24},
+            "terasort": {"size_gb": 0.5, "partitions": 24, "reducers": 24},
+            "pagerank": {"size_gb": 0.25, "iterations": 1, "partitions": 24},
+        },
+    ),
+    "paper": MultitenantScale(
+        n_apps=24,
+        mean_interarrival_s=15.0,
+        base_seed=7,
+        max_sim_time=50_000.0,
+        workloads={
+            "lr": {"size_gb": 4.0, "iterations": 3},
+            "terasort": {"size_gb": 2.0},
+            "pagerank": {"size_gb": 0.95, "iterations": 3},
+        },
+    ),
+}
+
+
+def get_mt_scale(scale: str) -> MultitenantScale:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One arrival of the generated trace."""
+
+    index: int
+    workload: str
+    arrival_s: float
+    weight: float = 1.0
+    pool: str = "default"
+
+
+def generate_tenants(
+    n_apps: int,
+    mean_interarrival_s: float,
+    seed: int,
+    workloads: tuple[str, ...],
+) -> list[TenantSpec]:
+    """A seeded Poisson arrival trace over the given workload mix.
+
+    The first app arrives at t=0 (the cluster comes up with work); every
+    third tenant carries weight 2.0 so fair share has something to bite on.
+    Deterministic: one named stream of ``RandomSource(seed)``.
+    """
+    if n_apps < 1:
+        raise ValueError("n_apps must be >= 1")
+    if not workloads:
+        raise ValueError("need at least one workload")
+    rng = RandomSource(seed).stream("mt-arrivals")
+    tenants: list[TenantSpec] = []
+    t = 0.0
+    for i in range(n_apps):
+        if i > 0:
+            t += float(rng.exponential(mean_interarrival_s))
+        wl = workloads[int(rng.integers(len(workloads)))]
+        tenants.append(
+            TenantSpec(
+                index=i,
+                workload=wl,
+                arrival_s=round(t, 3),
+                weight=2.0 if i % 3 == 0 else 1.0,
+            )
+        )
+    return tenants
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``, in (0, 1]."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares <= 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass
+class TenantOutcome:
+    """One tenant's fate in one scenario."""
+
+    app_id: str
+    workload: str
+    arrival_s: float
+    weight: float
+    runtime_s: float
+    isolated_s: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.runtime_s / self.isolated_s if self.isolated_s > 0 else 1.0
+
+
+@dataclass
+class ScenarioResult:
+    scheduler: str
+    mode: str
+    makespan_s: float
+    tenants: list[TenantOutcome]
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheduler}+{self.mode}"
+
+    @property
+    def mean_slowdown(self) -> float:
+        return sum(t.slowdown for t in self.tenants) / len(self.tenants)
+
+    @property
+    def max_slowdown(self) -> float:
+        return max(t.slowdown for t in self.tenants)
+
+    @property
+    def jain(self) -> float:
+        # Fairness over progress = 1/slowdown, so an app starved to 3x
+        # degradation pulls the index down exactly as Jain intends.
+        return jain_index([1.0 / t.slowdown for t in self.tenants])
+
+
+@dataclass
+class MultitenantResult:
+    scale: str
+    seed: int
+    tenants: list[TenantSpec]
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    def scenario(self, scheduler: str, mode: str) -> ScenarioResult:
+        for s in self.scenarios:
+            if s.scheduler == scheduler and s.mode == mode:
+                return s
+        raise KeyError((scheduler, mode))
+
+    def render(self) -> str:
+        trace = ", ".join(
+            f"{t.workload}@{t.arrival_s:g}s" + ("(w2)" if t.weight != 1.0 else "")
+            for t in self.tenants
+        )
+        table = render_table(
+            ["Scenario", "Makespan (s)", "Mean slowdown", "Max slowdown", "Jain"],
+            [
+                (
+                    s.label,
+                    f"{s.makespan_s:.1f}",
+                    f"{s.mean_slowdown:.2f}x",
+                    f"{s.max_slowdown:.2f}x",
+                    f"{s.jain:.4f}",
+                )
+                for s in self.scenarios
+            ],
+            title=(
+                f"Multi-tenant sharing - {len(self.tenants)} apps, "
+                f"Poisson arrivals (seed {self.seed})"
+            ),
+        )
+        return f"arrivals: {trace}\n{table}"
+
+
+def scenario_signature(result: ScenarioResult) -> list[list[Any]]:
+    """The byte-comparable fingerprint the determinism gate uses."""
+    return [
+        [t.app_id, t.workload, t.arrival_s, t.runtime_s, t.isolated_s]
+        for t in result.tenants
+    ] + [[result.makespan_s]]
+
+
+def run_shared(
+    tenants: list[TenantSpec],
+    scheduler: str,
+    mode: str,
+    sc: MultitenantScale,
+    cluster: str = "hydra",
+) -> list[AppResult]:
+    """Replay the tenant trace on one shared cluster under one policy."""
+    session = Session(
+        cluster=cluster,
+        scheduler=scheduler,
+        seed=sc.base_seed,
+        conf_overrides={"scheduler_mode": mode},
+        monitor_interval=None,
+    )
+    for t in tenants:
+        session.submit(
+            t.workload,
+            at=t.arrival_s,
+            pool=t.pool,
+            weight=t.weight,
+            **sc.workloads[t.workload],
+        )
+    return session.run_until_idle(until=sc.max_sim_time)
+
+
+def isolated_specs(
+    tenants: list[TenantSpec], sc: MultitenantScale, cluster: str = "hydra"
+) -> list[RunSpec]:
+    """One isolated-baseline spec per distinct (workload, scheduler).
+
+    Deduped because the baseline only depends on workload and scheduler —
+    the pool/cache harness then makes repeated figures nearly free.
+    """
+    seen: list[RunSpec] = []
+    for sched in sorted({s for s, _ in SCENARIOS}):
+        for wl in sorted({t.workload for t in tenants}):
+            seen.append(
+                RunSpec(
+                    workload=wl,
+                    scheduler=sched,
+                    seed=sc.base_seed,
+                    cluster=cluster,
+                    monitor_interval=None,
+                    workload_overrides=dict(sc.workloads[wl]),
+                    max_sim_time=sc.max_sim_time,
+                )
+            )
+    return seen
+
+
+def run_figure_multitenant(
+    scale: str = "smoke",
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+    seed: int | None = None,
+) -> MultitenantResult:
+    """The `repro figure multitenant` entry point."""
+    sc = get_mt_scale(scale)
+    base_seed = sc.base_seed if seed is None else seed
+    if seed is not None:
+        sc = MultitenantScale(
+            n_apps=sc.n_apps,
+            mean_interarrival_s=sc.mean_interarrival_s,
+            base_seed=seed,
+            max_sim_time=sc.max_sim_time,
+            workloads=sc.workloads,
+        )
+    tenants = generate_tenants(
+        sc.n_apps,
+        sc.mean_interarrival_s,
+        base_seed,
+        tuple(sorted(sc.workloads)),
+    )
+    # Isolated baselines fan out through the pool/cache harness.
+    iso_specs = isolated_specs(tenants, sc)
+    iso_results = run_many(iso_specs, jobs=jobs, cache=cache)
+    isolated: dict[tuple[str, str], float] = {
+        (spec.scheduler, spec.workload): res.runtime_s
+        for spec, res in zip(iso_specs, iso_results)
+    }
+    result = MultitenantResult(scale=scale, seed=base_seed, tenants=tenants)
+    for scheduler, mode in SCENARIOS:
+        shared = run_shared(tenants, scheduler, mode, sc)
+        outcomes = [
+            TenantOutcome(
+                app_id=r.app_id,
+                workload=t.workload,
+                arrival_s=t.arrival_s,
+                weight=t.weight,
+                runtime_s=r.runtime_s,
+                isolated_s=isolated[(scheduler, t.workload)],
+            )
+            for t, r in zip(tenants, shared)
+        ]
+        makespan = max(r.finished_at for r in shared) - min(
+            r.submitted_at for r in shared
+        )
+        result.scenarios.append(
+            ScenarioResult(
+                scheduler=scheduler,
+                mode=mode,
+                makespan_s=makespan,
+                tenants=outcomes,
+            )
+        )
+    return result

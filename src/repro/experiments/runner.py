@@ -1,46 +1,34 @@
-"""Assemble and execute one simulated application run."""
+"""Assemble and execute one simulated application run.
+
+The heavy lifting (Simulator/cluster/ctx/Driver wiring) lives in
+:class:`repro.api.Session`; this module keeps the declarative
+:class:`RunSpec` wire form the pool/cache harness hashes and ships across
+process boundaries, plus the spec -> session glue.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.cluster.cluster import Cluster
-from repro.cluster.monitor import ClusterMonitor
-from repro.cluster.presets import (
-    hydra_cluster,
-    motivational_cluster,
-    multirack_cluster,
-)
+from repro.api import CLUSTERS, DRIVER_NODES, Session, reset_run_ids
 from repro.core.config import RupamConfig
 from repro.core.rupam import RupamScheduler
 from repro.core.taskdb import TaskCharDB
-from repro.obs.decision import Observability
-from repro.simulate.engine import Simulator
-from repro.simulate.randomness import RandomSource
-from repro.simulate.trace import TraceRecorder
-from repro.spark.blocks import BlockManager
 from repro.spark.conf import SparkConf
 from repro.spark.default_scheduler import DefaultScheduler
-from repro.spark.driver import AppResult, Driver
-from repro.spark.scheduler import SchedulerContext, TaskScheduler
-from repro.spark.shuffle import ShuffleManager
-from repro.workloads.base import WorkloadEnv
-from repro.workloads.registry import build_workload
+from repro.spark.driver import AppResult
+from repro.spark.scheduler import TaskScheduler
 
-CLUSTERS = {
-    "hydra": hydra_cluster,
-    "motivational": motivational_cluster,
-    "multirack": multirack_cluster,
-}
-
-# The paper runs the Spark master (and driver) on stack1, which is also a
-# worker; the motivational cluster drives from node-1.
-DRIVER_NODES = {
-    "hydra": "stack1",
-    "motivational": "node-1",
-    "multirack": "r0-stack1",
-}
+__all__ = [
+    "CLUSTERS",
+    "DRIVER_NODES",
+    "RunSpec",
+    "make_scheduler",
+    "make_session",
+    "reset_run_ids",
+    "run_once",
+]
 
 
 @dataclass
@@ -75,25 +63,18 @@ def make_scheduler(spec: RunSpec, db: TaskCharDB | None = None) -> TaskScheduler
     raise ValueError(f"unknown scheduler {spec.scheduler!r}")
 
 
-def reset_run_ids() -> None:
-    """Restart every process-global id sequence (stages, jobs, executors).
-
-    The absolute values of these ids leak into run artifacts
-    (``TaskMetrics.stage_id``, job/executor names in traces), so without a
-    reset a run's output would depend on how many runs this *process* had
-    executed before it — and a serial loop would differ from forked pool
-    workers.  Resetting per run makes every run a pure function of its
-    :class:`RunSpec`, which the parallel harness and the run cache rely on.
-    Ids only need to be unique within one run (tasksets, shuffle registries,
-    and executor maps are all per-driver).
-    """
-    from repro.spark.application import Job
-    from repro.spark.executor import Executor
-    from repro.spark.stage import Stage
-
-    Stage.reset_ids()
-    Job.reset_ids()
-    Executor.reset_ids()
+def make_session(spec: RunSpec, db: TaskCharDB | None = None) -> Session:
+    """A :class:`Session` configured exactly as this spec describes."""
+    return Session(
+        cluster=spec.cluster,
+        scheduler=make_scheduler(spec, db=db),
+        seed=spec.seed,
+        conf=spec.make_conf(),
+        monitor_interval=spec.monitor_interval,
+        trace=spec.trace,
+        trace_max_events=spec.trace_max_events,
+        observe=spec.observe,
+    )
 
 
 def run_once(spec: RunSpec, db: TaskCharDB | None = None) -> AppResult:
@@ -102,37 +83,7 @@ def run_once(spec: RunSpec, db: TaskCharDB | None = None) -> AppResult:
     ``db`` optionally carries RUPAM's task knowledge across runs (the paper
     clears it between trials; ablations may not).
     """
-    if spec.cluster not in CLUSTERS:
-        raise ValueError(f"unknown cluster {spec.cluster!r}")
-    reset_run_ids()
-    sim = Simulator()
-    cluster: Cluster = CLUSTERS[spec.cluster](sim)
-    conf = spec.make_conf()
-    rng = RandomSource(spec.seed)
-    blocks = BlockManager(
-        {rack: [n.name for n in nodes] for rack, nodes in cluster.racks.items()},
-        # Rack-aware locality only matters once the network is not flat;
-        # Spark itself only resolves racks when given a topology script.
-        rack_aware=cluster.inter_rack_factor > 1.0,
-    )
-    env = WorkloadEnv(cluster=cluster, blocks=blocks, rng=rng)
-    app = build_workload(spec.workload, env, **spec.workload_overrides)
-    ctx = SchedulerContext(
-        sim=sim,
-        conf=conf,
-        cluster=cluster,
-        blocks=blocks,
-        shuffle=ShuffleManager(),
-        rng=rng,
-        trace=TraceRecorder(enabled=spec.trace, max_events=spec.trace_max_events),
-        driver_node=DRIVER_NODES[spec.cluster],
-        obs=Observability(enabled=spec.observe),
-    )
-    monitor = (
-        ClusterMonitor(sim, cluster, interval=spec.monitor_interval)
-        if spec.monitor_interval is not None
-        else None
-    )
-    scheduler = make_scheduler(spec, db=db)
-    driver = Driver(ctx, scheduler, monitor=monitor)
-    return driver.run(app, until=spec.max_sim_time)
+    session = make_session(spec, db=db)
+    handle = session.submit(spec.workload, **spec.workload_overrides)
+    session.run_until_idle(until=spec.max_sim_time)
+    return handle.result()

@@ -64,11 +64,13 @@ class DispatchDecision:
     locked_node: str | None = None
     wait_s: float | None = None  # enqueue -> launch (dispatch latency)
     node_utilization: dict[str, float] = field(default_factory=dict)
+    app: str = ""                # owning application ("" pre-multi-tenant)
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "type": "decision",
             "t": self.time,
+            "app": self.app,
             "task": self.task_key,
             "attempt": self.attempt,
             "node": self.node,

@@ -76,13 +76,33 @@ class Job:
 
 
 class Application:
-    """An ordered list of jobs plus app-level metadata."""
+    """An ordered list of jobs plus app-level metadata.
 
-    def __init__(self, name: str, jobs: Iterable[Job]):
+    ``pool``/``weight``/``min_share`` are the application's *default*
+    fair-share parameters on a shared cluster — what the driver uses when
+    ``submit()`` is not given explicit ones — so a workload builder can
+    declare an app heavyweight once instead of at every submission site.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        jobs: Iterable[Job],
+        pool: str = "default",
+        weight: float = 1.0,
+        min_share: int = 0,
+    ):
         self.name = name
         self.jobs: list[Job] = list(jobs)
         if not self.jobs:
             raise ValueError("application has no jobs")
+        if weight <= 0:
+            raise ValueError(f"application weight must be > 0, got {weight}")
+        if min_share < 0:
+            raise ValueError(f"min_share must be >= 0, got {min_share}")
+        self.pool = pool
+        self.weight = weight
+        self.min_share = min_share
 
     @property
     def num_tasks(self) -> int:

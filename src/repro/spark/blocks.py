@@ -59,6 +59,12 @@ class BlockManager:
         ids = []
         for i in range(num_blocks):
             block_id = f"{prefix}:{i}"
+            if block_id in self._block_locations:
+                # Another app already placed this dataset (same workload on a
+                # shared cluster): HDFS holds one copy — reuse it rather than
+                # teleporting blocks mid-run.
+                ids.append(block_id)
+                continue
             chosen = rng.choice(len(nodes), size=replication, replace=False)
             self.put_block(block_id, [nodes[j] for j in chosen])
             ids.append(block_id)

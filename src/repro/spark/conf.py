@@ -52,6 +52,10 @@ class SparkConf:
     heartbeat_interval_s: float = 1.0
     # Service-time jitter applied to task demands (lognormal sigma).
     jitter_sigma: float = 0.06
+    # Cross-application arbitration when several apps share the cluster
+    # (cf. spark.scheduler.mode): "fifo" serves apps in submission order,
+    # "fair" runs Spark's FairSchedulingAlgorithm over app weights/minShares.
+    scheduler_mode: str = "fifo"
 
     def with_overrides(self, **kwargs) -> "SparkConf":
         """Functional update."""
@@ -75,3 +79,7 @@ class SparkConf:
             raise ValueError("speculation_quantile must be in (0, 1]")
         if self.speculation_multiplier < 1:
             raise ValueError("speculation_multiplier must be >= 1")
+        if self.scheduler_mode not in ("fifo", "fair"):
+            raise ValueError(
+                f"scheduler_mode must be 'fifo' or 'fair', got {self.scheduler_mode!r}"
+            )

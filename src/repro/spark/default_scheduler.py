@@ -36,16 +36,22 @@ class DefaultScheduler(TaskScheduler):
 
     # -- event feed --------------------------------------------------------------
 
-    def submit_taskset(self, ts: "TaskSetManager") -> None:
+    def submit_taskset(
+        self, ts: "TaskSetManager", app_id: str | None = None
+    ) -> None:
         if ts not in self.tasksets:  # re-submitted after shuffle loss
             self.tasksets.append(ts)
         self.revive()
 
-    def taskset_finished(self, ts: "TaskSetManager") -> None:
+    def taskset_finished(
+        self, ts: "TaskSetManager", app_id: str | None = None
+    ) -> None:
         if ts in self.tasksets:
             self.tasksets.remove(ts)
 
-    def on_executor_added(self, executor: "Executor") -> None:
+    def on_executor_added(
+        self, executor: "Executor", app_id: str | None = None
+    ) -> None:
         self.executors.append(executor)
         self.revive()
 
@@ -53,8 +59,12 @@ class DefaultScheduler(TaskScheduler):
         if executor in self.executors:
             self.executors.remove(executor)
 
-    def on_task_end(self, run: "TaskRun") -> None:
+    def on_task_end(self, run: "TaskRun", app_id: str | None = None) -> None:
         self.revive()
+
+    def on_app_removed(self, app_id: str) -> None:
+        """Drop the finished app's tasksets (aborts leave inactive ones)."""
+        self.tasksets = [ts for ts in self.tasksets if ts.app_id != app_id]
 
     # -- placement ----------------------------------------------------------------
 
@@ -83,6 +93,20 @@ class DefaultScheduler(TaskScheduler):
         finally:
             self._reviving = False
 
+    def _pool_ordered_tasksets(self) -> list["TaskSetManager"]:
+        """Submission-ordered tasksets, regrouped by the pool layer's app
+        order when several apps share the cluster.  Single tenant: the
+        original list object, untouched (golden-parity fast path)."""
+        assert self.ctx is not None
+        order = self.ctx.pools.app_order()
+        if order is None:
+            return self.tasksets
+        rank = {app_id: i for i, app_id in enumerate(order)}
+        fallback = len(rank)
+        return sorted(
+            self.tasksets, key=lambda ts: rank.get(ts.app_id, fallback)
+        )
+
     def _offer_order(self) -> list["Executor"]:
         """Spark randomizes offers to spread load across the cluster."""
         assert self.ctx is not None
@@ -95,7 +119,7 @@ class DefaultScheduler(TaskScheduler):
         driver = self.ctx.driver
         assert driver is not None
         now = self.ctx.now
-        for ts in self.tasksets:
+        for ts in self._pool_ordered_tasksets():
             if not ts.is_active():
                 continue
             if ts.has_pending():
@@ -156,6 +180,7 @@ class DefaultScheduler(TaskScheduler):
                 free_memory_mb=ex.free_memory_mb,
                 wait_s=max(0.0, self.ctx.now - ts.submit_time),
                 node_utilization={k: round(v, 4) for k, v in snap.items()},
+                app=ts.app_id,
             )
         )
 

@@ -1,10 +1,19 @@
-"""The application driver: DAG scheduling, executor management, results.
+"""The cluster driver: app lifecycles, DAG scheduling, executors, results.
 
 The driver mirrors Spark's DAGScheduler + standalone master duties at the
-fidelity the paper's experiments need: it launches one executor per worker
-node (sized by the task scheduler's policy hook), submits jobs sequentially
-and stages in dependency order, relaunches executors the OOM model kills,
-and collects every task attempt's metrics into an :class:`AppResult`.
+fidelity the paper's experiments need — and, beyond the paper, it is a
+*cluster service*: any number of applications may be submitted at arbitrary
+simulated times (``submit``), each tracked by its own :class:`AppHandle`
+through pending → running → finished/aborted, sharing one executor fleet.
+Cross-app arbitration lives in :class:`~repro.spark.pools.SchedulingPools`
+(``conf.scheduler_mode``); the driver feeds it the launch/end demand signal.
+
+Per node the driver launches one executor (sized by the task scheduler's
+policy hook), submits each app's jobs sequentially and stages in dependency
+order, relaunches executors the OOM model kills, and collects every task
+attempt's metrics into per-app :class:`AppResult` s.  Cluster-wide services
+(monitor, speculation, the scheduler's periodic machinery) start with the
+first live app and stop when the last one ends.
 """
 
 from __future__ import annotations
@@ -50,6 +59,12 @@ class AppResult:
     # Provenance: True when this result was served from the run cache rather
     # than freshly simulated (stamped by RunCache.get, never pickled as True).
     from_cache: bool = False
+    # Multi-tenant provenance: which submission this result belongs to and
+    # when it entered/left the shared cluster (sim time).
+    app_id: str = ""
+    pool: str = "default"
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
 
     def successful_metrics(self) -> list[TaskMetrics]:
         return [m for m in self.task_metrics if m.succeeded]
@@ -77,8 +92,78 @@ class AppResult:
         return totals
 
 
+class AppHandle:
+    """One submitted application's lifecycle on the shared cluster.
+
+    States: *pending* (submitted for a future sim time), *running*
+    (activated: pools entry registered, first job submitted), *done* or
+    *aborted* (terminal; pools entry deactivated, scheduler state released).
+    """
+
+    def __init__(
+        self,
+        driver: "Driver",
+        app: Application,
+        app_id: str,
+        pool: str = "default",
+        weight: float = 1.0,
+        min_share: int = 0,
+    ):
+        self._driver = driver
+        self.app = app
+        self.app_id = app_id
+        self.pool = pool
+        self.weight = weight
+        self.min_share = min_share
+        self.submitted = False           # activated (vs scheduled for later)
+        self.submit_time: float | None = None
+        self.finish_time: float | None = None
+        self.done = False
+        self.aborted = False
+        self.runs: list[TaskRun] = []
+        self.tasksets: dict[int, TaskSetManager] = {}
+        self.stage_done: set[int] = set()
+        self.current_job: Job | None = None
+        self.job_index = 0
+
+    @property
+    def is_active(self) -> bool:
+        """Still owed cluster time: pending or running (not terminal)."""
+        return not self.done and not self.aborted
+
+    def result(self) -> AppResult:
+        """This app's :class:`AppResult`; valid once done or aborted."""
+        if self.is_active:
+            raise RuntimeError(
+                f"application {self.app_id} has not finished "
+                f"(t={self._driver.ctx.sim.now:.1f}s)"
+            )
+        start = self.submit_time if self.submit_time is not None else 0.0
+        end = (
+            self.finish_time
+            if self.finish_time is not None
+            else self._driver.ctx.sim.now
+        )
+        oom_failures = sum(1 for r in self.runs if r.metrics.failed_oom)
+        return AppResult(
+            app_name=self.app.name,
+            scheduler_name=self._driver.scheduler.name,
+            runtime_s=end - start,
+            task_metrics=[r.metrics for r in self.runs],
+            aborted=self.aborted,
+            oom_task_failures=oom_failures,
+            executor_kills=self._driver.executor_kills,
+            monitor=self._driver.monitor,
+            obs=self._driver.ctx.obs,
+            app_id=self.app_id,
+            pool=self.pool,
+            submitted_at=start,
+            finished_at=end,
+        )
+
+
 class Driver:
-    """Runs one application to completion on a simulated cluster."""
+    """Runs applications on a simulated cluster (any number, concurrently)."""
 
     def __init__(
         self,
@@ -90,56 +175,173 @@ class Driver:
         self.scheduler = scheduler
         self.monitor = monitor
         ctx.driver = self
+        ctx.pools.mode = ctx.conf.scheduler_mode
         scheduler.attach(ctx)
         self.executors: dict[str, Executor] = {}
         self.all_runs: list[TaskRun] = []
-        self._tasksets: dict[int, TaskSetManager] = {}
-        self._stage_done: set[int] = set()
-        self._current_job: Job | None = None
-        self._job_index = 0
-        self._app: Application | None = None
-        self._app_done = False
-        self._aborted = False
+        self.apps: dict[str, AppHandle] = {}
+        self._app_seq = 0
         self.executor_kills = 0
         self._speculation = SpeculationLoop(
             ctx, self.active_tasksets, self.scheduler.revive
         )
-        self._finish_time: float | None = None
+        self._started = False            # executor fleet launched
+        self._services_running = False   # monitor/speculation ticking
+        self._scheduler_stopped = False  # scheduler.stop() happened (idle)
 
     # -- public ------------------------------------------------------------------
 
+    def submit(
+        self,
+        app: Application,
+        at: float | None = None,
+        pool: str | None = None,
+        weight: float | None = None,
+        min_share: int | None = None,
+    ) -> AppHandle:
+        """Submit an application, now or at a future sim time.
+
+        The first activation brings the cluster up (executors, monitor,
+        speculation); later apps join the running fleet.  ``pool``/``weight``/
+        ``min_share`` feed the fair-share layer when ``conf.scheduler_mode``
+        is ``"fair"``; left as ``None`` they fall back to the application's
+        own declared defaults.
+        """
+        app_id = f"{app.name}@{self._app_seq}"
+        self._app_seq += 1
+        handle = AppHandle(
+            self,
+            app,
+            app_id,
+            pool=app.pool if pool is None else pool,
+            weight=app.weight if weight is None else weight,
+            min_share=app.min_share if min_share is None else min_share,
+        )
+        self.apps[app_id] = handle
+        if at is None or at <= self.ctx.sim.now:
+            self._activate(handle)
+        else:
+            self.ctx.sim.at(at, self._activate, handle)
+        return handle
+
     def run(self, app: Application, until: float | None = None) -> AppResult:
-        """Execute the application and return its results."""
-        self._app = app
-        start = self.ctx.sim.now
-        for node in self.ctx.cluster:
-            self._launch_executor(node.name)
-        if self.monitor is not None:
-            self.monitor.start()
-        self._speculation.start()
-        self._submit_next_job()
+        """Execute one application to completion and return its results.
+
+        .. deprecated:: Use :meth:`submit` (or :class:`repro.api.Session`)
+           for anything beyond a single app.  This one-app shim is kept so
+           single-tenant harnesses — including the golden decision-parity
+           traces — run the exact legacy sequence byte-for-byte.
+        """
+        handle = self.submit(app)
         self.ctx.sim.run(until=until)
-        if not self._app_done and not self._aborted:
+        if handle.is_active:
             raise RuntimeError(
                 f"application {app.name} did not finish "
                 f"(simulation drained at t={self.ctx.sim.now:.1f}s)"
             )
-        end = self._finish_time if self._finish_time is not None else self.ctx.sim.now
-        oom_failures = sum(1 for r in self.all_runs if r.metrics.failed_oom)
-        return AppResult(
-            app_name=app.name,
-            scheduler_name=self.scheduler.name,
-            runtime_s=end - start,
-            task_metrics=[r.metrics for r in self.all_runs],
-            aborted=self._aborted,
-            oom_task_failures=oom_failures,
-            executor_kills=self.executor_kills,
-            monitor=self.monitor,
-            obs=self.ctx.obs,
-        )
+        return handle.result()
 
     def active_tasksets(self) -> list[TaskSetManager]:
-        return [ts for ts in self._tasksets.values() if ts.is_active()]
+        return [
+            ts
+            for handle in self.apps.values()
+            if handle.is_active
+            for ts in handle.tasksets.values()
+            if ts.is_active()
+        ]
+
+    def _any_active(self) -> bool:
+        return any(h.is_active for h in self.apps.values())
+
+    # -- legacy single-app views (tests and tooling poke these) -------------------
+
+    @property
+    def _app_done(self) -> bool:
+        """True when every submitted app finished normally (legacy view)."""
+        return bool(self.apps) and all(h.done for h in self.apps.values())
+
+    @property
+    def _aborted(self) -> bool:
+        return any(h.aborted for h in self.apps.values())
+
+    @property
+    def _tasksets(self) -> dict[int, TaskSetManager]:
+        """All apps' tasksets merged by (globally unique) stage id."""
+        merged: dict[int, TaskSetManager] = {}
+        for handle in self.apps.values():
+            merged.update(handle.tasksets)
+        return merged
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _activate(self, handle: AppHandle) -> None:
+        handle.submitted = True
+        handle.submit_time = self.ctx.sim.now
+        self.ctx.pools.register(
+            handle.app_id,
+            pool=handle.pool,
+            weight=handle.weight,
+            min_share=handle.min_share,
+        )
+        self._ensure_services()
+        self.ctx.trace.record(self.ctx.now, "app_submit", app=handle.app_id)
+        self._submit_next_job(handle)
+
+    def _ensure_services(self) -> None:
+        """Bring the cluster up for the first app; wake it after idle."""
+        if not self._started:
+            for node in self.ctx.cluster:
+                self._launch_executor(node.name)
+            self._started = True
+        elif not self._services_running:
+            # Waking from idle: nodes whose executor died while nothing was
+            # running never relaunched — bring them back now.
+            for node in self.ctx.cluster:
+                if node.name not in self.executors:
+                    self._launch_executor(node.name)
+        if not self._services_running:
+            if self.monitor is not None:
+                self.monitor.start()
+            self._speculation.start()
+            if self._scheduler_stopped:
+                self.scheduler.resume()
+                self._scheduler_stopped = False
+            self._services_running = True
+
+    def _stop_services(self, sample: bool) -> None:
+        """Last active app ended: quiesce the periodic machinery."""
+        self._speculation.stop()
+        self.scheduler.stop()
+        self._scheduler_stopped = True
+        if self.monitor is not None:
+            if sample:
+                self.monitor.sample_now()
+            self.monitor.stop()
+        self._services_running = False
+
+    def _finish_app(self, handle: AppHandle) -> None:
+        handle.done = True
+        handle.finish_time = self.ctx.now
+        self.ctx.pools.deactivate(handle.app_id)
+        self.scheduler.on_app_removed(handle.app_id)
+        if not self._any_active():
+            self._stop_services(sample=True)
+        self.ctx.trace.record(self.ctx.now, "app_complete", app=handle.app_id)
+
+    def _abort(self, handle: AppHandle) -> None:
+        if handle.aborted:
+            return
+        handle.aborted = True
+        handle.finish_time = self.ctx.now
+        self.ctx.pools.deactivate(handle.app_id)
+        if not self._any_active():
+            self._stop_services(sample=False)
+        for ex in list(self.executors.values()):
+            for run in list(ex.running):
+                if run.taskset.app_id == handle.app_id:
+                    run.kill(reason="app-aborted")
+        self.scheduler.on_app_removed(handle.app_id)
+        self.ctx.trace.record(self.ctx.now, "app_aborted", app=handle.app_id)
 
     # -- executors -----------------------------------------------------------------
 
@@ -170,7 +372,7 @@ class Driver:
         executor.kill()
         if not self.ctx.conf.external_shuffle_service:
             self._handle_shuffle_loss(executor.node.name)
-        if not self._app_done and not self._aborted:
+        if self._any_active():
             self.ctx.sim.after(
                 self.ctx.conf.executor_recovery_s,
                 self._relaunch_executor,
@@ -178,7 +380,7 @@ class Driver:
             )
 
     def _relaunch_executor(self, node_name: str) -> None:
-        if self._app_done or self._aborted or node_name in self.executors:
+        if not self._any_active() or node_name in self.executors:
             return
         self._launch_executor(node_name)
 
@@ -186,9 +388,15 @@ class Driver:
         """Spark's FetchFailed path: map output that lived only in the dead
         executor's local dirs is gone, so the producing map tasks re-run and
         consumer stages wait (their in-flight attempts are aborted)."""
-        job = self._current_job
-        if job is None:
-            return
+        for handle in self.apps.values():
+            if handle.is_active and handle.current_job is not None:
+                self._handle_shuffle_loss_for(handle, node_name)
+
+    def _handle_shuffle_loss_for(
+        self, handle: AppHandle, node_name: str
+    ) -> None:
+        job = handle.current_job
+        assert job is not None
         for stage in job.stages:
             if stage.shuffle_id is None:
                 continue
@@ -198,11 +406,11 @@ class Driver:
             consumers = [
                 c
                 for c in job.children_of(stage)
-                if c.stage_id not in self._stage_done
+                if c.stage_id not in handle.stage_done
             ]
             if not consumers:
                 continue  # nobody needs this shuffle anymore
-            ts = self._tasksets.get(stage.stage_id)
+            ts = handle.tasksets.get(stage.stage_id)
             if ts is None:
                 continue
             reopened = 0
@@ -225,42 +433,41 @@ class Driver:
                 tasks=reopened,
                 mb=lost_mb,
             )
-            self._stage_done.discard(stage.stage_id)
+            handle.stage_done.discard(stage.stage_id)
             # Block the consumers and abort their in-flight attempts (they
             # would fetch data that no longer exists).
             for child in consumers:
-                child_ts = self._tasksets.get(child.stage_id)
+                child_ts = handle.tasksets.get(child.stage_id)
                 if child_ts is None or not child_ts.is_active():
                     continue
                 child_ts.blocked = True
                 for st in child_ts.states:
                     for run in list(st.running):
                         run.kill(reason="fetch-failure")
-            self.scheduler.submit_taskset(ts)
+            self.scheduler.submit_taskset(ts, handle.app_id)
 
     # -- DAG scheduling ----------------------------------------------------------------
 
-    def _submit_next_job(self) -> None:
-        assert self._app is not None
-        if self._job_index >= len(self._app.jobs):
-            self._finish_app()
+    def _submit_next_job(self, handle: AppHandle) -> None:
+        if handle.job_index >= len(handle.app.jobs):
+            self._finish_app(handle)
             return
-        job = self._app.jobs[self._job_index]
-        self._job_index += 1
-        self._current_job = job
+        job = handle.app.jobs[handle.job_index]
+        handle.job_index += 1
+        handle.current_job = job
         self.ctx.trace.record(self.ctx.now, "job_start", job=job.name)
         for stage in job.roots():
-            self._submit_stage(stage)
+            self._submit_stage(handle, stage)
 
-    def _submit_stage(self, stage: Stage) -> None:
-        if stage.stage_id in self._tasksets:
+    def _submit_stage(self, handle: AppHandle, stage: Stage) -> None:
+        if stage.stage_id in handle.tasksets:
             return
-        ts = TaskSetManager(self.ctx, stage)
-        self._tasksets[stage.stage_id] = ts
+        ts = TaskSetManager(self.ctx, stage, app_id=handle.app_id)
+        handle.tasksets[stage.stage_id] = ts
         self.ctx.trace.record(
             self.ctx.now, "stage_submit", stage=stage.template_id, tasks=stage.num_tasks
         )
-        self.scheduler.submit_taskset(ts)
+        self.scheduler.submit_taskset(ts, handle.app_id)
 
     def launch_task(
         self,
@@ -284,7 +491,13 @@ class Driver:
         )
         ts.register_launch(spec, run)
         self.all_runs.append(run)
+        handle = self.apps.get(ts.app_id)
+        if handle is not None:
+            handle.runs.append(run)
+        self.ctx.pools.note_launch(ts.app_id)
         self.ctx.obs.metrics.inc("tasks.launched")
+        if ts.app_id:
+            self.ctx.obs.metrics.inc(f"app.{ts.app_id}.tasks.launched")
         run.start()
         return run
 
@@ -297,62 +510,44 @@ class Driver:
         )
         self.ctx.obs.metrics.inc(f"tasks.{outcome}")
         ts = run.taskset
+        app_id = ts.app_id
+        self.ctx.pools.note_end(app_id)
+        if app_id:
+            self.ctx.obs.metrics.inc(f"app.{app_id}.tasks.{outcome}")
+        handle = self.apps.get(app_id)
         stage_completed = False
         try:
             stage_completed = ts.on_attempt_ended(run)
         except TaskSetAborted:
-            self._abort()
+            if handle is not None:
+                self._abort(handle)
             return
         # Scheduler bookkeeping (slot/kind accounting, metric recording) must
         # see this task as finished *before* stage completion can submit new
         # stages and trigger a dispatch round.
-        self.scheduler.on_task_end(run)
-        if stage_completed:
-            self._on_stage_complete(ts)
+        self.scheduler.on_task_end(run, app_id or None)
+        if stage_completed and handle is not None:
+            self._on_stage_complete(handle, ts)
 
-    def _on_stage_complete(self, ts: TaskSetManager) -> None:
+    def _on_stage_complete(self, handle: AppHandle, ts: TaskSetManager) -> None:
         stage = ts.stage
-        self._stage_done.add(stage.stage_id)
-        self.scheduler.taskset_finished(ts)
+        handle.stage_done.add(stage.stage_id)
+        self.scheduler.taskset_finished(ts, handle.app_id)
         self.ctx.trace.record(self.ctx.now, "stage_complete", stage=stage.template_id)
-        job = self._current_job
+        job = handle.current_job
         assert job is not None
         for child in job.children_of(stage):
-            if child.stage_id in self._tasksets:
+            if child.stage_id in handle.tasksets:
                 # Unblock consumers that were waiting on a shuffle re-run.
-                child_ts = self._tasksets[child.stage_id]
+                child_ts = handle.tasksets[child.stage_id]
                 if child_ts.blocked and all(
-                    p.stage_id in self._stage_done for p in child.parents
+                    p.stage_id in handle.stage_done for p in child.parents
                 ):
                     child_ts.blocked = False
                     self.scheduler.revive()
                 continue
-            if all(p.stage_id in self._stage_done for p in child.parents):
-                self._submit_stage(child)
-        if all(s.stage_id in self._stage_done for s in job.stages):
+            if all(p.stage_id in handle.stage_done for p in child.parents):
+                self._submit_stage(handle, child)
+        if all(s.stage_id in handle.stage_done for s in job.stages):
             self.ctx.trace.record(self.ctx.now, "job_complete", job=job.name)
-            self._submit_next_job()
-
-    def _finish_app(self) -> None:
-        self._app_done = True
-        self._finish_time = self.ctx.now
-        self._speculation.stop()
-        self.scheduler.stop()
-        if self.monitor is not None:
-            self.monitor.sample_now()
-            self.monitor.stop()
-        self.ctx.trace.record(self.ctx.now, "app_complete")
-
-    def _abort(self) -> None:
-        if self._aborted:
-            return
-        self._aborted = True
-        self._finish_time = self.ctx.now
-        self._speculation.stop()
-        self.scheduler.stop()
-        if self.monitor is not None:
-            self.monitor.stop()
-        for ex in list(self.executors.values()):
-            for run in list(ex.running):
-                run.kill(reason="app-aborted")
-        self.ctx.trace.record(self.ctx.now, "app_aborted")
+            self._submit_next_job(handle)

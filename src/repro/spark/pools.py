@@ -1,0 +1,141 @@
+"""Fair-share scheduling pools for concurrent applications.
+
+Spark arbitrates *within* one application with its FAIR scheduler pools
+(``spark.scheduler.mode``); here the same algorithm arbitrates *across*
+applications sharing one simulated cluster.  Every submitted application is
+one schedulable entity carrying a pool name, a weight, and a minimum share;
+each dispatch round the task schedulers ask :meth:`SchedulingPools.app_order`
+which application should be offered resources first.
+
+Two policies:
+
+* ``fifo`` — applications are served strictly in submission order (Spark's
+  default cross-job behaviour): an early heavyweight starves later arrivals.
+* ``fair`` — Spark's ``FairSchedulingAlgorithm`` comparator: applications
+  below their minimum share come first (neediest by ``running/minShare``),
+  then everyone else by ``running/weight``, so a weight-2 tenant converges to
+  twice the running tasks of a weight-1 tenant.
+
+The pool layer only *orders* applications — placement within the chosen
+application still belongs to the task scheduler (delay scheduling for stock
+Spark, RUPAM's per-resource queues for RUPAM), which is what lets fair
+sharing compose with heterogeneity-aware placement instead of replacing it.
+
+With fewer than two active applications :meth:`app_order` returns ``None``
+and the schedulers take their original single-app paths untouched — the
+single-tenant golden decision traces stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+FIFO = "fifo"
+FAIR = "fair"
+SCHEDULER_MODES = (FIFO, FAIR)
+
+
+@dataclass
+class AppShare:
+    """One application's slice of the cluster, as the pool layer sees it."""
+
+    app_id: str
+    pool: str = "default"
+    weight: float = 1.0
+    min_share: int = 0
+    seq: int = 0              # submission order (FIFO key, fair tie-breaker)
+    running: int = 0          # live task attempts (fair-share demand signal)
+    active: bool = True
+
+    def fair_key(self) -> tuple[int, float, int]:
+        """Spark's ``FairSchedulingAlgorithm`` comparator as a sort key.
+
+        Entities below their minimum share are "needy" and all precede the
+        satisfied ones; needy entities order by how far below min-share they
+        are, satisfied ones by tasks-per-weight.  Submission order breaks
+        ties so the ordering is total and deterministic.
+        """
+        needy = self.running < self.min_share
+        if needy:
+            return (0, self.running / max(self.min_share, 1), self.seq)
+        return (1, self.running / self.weight, self.seq)
+
+
+@dataclass
+class SchedulingPools:
+    """Cross-application share accounting + the per-round ordering policy."""
+
+    mode: str = FIFO
+    _apps: dict[str, AppShare] = field(default_factory=dict)
+    _seq: int = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def register(
+        self,
+        app_id: str,
+        pool: str = "default",
+        weight: float = 1.0,
+        min_share: int = 0,
+    ) -> AppShare:
+        if weight <= 0:
+            raise ValueError(f"pool weight must be > 0, got {weight}")
+        if min_share < 0:
+            raise ValueError(f"min_share must be >= 0, got {min_share}")
+        share = AppShare(
+            app_id=app_id,
+            pool=pool,
+            weight=weight,
+            min_share=min_share,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._apps[app_id] = share
+        return share
+
+    def deactivate(self, app_id: str) -> None:
+        """The application finished or aborted; drop it from future rounds."""
+        share = self._apps.get(app_id)
+        if share is not None:
+            share.active = False
+
+    def share_of(self, app_id: str) -> AppShare | None:
+        return self._apps.get(app_id)
+
+    # -- demand signal (fed by the driver) ------------------------------------
+
+    def note_launch(self, app_id: str) -> None:
+        share = self._apps.get(app_id)
+        if share is not None:
+            share.running += 1
+
+    def note_end(self, app_id: str) -> None:
+        share = self._apps.get(app_id)
+        if share is not None and share.running > 0:
+            share.running -= 1
+
+    def running_tasks(self, app_id: str) -> int:
+        share = self._apps.get(app_id)
+        return share.running if share is not None else 0
+
+    # -- queries --------------------------------------------------------------
+
+    def active_ids(self) -> list[str]:
+        """Active application ids in submission order."""
+        return sorted(
+            (s.app_id for s in self._apps.values() if s.active),
+            key=lambda a: self._apps[a].seq,
+        )
+
+    def app_order(self) -> list[str] | None:
+        """Policy order for this dispatch round, or ``None`` when fewer than
+        two applications are active (single-tenant fast path: callers keep
+        their original, pool-free code path)."""
+        active = [s for s in self._apps.values() if s.active]
+        if len(active) < 2:
+            return None
+        if self.mode == FIFO:
+            active.sort(key=lambda s: s.seq)
+        else:
+            active.sort(key=AppShare.fair_key)
+        return [s.app_id for s in active]

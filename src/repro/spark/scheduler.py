@@ -19,6 +19,7 @@ from repro.simulate.randomness import RandomSource
 from repro.simulate.trace import TraceRecorder
 from repro.spark.blocks import BlockManager
 from repro.spark.conf import SparkConf
+from repro.spark.pools import SchedulingPools
 from repro.spark.shuffle import ShuffleManager
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,7 +31,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class SchedulerContext:
-    """Shared state of one simulated application run."""
+    """Shared state of one simulated cluster session.
+
+    One context serves every application submitted to the cluster: the
+    simulator, cluster, block/shuffle managers, and observability bundle are
+    cluster-scoped, while per-application lifecycle state lives in the
+    driver's :class:`~repro.spark.driver.AppHandle` registry.  ``pools``
+    carries the cross-application fair-share accounting the task schedulers
+    consult each dispatch round.
+    """
 
     sim: Simulator
     conf: SparkConf
@@ -42,10 +51,16 @@ class SchedulerContext:
     driver_node: str
     driver: "Driver | None" = field(default=None, repr=False)
     obs: Observability = field(default_factory=Observability, repr=False)
+    pools: SchedulingPools = field(default_factory=SchedulingPools, repr=False)
 
     @property
     def now(self) -> float:
         return self.sim.now
+
+    def active_apps(self) -> list[str]:
+        """Ids of applications currently sharing the cluster, in submission
+        order — the accessor schedulers use instead of an ambient ``_app``."""
+        return self.pools.active_ids()
 
 
 class TaskScheduler(ABC):
@@ -56,6 +71,14 @@ class TaskScheduler(ABC):
     executors, then feeds events (`submit_taskset`, `on_task_end`,
     `on_executor_added/removed`).  The scheduler launches tasks by calling
     ``ctx.driver.launch_task(...)`` from :meth:`revive`.
+
+    Every taskset/task event carries an explicit ``app_id`` naming the
+    application it belongs to (``None`` means "resolve from the taskset/run",
+    which unit tests driving a scheduler directly may rely on); schedulers
+    must not assume a single ambient application.  The active application set
+    is available through :meth:`SchedulerContext.active_apps`, and
+    :meth:`on_app_removed` fires once per application at teardown so
+    schedulers can release any per-app state (queues, lock indexes).
     """
 
     name: str = "abstract"
@@ -79,30 +102,54 @@ class TaskScheduler(ABC):
         return max(1, cores // self.ctx.conf.task_cpus)
 
     def stop(self) -> None:
-        """Called once by the driver when the application ends."""
+        """Called once by the driver when the last active application ends."""
+
+    def resume(self) -> None:
+        """Called when a new application arrives after :meth:`stop` (the
+        cluster went idle and is waking back up).  Default: no-op."""
 
     # -- event feed ------------------------------------------------------------
 
     @abstractmethod
-    def submit_taskset(self, ts: "TaskSetManager") -> None:
-        """A stage became runnable."""
+    def submit_taskset(
+        self, ts: "TaskSetManager", app_id: str | None = None
+    ) -> None:
+        """A stage of application ``app_id`` became runnable."""
 
     @abstractmethod
-    def taskset_finished(self, ts: "TaskSetManager") -> None:
+    def taskset_finished(
+        self, ts: "TaskSetManager", app_id: str | None = None
+    ) -> None:
         """All of a stage's tasks succeeded."""
 
     @abstractmethod
-    def on_executor_added(self, executor: "Executor") -> None:
-        ...
+    def on_executor_added(
+        self, executor: "Executor", app_id: str | None = None
+    ) -> None:
+        """An executor came up.  Executors are cluster-scoped (shared by all
+        applications); ``app_id`` names the application whose failure
+        handling triggered a relaunch, or ``None`` at cluster start."""
 
     @abstractmethod
     def on_executor_removed(self, executor: "Executor") -> None:
         ...
 
     @abstractmethod
-    def on_task_end(self, run: "TaskRun") -> None:
-        """A task attempt ended (success, failure, or kill)."""
+    def on_task_end(self, run: "TaskRun", app_id: str | None = None) -> None:
+        """A task attempt of application ``app_id`` ended (success, failure,
+        or kill)."""
+
+    def on_app_removed(self, app_id: str) -> None:
+        """Application teardown: release any per-app scheduler state (queued
+        entries, lock-index entries, taskset lists).  Default: no-op."""
 
     @abstractmethod
     def revive(self) -> None:
         """Try to place pending work on available executors."""
+
+    # -- shared helpers ---------------------------------------------------------
+
+    @staticmethod
+    def resolve_app_id(ts: "TaskSetManager", app_id: str | None) -> str:
+        """The explicit ``app_id`` if given, else the taskset's own."""
+        return app_id if app_id is not None else ts.app_id

@@ -1,14 +1,17 @@
 """Periodic speculative-execution checks (spark.speculation).
 
-The driver runs one :class:`SpeculationLoop` for the whole application; each
-tick asks every active taskset to refresh its speculatable set (75% quantile,
-1.5x median by default) and revives offers when anything was marked.
+The driver runs one :class:`SpeculationLoop` for the whole cluster session;
+each tick asks every active taskset (across all live applications) to refresh
+its speculatable set (75% quantile, 1.5x median by default) and revives
+offers when anything was marked.  The loop stops when the cluster goes idle
+and restarts when a new application arrives.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.simulate.engine import EventHandle
 from repro.spark.scheduler import SchedulerContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -16,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class SpeculationLoop:
-    """Ticks while the application is active."""
+    """Ticks while any application is active; restartable after idle."""
 
     def __init__(
         self,
@@ -27,16 +30,23 @@ class SpeculationLoop:
         self.ctx = ctx
         self.active_tasksets = active_tasksets
         self.on_marked = on_marked
-        self._stopped = False
+        self._stopped = True
+        self._next: EventHandle | None = None
         self.total_marked = 0
 
     def start(self) -> None:
         if not self.ctx.conf.speculation:
             return
+        if not self._stopped:
+            return  # already ticking
+        self._stopped = False
         self._tick()
 
     def stop(self) -> None:
         self._stopped = True
+        if self._next is not None and self._next.pending:
+            self._next.cancel()
+        self._next = None
 
     def _tick(self) -> None:
         if self._stopped:
@@ -48,4 +58,6 @@ class SpeculationLoop:
             self.total_marked += marked
             self.ctx.trace.record(self.ctx.now, "speculation_marked", count=marked)
             self.on_marked()
-        self.ctx.sim.after(self.ctx.conf.speculation_interval_s, self._tick)
+        self._next = self.ctx.sim.after(
+            self.ctx.conf.speculation_interval_s, self._tick
+        )

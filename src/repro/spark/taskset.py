@@ -42,9 +42,13 @@ class _TaskState:
 class TaskSetManager:
     """Tracks one stage's tasks through attempts to completion."""
 
-    def __init__(self, ctx: SchedulerContext, stage: Stage):
+    def __init__(self, ctx: SchedulerContext, stage: Stage, app_id: str = ""):
         self.ctx = ctx
         self.stage = stage
+        # Owning application (multi-tenant scheduling keys pool accounting,
+        # queue teardown, and decision traces on this; "" in unit tests that
+        # drive a taskset without a driver).
+        self.app_id = app_id
         self.states = [_TaskState(t) for t in stage.tasks]
         self.pending: set[int] = set(range(len(stage.tasks)))
         self.finished_count = 0

@@ -30,10 +30,7 @@ class TestOfferLoop:
             conf=SparkConf().with_overrides(speculation=False)
         )
         app = simple_app(n_map=30, compute=50.0, n_reduce=1)
-        driver._app = app
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        driver._submit_next_job()
+        driver.submit(app)
         # 3 nodes x 4 cores = 12 slots, all filled immediately.
         running = sum(len(ex.running) for ex in driver.executors.values())
         assert running == 12
@@ -41,10 +38,7 @@ class TestOfferLoop:
     def test_one_task_per_slot(self):
         sim, ctx, sched, driver = build_driver()
         app = simple_app(n_map=30, compute=50.0)
-        driver._app = app
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        driver._submit_next_job()
+        driver.submit(app)
         for ex in driver.executors.values():
             assert len(ex.running) <= ex.slots
 
@@ -61,10 +55,7 @@ class TestOfferLoop:
         sink = Stage("f:sink", StageKind.RESULT,
                      [TaskSpec(index=0, compute_gigacycles=0.1)], parents=(s1, s2))
         app = Application("f", [Job([s1, s2, sink])])
-        driver._app = app
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        driver._submit_next_job()
+        driver.submit(app)
         launched = [r.task.stage.template_id for r in driver.all_runs]
         # All 12 slots go to the first stage.
         assert launched.count("f:one") == 12
@@ -92,10 +83,7 @@ class TestOfferLoop:
                              parents=(blocker,))
         app = Application("e", [Job([blocker, blocker_sink], name="warm"),
                                 Job([stage, sink], name="target")])
-        driver._app = app
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        driver._submit_next_job()
+        driver.submit(app)
         res_pending = sim.pending_count
         assert res_pending > 0  # work scheduled
         sim.run()

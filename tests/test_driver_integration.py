@@ -1,25 +1,29 @@
-"""Integration tests: driver + stock scheduler end to end."""
+"""Integration tests: driver + stock scheduler end to end (via Session)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.simulate.engine import Simulator
+from repro.api import Session
 from repro.spark.application import Application, Job
 from repro.spark.conf import SparkConf
-from repro.spark.default_scheduler import DefaultScheduler
-from repro.spark.driver import Driver
 from repro.spark.stage import Stage, StageKind
 from repro.spark.task import TaskSpec
-from tests.conftest import hetero_cluster, make_ctx, simple_app, tiny_cluster
+from tests.conftest import hetero_cluster, simple_app, tiny_cluster
 
 
 def run_app(app, cluster_fn=tiny_cluster, conf=None, seed=1, until=None):
-    sim = Simulator()
-    cluster = cluster_fn(sim)
-    ctx = make_ctx(cluster, conf=conf, seed=seed)
-    driver = Driver(ctx, DefaultScheduler())
-    return driver.run(app, until=until), ctx
+    session = Session(
+        cluster=cluster_fn,
+        scheduler="spark",
+        seed=seed,
+        conf=conf,
+        monitor_interval=None,
+        trace=True,
+    )
+    handle = session.submit(app)
+    session.run_until_idle(until=until)
+    return handle.result(), session.ctx
 
 
 class TestBasicExecution:
@@ -91,11 +95,13 @@ class TestHeterogeneousBehaviour:
 
 class TestLocalityBehaviour:
     def test_node_local_preferred_when_replicas_exist(self):
-        sim = Simulator()
-        cluster = tiny_cluster(sim)
-        ctx = make_ctx(cluster)
+        session = Session(
+            cluster=tiny_cluster, seed=1, monitor_interval=None, trace=True
+        )
+        ctx = session.ctx
         ids = ctx.blocks.place_dataset(
-            "in", 6, [n.name for n in cluster], ctx.rng.stream("p"), replication=2
+            "in", 6, [n.name for n in session.cluster], ctx.rng.stream("p"),
+            replication=2,
         )
         tasks = [
             TaskSpec(index=i, input_mb=32, input_blocks=(ids[i],), peak_memory_mb=100)
@@ -109,8 +115,9 @@ class TestLocalityBehaviour:
             parents=(ms,),
         )
         app = Application("loc", [Job([ms, rs])])
-        driver = Driver(ctx, DefaultScheduler())
-        res = driver.run(app)
+        handle = session.submit(app)
+        session.run_until_idle()
+        res = handle.result()
         counts = res.locality_counts()
         assert counts["NODE_LOCAL"] >= 4  # most maps land on a replica
         assert counts["RACK_LOCAL"] == 0

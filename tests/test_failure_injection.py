@@ -28,11 +28,7 @@ class TestExecutorDeath:
             conf=SparkConf().with_overrides(jitter_sigma=0.0, executor_recovery_s=2.0)
         )
         app = simple_app(n_map=9, compute=8.0)
-        driver._app = app
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        driver._speculation.start()
-        driver._submit_next_job()
+        driver.submit(app)
         # Kill one executor shortly after launch.
         sim.at(0.5, lambda: driver.kill_executor(driver.executors["n1"]))
         sim.run()
@@ -47,11 +43,7 @@ class TestExecutorDeath:
         sim, ctx, driver = self._running_driver()
         app = simple_app(n_map=4, compute=1.0, shuffle_mb=25.0)
         map_stage = next(s for s in app.jobs[0].stages if s.is_map)
-        driver._app = app
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        driver._speculation.start()
-        driver._submit_next_job()
+        driver.submit(app)
 
         def kill_after_maps():
             if ctx.shuffle.total_output_mb(map_stage.shuffle_id) > 0:
@@ -105,11 +97,7 @@ class TestRupamUnderFailures:
             jitter_sigma=0.0, executor_recovery_s=2.0))
         driver = Driver(ctx, RupamScheduler())
         app = simple_app(n_map=9, compute=8.0, jobs=2)
-        driver._app = app
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        driver._speculation.start()
-        driver._submit_next_job()
+        driver.submit(app)
         sim.at(0.5, lambda: driver.kill_executor(driver.executors["fast"]))
         sim.run()
         assert driver._app_done

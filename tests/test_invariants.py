@@ -12,15 +12,29 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import Session
 from repro.core.rupam import RupamScheduler
-from repro.simulate.engine import Simulator
 from repro.spark.application import Application, Job
 from repro.spark.conf import SparkConf
 from repro.spark.default_scheduler import DefaultScheduler
-from repro.spark.driver import Driver
 from repro.spark.stage import Stage, StageKind
 from repro.spark.task import TaskSpec
-from tests.conftest import hetero_cluster, make_ctx
+from tests.conftest import hetero_cluster
+
+
+def run_session(app, scheduler, seed=3, conf=None, until=None):
+    """Run one app on a fresh hetero cluster through the Session facade."""
+    session = Session(
+        cluster=hetero_cluster,
+        scheduler=scheduler,
+        seed=seed,
+        conf=conf,
+        monitor_interval=None,
+        trace=False,
+    )
+    handle = session.submit(app)
+    session.run_until_idle(until=until)
+    return handle.result(), session
 
 
 @st.composite
@@ -71,10 +85,7 @@ class TestRunInvariants:
     @given(app=small_apps(), seed=st.integers(0, 2**16))
     @settings(max_examples=25, deadline=None)
     def test_every_task_succeeds_exactly_once(self, scheduler_cls, app, seed):
-        sim = Simulator()
-        cluster = hetero_cluster(sim)
-        ctx = make_ctx(cluster, seed=seed, trace=False)
-        res = Driver(ctx, scheduler_cls()).run(app, until=200_000.0)
+        res, _ = run_session(app, scheduler_cls(), seed=seed, until=200_000.0)
         assert not res.aborted
         # Exactly one success per (stage, index).
         successes: dict[tuple[int, int], int] = {}
@@ -88,10 +99,7 @@ class TestRunInvariants:
     @given(app=small_apps(), seed=st.integers(0, 2**16))
     @settings(max_examples=15, deadline=None)
     def test_metrics_bounded_and_nonnegative(self, scheduler_cls, app, seed):
-        sim = Simulator()
-        cluster = hetero_cluster(sim)
-        ctx = make_ctx(cluster, seed=seed, trace=False)
-        res = Driver(ctx, scheduler_cls()).run(app, until=200_000.0)
+        res, _ = run_session(app, scheduler_cls(), seed=seed, until=200_000.0)
         for m in res.task_metrics:
             parts = (
                 m.compute_time, m.ser_time, m.gc_time, m.fetch_wait_time,
@@ -107,13 +115,9 @@ class TestRunInvariants:
     @given(app=small_apps(), seed=st.integers(0, 2**16))
     @settings(max_examples=15, deadline=None)
     def test_executor_memory_returns_to_baseline(self, scheduler_cls, app, seed):
-        sim = Simulator()
-        cluster = hetero_cluster(sim)
-        ctx = make_ctx(cluster, seed=seed, trace=False)
-        driver = Driver(ctx, scheduler_cls())
-        res = driver.run(app, until=200_000.0)
+        res, session = run_session(app, scheduler_cls(), seed=seed, until=200_000.0)
         assert not res.aborted
-        for ex in driver.executors.values():
+        for ex in session.driver.executors.values():
             # Only cached partitions may remain resident.
             assert ex.memory.execution_used == pytest.approx(0.0, abs=1e-6)
             assert not ex.running
@@ -123,10 +127,7 @@ class TestOrderingInvariants:
     def test_reduce_never_starts_before_all_maps_end(self):
         from tests.conftest import simple_app
 
-        sim = Simulator()
-        cluster = hetero_cluster(sim)
-        ctx = make_ctx(cluster, seed=3)
-        res = Driver(ctx, DefaultScheduler()).run(simple_app(n_map=8, n_reduce=3))
+        res, _ = run_session(simple_app(n_map=8, n_reduce=3), DefaultScheduler())
         map_ends = [
             m.finish_time
             for m in res.task_metrics
@@ -142,10 +143,7 @@ class TestOrderingInvariants:
     def test_jobs_do_not_overlap(self):
         from tests.conftest import simple_app
 
-        sim = Simulator()
-        cluster = hetero_cluster(sim)
-        ctx = make_ctx(cluster, seed=3)
-        res = Driver(ctx, RupamScheduler()).run(simple_app(jobs=3))
+        res, _ = run_session(simple_app(jobs=3), RupamScheduler())
         # Group launches by job via stage ids (increasing across jobs).
         stages = sorted({m.stage_id for m in res.task_metrics})
         per_stage = {
@@ -164,15 +162,12 @@ class TestOrderingInvariants:
     def test_shuffle_bytes_conserved(self):
         from tests.conftest import simple_app
 
-        sim = Simulator()
-        cluster = hetero_cluster(sim)
         conf = SparkConf().with_overrides(jitter_sigma=0.0, speculation=False)
-        ctx = make_ctx(cluster, conf=conf, seed=3)
         app = simple_app(n_map=6, shuffle_mb=10.0)
         map_stage = next(s for s in app.jobs[0].stages if s.is_map)
-        Driver(ctx, DefaultScheduler()).run(app)
+        _, session = run_session(app, DefaultScheduler(), conf=conf)
         # 6 maps x 10 MB registered under this stage's shuffle id.
         assert map_stage.shuffle_id is not None
-        assert ctx.shuffle.total_output_mb(map_stage.shuffle_id) == pytest.approx(
+        assert session.ctx.shuffle.total_output_mb(map_stage.shuffle_id) == pytest.approx(
             60.0, rel=1e-6
         )

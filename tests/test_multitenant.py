@@ -1,0 +1,196 @@
+"""Multi-tenant scheduling: pools math, determinism, teardown, traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.cluster.cluster import Cluster
+from repro.core.rupam import RupamScheduler
+from repro.experiments.multitenant import generate_tenants, jain_index
+from repro.spark.pools import FAIR, FIFO, AppShare, SchedulingPools
+from tests.conftest import hetero_cluster, simple_app, small_node
+
+
+def two_slot_cluster(sim):
+    """Two tiny nodes — 8 slots total, so 20-task apps genuinely contend."""
+    return Cluster(sim, [small_node("n1"), small_node("n2")])
+
+
+def run_two_apps(scheduler: str, mode: str, seed: int = 5, n_map: int = 20,
+                 weights=(1.0, 1.0), cluster_fn=two_slot_cluster):
+    s = Session(
+        cluster=cluster_fn,
+        scheduler=scheduler,
+        seed=seed,
+        conf_overrides={"scheduler_mode": mode},
+        monitor_interval=None,
+    )
+    s.submit(simple_app(n_map=n_map, template="a"), weight=weights[0])
+    s.submit(simple_app(n_map=n_map, template="b"), weight=weights[1])
+    results = s.run_until_idle()
+    return results, s
+
+
+def _signature(results):
+    return json.dumps(
+        [
+            [
+                r.app_id,
+                r.submitted_at,
+                r.finished_at,
+                r.runtime_s,
+                [(m.task_key, m.attempt, m.node, m.launch_time, m.finish_time)
+                 for m in r.task_metrics],
+            ]
+            for r in results
+        ],
+        sort_keys=True,
+    )
+
+
+class TestFairShareMath:
+    def test_fifo_orders_by_submission(self):
+        pools = SchedulingPools(mode=FIFO)
+        pools.register("b@1")
+        pools.register("a@0")  # registration order defines seq, not the name
+        for _ in range(10):
+            pools.note_launch("b@1")
+        assert pools.app_order() == ["b@1", "a@0"]
+
+    def test_fair_orders_by_running_over_weight(self):
+        pools = SchedulingPools(mode=FAIR)
+        pools.register("a@0", weight=1.0)
+        pools.register("b@1", weight=1.0)
+        for _ in range(4):
+            pools.note_launch("a@0")
+        pools.note_launch("b@1")
+        # 4/1 vs 1/1: b is behind and goes first.
+        assert pools.app_order() == ["b@1", "a@0"]
+
+    def test_weight_two_tolerates_twice_the_running_tasks(self):
+        pools = SchedulingPools(mode=FAIR)
+        pools.register("heavy@0", weight=2.0)
+        pools.register("light@1", weight=1.0)
+        for _ in range(3):
+            pools.note_launch("heavy@0")
+        pools.note_launch("light@1")
+        # 3/2 > 1/1: light is favored...
+        assert pools.app_order() == ["light@1", "heavy@0"]
+        pools.note_launch("light@1")
+        # ...until 3/2 < 2/1 flips the order back.
+        assert pools.app_order() == ["heavy@0", "light@1"]
+
+    def test_min_share_makes_an_app_needy_first(self):
+        pools = SchedulingPools(mode=FAIR)
+        pools.register("a@0", weight=10.0)
+        pools.register("b@1", weight=1.0, min_share=4)
+        pools.note_launch("b@1")
+        # b runs 1 < min_share 4: needy entities precede all satisfied ones
+        # regardless of weight.
+        assert pools.app_order() == ["b@1", "a@0"]
+
+    def test_fair_key_matches_spark_comparator(self):
+        needy = AppShare("x", min_share=4, running=1, seq=3)
+        sated = AppShare("y", weight=2.0, running=6, seq=1)
+        assert needy.fair_key() == (0, 0.25, 3)
+        assert sated.fair_key() == (1, 3.0, 1)
+        assert needy.fair_key() < sated.fair_key()
+
+    def test_single_app_fast_path_returns_none(self):
+        pools = SchedulingPools(mode=FAIR)
+        pools.register("only@0")
+        assert pools.app_order() is None
+        pools.register("second@1")
+        assert pools.app_order() is not None
+        pools.deactivate("second@1")
+        assert pools.app_order() is None
+
+    def test_note_end_never_goes_negative(self):
+        pools = SchedulingPools()
+        pools.register("a@0")
+        pools.note_end("a@0")
+        assert pools.running_tasks("a@0") == 0
+
+    def test_invalid_registrations_rejected(self):
+        pools = SchedulingPools()
+        with pytest.raises(ValueError, match="weight"):
+            pools.register("a@0", weight=0.0)
+        with pytest.raises(ValueError, match="min_share"):
+            pools.register("a@0", min_share=-1)
+
+    def test_jain_index(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+        assert jain_index([]) == 1.0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheduler", ["spark", "rupam"])
+    @pytest.mark.parametrize("mode", [FIFO, FAIR])
+    def test_two_apps_byte_identical_across_runs(self, scheduler, mode):
+        r1, _ = run_two_apps(scheduler, mode)
+        r2, _ = run_two_apps(scheduler, mode)
+        assert _signature(r1) == _signature(r2)
+
+    def test_tenant_trace_is_seeded(self):
+        a = generate_tenants(8, 5.0, seed=7, workloads=("lr", "terasort"))
+        b = generate_tenants(8, 5.0, seed=7, workloads=("lr", "terasort"))
+        c = generate_tenants(8, 5.0, seed=8, workloads=("lr", "terasort"))
+        assert a == b
+        assert a != c
+        assert a[0].arrival_s == 0.0
+        assert a[0].weight == 2.0 and a[1].weight == 1.0
+
+
+class TestPolicyBehaviour:
+    def test_fair_interleaves_where_fifo_serializes(self):
+        # Under contention FIFO drains app a's queue first; FAIR alternates.
+        # Compare how many of app b's tasks launch before app a finishes.
+        def early_b_launches(mode):
+            results, _ = run_two_apps("spark", mode, n_map=20)
+            a, b = results
+            a_done = max(m.finish_time for m in a.task_metrics)
+            return sum(1 for m in b.task_metrics if m.launch_time < a_done)
+
+        assert early_b_launches(FAIR) > early_b_launches(FIFO)
+
+    def test_weighted_app_finishes_sooner_under_fair(self):
+        results, _ = run_two_apps("spark", FAIR, weights=(1.0, 3.0))
+        a, b = results
+        # Same work, same arrival: triple weight must not lose.
+        assert b.finished_at <= a.finished_at
+
+
+class TestTeardown:
+    def test_rupam_queues_empty_after_both_apps_finish(self):
+        results, session = run_two_apps("rupam", FAIR)
+        assert all(not r.aborted for r in results)
+        scheduler = session.scheduler
+        assert isinstance(scheduler, RupamScheduler)
+        q = scheduler.tm.queues
+        assert q.total_pending() == 0
+        assert len(q._index) == 0
+        assert len(q._locked) == 0
+        assert len(q._ts_entries) == 0
+        assert scheduler.tm._stage_tasksets == {}
+
+    def test_invalidate_app_reports_removed_entries(self):
+        results, session = run_two_apps("rupam", FIFO)
+        scheduler = session.scheduler
+        # Everything already drained: nothing left to invalidate.
+        assert scheduler.tm.queues.invalidate_app(results[0].app_id) == 0
+
+
+class TestDecisionTraces:
+    @pytest.mark.parametrize("scheduler", ["spark", "rupam"])
+    def test_launch_decisions_carry_app_ids(self, scheduler):
+        results, session = run_two_apps(scheduler, FAIR, cluster_fn=hetero_cluster)
+        decisions = session.ctx.obs.decisions.decisions
+        apps_seen = {d.app for d in decisions}
+        assert apps_seen == {r.app_id for r in results}
+        assert "" not in apps_seen
+        # Serialized form carries the app for downstream tooling.
+        assert all("app" in d.to_dict() for d in decisions)

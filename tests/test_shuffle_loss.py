@@ -32,11 +32,7 @@ def test_app_completes_after_shuffle_loss(scheduler_cls):
     sim, ctx, driver = setup_driver(scheduler_cls, cluster_fn=cluster_fn)
     app = simple_app(n_map=6, compute=2.0, shuffle_mb=20.0, n_reduce=3)
     map_stage = next(s for s in app.jobs[0].stages if s.is_map)
-    driver._app = app
-    for node in ctx.cluster:
-        driver._launch_executor(node.name)
-    driver._speculation.start()
-    driver._submit_next_job()
+    driver.submit(app)
 
     victim = list(driver.executors.values())[0]
     victim_name = victim.node.name
@@ -67,11 +63,7 @@ def test_shuffle_loss_traced_and_consumers_blocked(monkeypatch):
     sim, ctx, driver = setup_driver()
     app = simple_app(n_map=6, compute=2.0, shuffle_mb=20.0, n_reduce=3)
     map_stage = next(s for s in app.jobs[0].stages if s.is_map)
-    driver._app = app
-    for node in ctx.cluster:
-        driver._launch_executor(node.name)
-    driver._speculation.start()
-    driver._submit_next_job()
+    driver.submit(app)
 
     events = []
 
