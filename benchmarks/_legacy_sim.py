@@ -1,0 +1,336 @@
+"""Frozen pre-rewrite simulation core (engine + fluid resources).
+
+This is a verbatim, self-contained copy of ``repro.simulate.engine`` and
+``repro.simulate.resources`` as they stood *before* the single-deadline /
+refit-coalescing rewrite (PR 5), kept so ``benchmarks/test_sim_core.py`` can
+measure the rewrite against the real historical behavior — the same role
+``benchmarks/_legacy_sched.py`` plays for the PR 2 dispatch-engine rewrite.
+
+Do not "fix" or modernize this module: its value is that it never changes.
+The only additions relative to the historical code are the
+``events_scheduled`` / ``events_cancelled`` counters (pure accounting used
+by the benchmark's event-count comparison; they alter no behavior).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+class LegacySimulationError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    handle: "LegacyEventHandle" = field(compare=False)
+
+
+class LegacyEventHandle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("fn", "args", "cancelled", "fired", "time", "_sim")
+
+    def __init__(
+        self, time: float, fn: Callable[..., Any], args: tuple, sim: "LegacySimulator"
+    ):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self._sim = sim
+
+    def cancel(self) -> None:
+        if not (self.cancelled or self.fired):
+            self._sim._pending -= 1
+            self._sim.events_cancelled += 1
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+
+class LegacySimulator:
+    """The pre-rewrite event loop: per-flow events, no coalescing, no
+    heap compaction (cancelled entries are only dropped lazily on pop)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Entry] = []
+        self._seq = 0
+        self._pending = 0
+        self._running = False
+        self.events_processed = 0
+        self.events_scheduled = 0
+        self.events_cancelled = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> LegacyEventHandle:
+        if math.isnan(time):
+            raise LegacySimulationError("cannot schedule event at NaN time")
+        if time < self._now - 1e-9:
+            raise LegacySimulationError(
+                f"cannot schedule event in the past: {time} < now={self._now}"
+            )
+        time = max(time, self._now)
+        handle = LegacyEventHandle(time, fn, args, self)
+        self._seq += 1
+        self._pending += 1
+        self.events_scheduled += 1
+        heapq.heappush(self._heap, _Entry(time, self._seq, handle))
+        return handle
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> LegacyEventHandle:
+        if delay < 0:
+            raise LegacySimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    def step(self) -> bool:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle.fired = True
+            self._pending -= 1
+            self.events_processed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        if self._running:
+            raise LegacySimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0].time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise LegacySimulationError(
+                        f"exceeded max_events={max_events} (possible livelock)"
+                    )
+        finally:
+            self._running = False
+
+    @property
+    def pending_count(self) -> int:
+        return self._pending
+
+
+_EPS = 1e-12
+_TIME_EPS = 1e-9
+
+
+def _effectively_done(remaining: float, rate: float, now: float) -> bool:
+    if remaining <= _EPS:
+        return True
+    if rate <= _EPS:
+        return False
+    eta = remaining / rate
+    return eta <= max(_TIME_EPS, 8.0 * math.ulp(max(1.0, now)))
+
+
+class LegacyFlowHandle:
+    """One consumer's claim on a :class:`LegacyFluidResource`."""
+
+    __slots__ = (
+        "resource",
+        "remaining",
+        "cap",
+        "rate",
+        "on_complete",
+        "done",
+        "aborted",
+        "started_at",
+        "_event",
+        "weight",
+    )
+
+    def __init__(self, resource, work, cap, on_complete, weight, now):
+        self.resource = resource
+        self.remaining = work
+        self.cap = cap
+        self.rate = 0.0
+        self.on_complete = on_complete
+        self.done = False
+        self.aborted = False
+        self.started_at = now
+        self.weight = weight
+        self._event = None
+
+    @property
+    def active(self) -> bool:
+        return not (self.done or self.aborted)
+
+
+def legacy_waterfill(capacity: float, caps: Iterable[float | None]) -> list[float]:
+    caps = list(caps)
+    n = len(caps)
+    if n == 0:
+        return []
+    rates = [0.0] * n
+    remaining_cap = capacity
+    if all(c is None for c in caps):
+        for idx in range(n):
+            if remaining_cap <= _EPS:
+                break
+            fair = remaining_cap / (n - idx)
+            rates[idx] = fair
+            remaining_cap -= fair
+        return rates
+    order = sorted(range(n), key=lambda i: math.inf if caps[i] is None else caps[i])
+    remaining = n
+    for idx in order:
+        if remaining_cap <= _EPS:
+            break
+        fair = remaining_cap / remaining
+        cap = caps[idx]
+        alloc = fair if cap is None else min(cap, fair)
+        rates[idx] = alloc
+        remaining_cap -= alloc
+        remaining -= 1
+    return rates
+
+
+class LegacyFluidResource:
+    """Pre-rewrite fluid resource: one completion event per active flow,
+    cancelled and re-scheduled for *every* flow on *every* mutation."""
+
+    def __init__(self, sim, capacity, name="resource", rate_scale=None):
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self.rate_scale = rate_scale
+        self.version = 0
+        self._flows: list[LegacyFlowHandle] = []
+        self._last_settle = sim.now
+        self.total_work_done = 0.0
+        self.busy_integral = 0.0
+        self._integral_t0 = sim.now
+
+    def acquire(self, work, cap=None, on_complete=None, weight=1.0):
+        if work < 0:
+            raise ValueError(f"{self.name}: negative work {work}")
+        if cap is not None and cap <= 0:
+            raise ValueError(f"{self.name}: cap must be positive, got {cap}")
+        self._settle()
+        flow = LegacyFlowHandle(self, work, cap, on_complete, weight, self.sim.now)
+        if work <= _EPS:
+            flow.done = True
+            if on_complete is not None:
+                self.sim.after(0.0, on_complete, flow)
+            return flow
+        self._flows.append(flow)
+        self._refit()
+        return flow
+
+    def abort(self, flow) -> None:
+        if not flow.active:
+            return
+        self._settle()
+        flow.aborted = True
+        self._detach(flow)
+        self._refit()
+
+    def current_rate_total(self) -> float:
+        return sum(f.rate for f in self._flows if f.active)
+
+    def utilization(self) -> float:
+        return min(1.0, self.current_rate_total() / self.capacity)
+
+    @property
+    def active_flows(self) -> int:
+        return sum(1 for f in self._flows if f.active)
+
+    def _scale(self) -> float:
+        if self.rate_scale is None:
+            return 1.0
+        s = self.rate_scale()
+        if not (0.0 < s <= 1.0):
+            raise ValueError(f"{self.name}: rate_scale returned {s}, expected (0,1]")
+        return s
+
+    def _settle(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_settle
+        if dt > 0:
+            used = 0.0
+            for f in self._flows:
+                if f.active and f.rate > 0:
+                    step = f.rate * dt
+                    f.remaining = max(0.0, f.remaining - step)
+                    self.total_work_done += step
+                    used += f.rate
+            self.busy_integral += min(1.0, used / self.capacity) * dt
+            self._last_settle = now
+        else:
+            self._last_settle = now
+
+    def _detach(self, flow) -> None:
+        if flow._event is not None:
+            flow._event.cancel()
+            flow._event = None
+        try:
+            self._flows.remove(flow)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def _refit(self) -> None:
+        self.version += 1
+        scale = self._scale()
+        active = [f for f in self._flows if f.active]
+        weighted_caps = []
+        for f in active:
+            weighted_caps.append(None if f.cap is None else f.cap * f.weight)
+        rates = legacy_waterfill(self.capacity, weighted_caps)
+        for f, rate in zip(active, rates):
+            f.rate = rate * scale
+            if f._event is not None:
+                f._event.cancel()
+                f._event = None
+            if f.rate > _EPS:
+                eta = f.remaining / f.rate
+                if _effectively_done(f.remaining, f.rate, self.sim.now):
+                    eta = 0.0
+                f._event = self.sim.after(eta, self._on_flow_deadline, f)
+
+    def _on_flow_deadline(self, flow) -> None:
+        if not flow.active:
+            return
+        self._settle()
+        if not _effectively_done(flow.remaining, flow.rate, self.sim.now):
+            self._refit()
+            return
+        flow.remaining = 0.0
+        flow.done = True
+        flow._event = None
+        try:
+            self._flows.remove(flow)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._refit()
+        if flow.on_complete is not None:
+            flow.on_complete(flow)
+
+    def notify_scale_changed(self) -> None:
+        self._settle()
+        self._refit()

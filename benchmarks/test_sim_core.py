@@ -1,0 +1,196 @@
+"""Simulation-core benchmarks: single-deadline fluid resources vs legacy.
+
+Two suites, mirroring :mod:`benchmarks.test_sched_scale`:
+
+* ``test_fluid_churn_scale`` drives an identical dense-flow churn workload
+  through the rewritten core (``repro.simulate``) and the frozen pre-rewrite
+  copy (:mod:`benchmarks._legacy_sim`): one resource holding N concurrent
+  flows, every completion admitting a successor at the same instant, plus
+  periodic aborts.  The completion sequence — every ``(flow, time)`` pair —
+  must be *bit-identical* between the engines, and the single-deadline core
+  must beat the per-flow-event core on wall clock.
+* ``test_fig5_event_reduction`` replays the fig5 RUPAM parity trials on the
+  rewritten core and compares the total number of scheduled events against
+  the count measured on the pre-rewrite core for the very same trials
+  (frozen in ``benchmarks/golden/sim_core_smoke_baseline.json``).  The
+  event storm must have collapsed by at least 5x.
+
+``RUPAM_BENCH_SCALE=paper`` widens the churn grid to 256 concurrent flows;
+the default smoke tier runs the same harness on smaller grids.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks._legacy_sim import LegacyFluidResource, LegacySimulator
+from benchmarks.conftest import emit
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import FluidResource
+
+_GOLDEN = "benchmarks/golden/sim_core_smoke_baseline.json"
+
+
+class ChurnWorld:
+    """One churn run: N concurrent flows on a single fluid resource.
+
+    The workload keeps the resource saturated — an initial same-instant
+    admission burst, then one successor admitted inside every completion
+    callback (so each completion instant carries at least two mutations,
+    exercising refit coalescing), and every sixth completion also aborts the
+    oldest live flow and backfills it (exercising cancellation traffic and,
+    on the legacy engine, heap tombstone build-up).  Work sizes cycle so
+    completions stay staggered; every third flow carries a rate cap so the
+    general (sorted) waterfill path runs, not just the uncapped fast path.
+    """
+
+    def __init__(self, engine: str, n_flows: int, churn: int):
+        assert engine in ("legacy", "new")
+        if engine == "legacy":
+            self.sim = LegacySimulator()
+            self.res = LegacyFluidResource(self.sim, capacity=100.0, name="bench")
+        else:
+            self.sim = Simulator()
+            self.res = FluidResource(self.sim, capacity=100.0, name="bench")
+        self.n_flows = n_flows
+        self.total = n_flows * churn
+        self.started = 0
+        self.live = []
+        self.signature: list[tuple[int, float]] = []
+
+    def _admit(self) -> None:
+        tag = self.started
+        self.started += 1
+        flow = self.res.acquire(
+            50.0 + (7 * tag) % 23,
+            cap=None if tag % 3 else 4.0,
+            on_complete=lambda f, t=tag: self._done(t, f),
+        )
+        self.live.append(flow)
+
+    def _done(self, tag: int, flow) -> None:
+        self.signature.append((tag, self.sim.now))
+        if flow in self.live:
+            self.live.remove(flow)
+        if tag % 6 == 2 and self.live:
+            victim = self.live.pop(0)
+            self.res.abort(victim)
+            if self.started < self.total:
+                self._admit()
+        if self.started < self.total:
+            self._admit()
+
+    def run(self) -> float:
+        t0 = time.perf_counter()
+        for _ in range(self.n_flows):
+            self._admit()
+        self.sim.run()
+        return time.perf_counter() - t0
+
+
+def _grid(scale: str) -> list[tuple[int, int]]:
+    if scale == "paper":
+        return [(64, 6), (128, 6), (256, 6)]
+    return [(16, 4), (64, 4)]
+
+
+def _measure(engine: str, n_flows: int, churn: int, repeats: int):
+    """Best-of-N wall time plus the (deterministic) run signature/counters."""
+    best, signature, events = float("inf"), None, 0
+    for _ in range(repeats):
+        world = ChurnWorld(engine, n_flows, churn)
+        dt = world.run()
+        if signature is None:
+            signature = world.signature
+            events = world.sim.events_scheduled
+        else:
+            assert world.signature == signature, f"{engine} run is not deterministic"
+        best = min(best, dt)
+    return best, signature, events
+
+
+def test_fluid_churn_scale(bench_scale, bench_artifact):
+    rows = []
+    repeats = 3
+    for n_flows, churn in _grid(bench_scale):
+        legacy_s, legacy_sig, legacy_ev = _measure("legacy", n_flows, churn, repeats)
+        new_s, new_sig, new_ev = _measure("new", n_flows, churn, repeats)
+        # The rewrite's contract: not one completion moves, by a single ulp.
+        assert new_sig == legacy_sig, (
+            f"completion sequence diverged at {n_flows} flows "
+            f"(first mismatch: "
+            f"{next((p for p in zip(legacy_sig, new_sig) if p[0] != p[1]), None)})"
+        )
+        rows.append(
+            {
+                "flows": n_flows,
+                "completions": len(new_sig),
+                "legacy_s": round(legacy_s, 6),
+                "new_s": round(new_s, 6),
+                "speedup": round(legacy_s / new_s, 2),
+                "legacy_events": legacy_ev,
+                "new_events": new_ev,
+                "event_ratio": round(legacy_ev / new_ev, 2),
+            }
+        )
+    bench_artifact.name = "sim_core"
+    bench_artifact.attach({"scale": bench_scale, "grid": rows})
+    lines = ["flows  completions  legacy_s    new_s  speedup  legacy_ev  new_ev"]
+    for r in rows:
+        lines.append(
+            f"{r['flows']:>5}  {r['completions']:>11}  {r['legacy_s']:>8.4f}  "
+            f"{r['new_s']:>7.4f}  {r['speedup']:>6.2f}x  "
+            f"{r['legacy_events']:>9}  {r['new_events']:>6}"
+        )
+    emit("\n".join(lines))
+    # Acceptance: >=2x at >=64 concurrent flows (every grid tier includes a
+    # 64-flow point; the margin is wide — the per-flow core is quadratic in
+    # events, so dense cells typically land far above 2x).
+    for r in rows:
+        if r["flows"] >= 64:
+            assert r["speedup"] >= 2.0, (
+                f"expected >=2x at {r['flows']} flows, got {r['speedup']}x"
+            )
+
+
+def test_fig5_event_reduction(bench_artifact):
+    """The fig5 replay schedules >=5x fewer events than the old core did."""
+    import repro.simulate.engine as engine_mod
+    from repro.experiments.parity import capture_fig5_signature
+
+    baseline = json.load(open(_GOLDEN))
+    legacy_events = baseline["fig5"]["events_scheduled_legacy"]
+
+    sims: list[Simulator] = []
+    orig_init = engine_mod.Simulator.__init__
+
+    def patched_init(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        sims.append(self)
+
+    engine_mod.Simulator.__init__ = patched_init
+    try:
+        fresh = capture_fig5_signature(scale=str(baseline["fig5"]["scale"]))
+    finally:
+        engine_mod.Simulator.__init__ = orig_init
+
+    runs = sum(len(trials) for trials in fresh["workloads"].values())
+    new_events = sum(s.events_scheduled for s in sims)
+    ratio = legacy_events / new_events
+    bench_artifact.name = "sim_core_events"
+    bench_artifact.attach(
+        {
+            "fig5_runs": runs,
+            "events_scheduled_legacy": legacy_events,
+            "events_scheduled_new": new_events,
+            "reduction": round(ratio, 2),
+        }
+    )
+    emit(
+        f"fig5 events scheduled: {legacy_events} (legacy) -> {new_events} "
+        f"(single-deadline) = {ratio:.2f}x reduction over {runs} runs"
+    )
+    assert ratio >= 5.0, (
+        f"expected >=5x fewer scheduled events on fig5, got {ratio:.2f}x"
+    )

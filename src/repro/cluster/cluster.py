@@ -45,6 +45,11 @@ class Cluster:
     def node(self, name: str) -> Node:
         return self._by_name[name]
 
+    def fluid_resources(self) -> "Iterator":
+        """Every rate-type resource in the cluster (for counter sweeps)."""
+        for n in self.nodes:
+            yield from n.fluid_resources()
+
     def has_node(self, name: str) -> bool:
         return name in self._by_name
 

@@ -8,7 +8,7 @@ co-located tasks emerges from the max-min fair sharing in
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.cluster.hardware import NodeSpec
 from repro.simulate.engine import Simulator
@@ -129,6 +129,14 @@ class Node:
         )
 
     # -- monitoring snapshot ---------------------------------------------------
+
+    def fluid_resources(self) -> "Iterator[FluidResource]":
+        """All the node's rate-type resources (cpu/net/disk, gpu if fitted)."""
+        yield self.cpu
+        yield self.net
+        yield self.disk
+        if self.gpu is not None:
+            yield self.gpu
 
     def gpus_idle(self) -> int:
         """Number of GPUs with no active flow (approximated by load)."""

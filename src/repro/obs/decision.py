@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -255,6 +255,7 @@ class Observability:
         self.sample_interval_s = sample_interval_s
         self._last_queue_sample = -math.inf
         self._last_util_sample = -math.inf
+        self._sim_counter_base: dict[str, int] = {}
 
     def merge_run(self, other: "Observability") -> None:
         """Fold a finished run's observability bundle into this one.
@@ -274,6 +275,36 @@ class Observability:
             self.decisions.reason_counts[reason] = (
                 self.decisions.reason_counts.get(reason, 0) + count
             )
+
+    def record_sim_counters(self, sim, resources: "Iterable[Any]" = ()) -> None:
+        """Fold the simulation core's counters into the metrics registry.
+
+        ``sim`` is the :class:`~repro.simulate.engine.Simulator`;
+        ``resources`` is any iterable of
+        :class:`~repro.simulate.resources.FluidResource`.  Deltas since the
+        previous call are added, so the driver can flush at every quiesce
+        point (e.g. whenever the cluster goes idle) without double-counting.
+        """
+        if not self.enabled:
+            return
+        values = {
+            "sim.events_scheduled": sim.events_scheduled,
+            "sim.events_cancelled": sim.events_cancelled,
+            "sim.events_fired": sim.events_processed,
+            "sim.heap_compactions": sim.heap_compactions,
+        }
+        refits = refits_coalesced = 0
+        for r in resources:
+            refits += r.refits
+            refits_coalesced += r.refits_coalesced
+        values["fluid.refits"] = refits
+        values["fluid.refits_coalesced"] = refits_coalesced
+        base = self._sim_counter_base
+        for name, value in values.items():
+            delta = value - base.get(name, 0)
+            if delta or name not in self.metrics.counters:
+                self.metrics.inc(name, delta)
+            base[name] = value
 
     def sample_queue_depths(
         self, now: float, depths: "dict[str, int] | Callable[[], dict[str, int]]"

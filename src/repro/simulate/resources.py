@@ -3,10 +3,24 @@
 A :class:`FluidResource` models a capacity (GHz of CPU, MB/s of NIC or disk
 bandwidth, ...) divided among concurrent consumers by *max-min fairness with
 per-consumer caps* (progressive water-filling).  Whenever the consumer set
-changes, remaining work is settled at the old rates and completion events are
-re-projected; this is the standard fluid approximation used by cluster
+changes, remaining work is settled at the old rates and completion deadlines
+are re-projected; this is the standard fluid approximation used by cluster
 simulators and keeps the event count proportional to the number of phase
 transitions rather than to time.
+
+Two design rules keep the event-loop traffic low (DESIGN.md §12):
+
+* **One deadline event per resource** — flows do not own completion events.
+  Each resource projects every active flow's ETA (``remaining / rate``) and
+  schedules a single sentinel event at the earliest one; on any change only
+  that one event moves, so a refit costs O(1) heap operations instead of
+  O(active flows).
+* **Same-instant refit coalescing** — mutations (acquire / abort / scale
+  change) at one simulated instant mark the resource dirty and defer a
+  single settle+refit to the engine's end-of-instant flush
+  (:meth:`~repro.simulate.engine.Simulator.defer`).  Rates are always
+  flushed before they are read and before the clock advances, so results
+  are bit-identical to refitting at every mutation.
 
 :class:`MemoryPool` is the space (not rate) counterpart used for executor
 heaps and node RAM.
@@ -42,6 +56,7 @@ class FlowHandle:
 
     __slots__ = (
         "resource",
+        "work",
         "remaining",
         "cap",
         "rate",
@@ -49,7 +64,6 @@ class FlowHandle:
         "done",
         "aborted",
         "started_at",
-        "_event",
         "weight",
     )
 
@@ -63,6 +77,7 @@ class FlowHandle:
         now: float,
     ):
         self.resource = resource
+        self.work = work
         self.remaining = work
         self.cap = cap
         self.rate = 0.0
@@ -71,7 +86,6 @@ class FlowHandle:
         self.aborted = False
         self.started_at = now
         self.weight = weight
-        self._event: EventHandle | None = None
 
     @property
     def active(self) -> bool:
@@ -124,16 +138,58 @@ def waterfill(capacity: float, caps: Iterable[float | None]) -> list[float]:
     return rates
 
 
+def waterfill_weighted(
+    capacity: float,
+    caps: Iterable[float | None],
+    weights: Iterable[float],
+) -> list[float]:
+    """Weighted max-min fair allocation (progressive filling).
+
+    Each consumer's fair share is proportional to its weight; a consumer
+    whose cap binds below that share frees the surplus for the others
+    (visited in increasing cap-per-unit-weight order, so saturated consumers
+    are settled before the unconstrained ones divide what is left).  With
+    every weight equal to 1.0 this degenerates to :func:`waterfill`.
+    """
+    caps = list(caps)
+    weights = list(weights)
+    if len(caps) != len(weights):
+        raise ValueError("caps and weights must have equal length")
+    n = len(caps)
+    if n == 0:
+        return []
+    for w in weights:
+        if w <= 0:
+            raise ValueError(f"weights must be positive, got {w}")
+    rates = [0.0] * n
+    remaining_cap = capacity
+    remaining_w = sum(weights)
+    order = sorted(
+        range(n),
+        key=lambda i: math.inf if caps[i] is None else caps[i] / weights[i],
+    )
+    for idx in order:
+        if remaining_cap <= _EPS:
+            break
+        fair = remaining_cap * weights[idx] / remaining_w
+        cap = caps[idx]
+        alloc = fair if cap is None else min(cap, fair)
+        rates[idx] = alloc
+        remaining_cap -= alloc
+        remaining_w -= weights[idx]
+    return rates
+
+
 class FluidResource:
     """A shared, rate-divisible resource attached to a simulator.
 
     Args:
-        sim: the owning simulator (used to project completion events).
+        sim: the owning simulator (used to project the completion deadline).
         capacity: total service rate (units of work per simulated second).
         name: used in traces and error messages.
         rate_scale: callable returning a multiplier in (0, 1] applied to all
             consumer rates — used to model e.g. GC drag on compute.  It is
-            re-read at every settle point.
+            re-read at every refit.
     """
 
     def __init__(
@@ -149,9 +205,11 @@ class FluidResource:
         self.capacity = float(capacity)
         self.name = name
         self.rate_scale = rate_scale
-        # Monotonic change counter: bumped whenever the flow set or granted
-        # rates change (every mutation funnels through _refit).  Observers
-        # (ResourceMonitor) compare versions to skip re-reading idle resources.
+        # Monotonic change counter: bumped on every mutation of the flow set
+        # or its rate inputs (acquire/abort/completion/scale change), even
+        # while the matching refit is still deferred.  Observers
+        # (ResourceMonitor) compare versions to skip re-reading idle
+        # resources, so the version must move with the *logical* state.
         self.version = 0
         self._flows: list[FlowHandle] = []
         self._last_settle = sim.now
@@ -159,6 +217,16 @@ class FluidResource:
         # Integral of (allocated rate / capacity) dt, for average utilization.
         self.busy_integral = 0.0
         self._integral_t0 = sim.now
+        # Single-deadline machinery: the one sentinel event, the flow it was
+        # projected for, the deferred-refit flag, and the incrementally
+        # maintained sum of granted rates (utilization polls are O(1)).
+        self._event: EventHandle | None = None
+        self._due: FlowHandle | None = None
+        self._dirty = False
+        self._rate_total = 0.0
+        # Refit accounting, exported as fluid.refits / fluid.refits_coalesced.
+        self.refits = 0
+        self.refits_coalesced = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -174,6 +242,8 @@ class FluidResource:
             raise ValueError(f"{self.name}: negative work {work}")
         if cap is not None and cap <= 0:
             raise ValueError(f"{self.name}: cap must be positive, got {cap}")
+        if weight <= 0:
+            raise ValueError(f"{self.name}: weight must be positive, got {weight}")
         self._settle()
         flow = FlowHandle(self, work, cap, on_complete, weight, self.sim.now)
         if work <= _EPS:
@@ -184,7 +254,7 @@ class FluidResource:
                 self.sim.after(0.0, on_complete, flow)
             return flow
         self._flows.append(flow)
-        self._refit()
+        self._mutated()
         return flow
 
     def abort(self, flow: FlowHandle) -> None:
@@ -194,11 +264,15 @@ class FluidResource:
         self._settle()
         flow.aborted = True
         self._detach(flow)
-        self._refit()
+        self._mutated()
 
     def current_rate_total(self) -> float:
-        """Sum of rates currently granted (work units per second)."""
-        return sum(f.rate for f in self._flows if f.active)
+        """Sum of rates currently granted (work units per second).  O(1).
+
+        Always exact, even mid-instant: mutations recompute rates eagerly
+        and defer only the deadline re-key, so there is nothing to flush.
+        """
+        return self._rate_total
 
     def utilization(self) -> float:
         """Instantaneous fraction of capacity in use, in [0, 1]."""
@@ -217,9 +291,15 @@ class FluidResource:
         return sum(1 for f in self._flows if f.active)
 
     def progress(self, flow: FlowHandle) -> float:
-        """Work units completed so far for ``flow`` (settles first)."""
+        """Work units completed so far for ``flow`` (settles first).
+
+        A finished flow reports its full work; an aborted flow reports what
+        it had completed when it was cancelled.
+        """
         self._settle()
-        return max(0.0, flow.remaining)
+        if flow.done:
+            return flow.work
+        return max(0.0, flow.work - flow.remaining)
 
     # -- internals ----------------------------------------------------------
 
@@ -236,14 +316,15 @@ class FluidResource:
         now = self.sim.now
         dt = now - self._last_settle
         if dt > 0:
-            used = 0.0
+            # The clock never advances past a dirty instant (the engine runs
+            # the deferred flush first), so the rates — and their
+            # incrementally maintained sum — are final for the elapsed span.
             for f in self._flows:
                 if f.active and f.rate > 0:
                     step = f.rate * dt
                     f.remaining = max(0.0, f.remaining - step)
                     self.total_work_done += step
-                    used += f.rate
-            self.busy_integral += min(1.0, used / self.capacity) * dt
+            self.busy_integral += min(1.0, self._rate_total / self.capacity) * dt
             self._last_settle = now
         elif dt < -1e-9:  # pragma: no cover - engine guarantees monotonic time
             raise RuntimeError(f"{self.name}: time went backwards")
@@ -251,58 +332,167 @@ class FluidResource:
             self._last_settle = now
 
     def _detach(self, flow: FlowHandle) -> None:
-        if flow._event is not None:
-            flow._event.cancel()
-            flow._event = None
+        if flow is self._due:
+            self._due = None
         try:
             self._flows.remove(flow)
         except ValueError:  # pragma: no cover - defensive
             pass
 
-    def _refit(self) -> None:
-        """Recompute fair rates and re-project every flow's completion event."""
+    def _mutated(self) -> None:
+        """Record a flow-set/rate-input change.
+
+        Rates are recomputed *immediately* (same waterfill arithmetic, at
+        the same points, as the historical refit-per-mutation engine — so
+        every same-instant reader sees bit-identical values), but the
+        deadline re-key — the O(heap) part — is deferred to one
+        end-of-instant flush per (resource, instant).  The exception: when
+        a completion is already due at the current instant, the historical
+        engine's callback interleaving depends on re-keying immediately, so
+        coalescing is skipped for that mutation.
+        """
         self.version += 1
+        if self._event is not None and self._event.time <= self.sim.now:
+            self._refit()
+            return
+        self._after_change()
+
+    def _after_change(self) -> None:
+        """Recompute rates, then re-key now or at instant end.
+
+        A flow that is (newly) due at the current instant forces an
+        immediate re-key: its completion must fire with a freshly sequenced
+        event, exactly where the per-flow engine would have re-scheduled it,
+        ahead of anything later callbacks queue at this instant.
+        """
+        self._recompute_rates()
+        if self._any_due_now():
+            self._rekey()
+            return
+        if self._dirty:
+            self.refits_coalesced += 1
+            return
+        self._dirty = True
+        self.sim.defer(self._flush)
+
+    def _any_due_now(self) -> bool:
+        now = self.sim.now
+        for f in self._flows:
+            if f.active and f.rate > _EPS and _effectively_done(f.remaining, f.rate, now):
+                return True
+        return False
+
+    def _flush(self) -> None:
+        # Rates are already current (recomputed at each mutation); only the
+        # deadline needs re-keying.  The engine runs this before the clock
+        # advances, so dt since the last mutation is zero.
+        if self._dirty:
+            self._rekey()
+
+    def _recompute_rates(self) -> None:
+        """Re-run the waterfill and refresh every flow's granted rate."""
         scale = self._scale()
         active = [f for f in self._flows if f.active]
-        weighted_caps = []
-        for f in active:
-            weighted_caps.append(None if f.cap is None else f.cap * f.weight)
-        rates = waterfill(self.capacity, weighted_caps)
+        if any(f.weight != 1.0 for f in active):
+            rates = waterfill_weighted(
+                self.capacity,
+                [f.cap for f in active],
+                [f.weight for f in active],
+            )
+        else:
+            # weight == 1.0 everywhere: cap * weight is bit-identical to cap,
+            # and the unweighted fill keeps its all-uncapped fast path.
+            weighted_caps = [
+                None if f.cap is None else f.cap * f.weight for f in active
+            ]
+            rates = waterfill(self.capacity, weighted_caps)
+        total = 0.0
         for f, rate in zip(active, rates):
             f.rate = rate * scale
-            if f._event is not None:
-                f._event.cancel()
-                f._event = None
-            if f.rate > _EPS:
-                eta = f.remaining / f.rate
-                if _effectively_done(f.remaining, f.rate, self.sim.now):
-                    eta = 0.0
-                f._event = self.sim.after(eta, self._on_flow_deadline, f)
-            # A starved flow (rate 0) simply waits for the next refit.
+            total += f.rate
+        self._rate_total = total
 
-    def _on_flow_deadline(self, flow: FlowHandle) -> None:
-        if not flow.active:
+    def _rekey(self) -> None:
+        """Move the resource's single deadline event to the earliest ETA."""
+        self._dirty = False
+        self.refits += 1
+        now = self.sim.now
+        best: FlowHandle | None = None
+        best_time = math.inf
+        for f in self._flows:
+            if f.active and f.rate > _EPS:
+                eta = f.remaining / f.rate
+                if _effectively_done(f.remaining, f.rate, now):
+                    eta = 0.0
+                # Projected absolute deadline, same float the per-flow engine
+                # passed to the event queue.  Strict < keeps the earliest
+                # flow in list order on ties — the order completions fired in
+                # when every flow re-keyed its own event on each refit.
+                t = now + eta
+                if t < best_time:
+                    best_time = t
+                    best = f
+            # A starved flow (rate 0) simply waits for the next refit.
+        self._due = best
+        if (
+            best is not None
+            and best_time > now
+            and self._event is not None
+            and self._event.pending
+            and self._event.time == best_time
+        ):
+            # The earliest deadline did not move: keep the existing sentinel.
+            # Only allowed for strictly-future deadlines — a due-now sentinel
+            # must be re-sequenced so the completion interleaves with other
+            # current-instant events exactly as the per-flow engine's fresh
+            # re-schedule did.
+            return
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if best is not None:
+            self._event = self.sim.at(best_time, self._on_deadline)
+
+    def _refit(self) -> None:
+        """Recompute fair rates and re-key the resource's single deadline."""
+        self._recompute_rates()
+        self._rekey()
+
+    def _on_deadline(self) -> None:
+        self._event = None
+        if self._dirty:  # pragma: no cover - flushes precede clock advances
+            self._settle()
+            self._refit()
+            return
+        flow = self._due
+        self._due = None
+        if flow is None or not flow.active:  # pragma: no cover - defensive
             return
         self._settle()
         if not _effectively_done(flow.remaining, flow.rate, self.sim.now):
             # Rates changed since projection; re-project.
+            self.version += 1
             self._refit()
             return
         flow.remaining = 0.0
         flow.done = True
-        flow._event = None
         try:
             self._flows.remove(flow)
         except ValueError:  # pragma: no cover - defensive
             pass
-        self._refit()
+        self.version += 1
+        # Another flow due at this same instant gets a fresh sentinel right
+        # here (before on_complete's side effects), matching the per-flow
+        # engine's re-schedule; otherwise the re-key coalesces into the
+        # instant's flush.
+        self._after_change()
         if flow.on_complete is not None:
             flow.on_complete(flow)
 
     def notify_scale_changed(self) -> None:
         """Re-fit rates after an external change to ``rate_scale`` inputs."""
         self._settle()
-        self._refit()
+        self._mutated()
 
 
 class MemoryPool:

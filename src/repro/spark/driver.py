@@ -318,6 +318,12 @@ class Driver:
                 self.monitor.sample_now()
             self.monitor.stop()
         self._services_running = False
+        # Quiesce point: fold the simulation core's counters into the run's
+        # metrics (delta-tracked, so repeated idle/wake cycles don't double
+        # count).
+        self.ctx.obs.record_sim_counters(
+            self.ctx.sim, self.ctx.cluster.fluid_resources()
+        )
 
     def _finish_app(self, handle: AppHandle) -> None:
         handle.done = True
@@ -425,6 +431,9 @@ class Driver:
                     reopened += 1
             if reopened == 0:
                 continue
+            # Reopening can re-arm the stage for speculation (its
+            # finished_count moved); wake the parked loop.
+            self._speculation.notify_progress()
             self.ctx.trace.record(
                 self.ctx.now,
                 "shuffle_lost",
@@ -522,6 +531,9 @@ class Driver:
             if handle is not None:
                 self._abort(handle)
             return
+        # A finish can cross a taskset's speculation quantile; wake the
+        # parked loop before any dispatch side effects.
+        self._speculation.notify_progress()
         # Scheduler bookkeeping (slot/kind accounting, metric recording) must
         # see this task as finished *before* stage completion can submit new
         # stages and trigger a dispatch round.

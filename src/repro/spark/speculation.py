@@ -5,6 +5,15 @@ each tick asks every active taskset (across all live applications) to refresh
 its speculatable set (75% quantile, 1.5x median by default) and revives
 offers when anything was marked.  The loop stops when the cluster goes idle
 and restarts when a new application arrives.
+
+While no taskset has reached the speculation quantile a tick is a provable
+no-op (``refresh_speculatable`` short-circuits before it looks at task ages),
+and the quantile can only be crossed when a task finishes — so the loop
+*parks* instead of scheduling those ticks and is woken from the task-end path
+(:meth:`SpeculationLoop.notify_progress`).  The virtual tick grid keeps
+accumulating ``t += interval`` with the exact floats the event chain would
+have produced, so the ticks that *can* mark fire at bit-identical times and
+simulation results are unchanged (DESIGN.md §12).
 """
 
 from __future__ import annotations
@@ -32,7 +41,12 @@ class SpeculationLoop:
         self.on_marked = on_marked
         self._stopped = True
         self._next: EventHandle | None = None
+        # While parked: the simulated time the next (virtual) tick would
+        # fire.  None whenever a real tick event is scheduled or the loop is
+        # stopped.
+        self._parked_next: float | None = None
         self.total_marked = 0
+        self.ticks_parked = 0
 
     def start(self) -> None:
         if not self.ctx.conf.speculation:
@@ -40,6 +54,7 @@ class SpeculationLoop:
         if not self._stopped:
             return  # already ticking
         self._stopped = False
+        self._parked_next = None
         self._tick()
 
     def stop(self) -> None:
@@ -47,6 +62,10 @@ class SpeculationLoop:
         if self._next is not None and self._next.pending:
             self._next.cancel()
         self._next = None
+        self._parked_next = None
+
+    def _armed(self) -> bool:
+        return any(ts.speculation_armed() for ts in self.active_tasksets())
 
     def _tick(self) -> None:
         if self._stopped:
@@ -58,6 +77,34 @@ class SpeculationLoop:
             self.total_marked += marked
             self.ctx.trace.record(self.ctx.now, "speculation_marked", count=marked)
             self.on_marked()
-        self._next = self.ctx.sim.after(
-            self.ctx.conf.speculation_interval_s, self._tick
-        )
+        # Accumulate the grid exactly as chained after(interval) calls would:
+        # each tick time is the previous tick time plus the interval.
+        nxt = self.ctx.now + self.ctx.conf.speculation_interval_s
+        if self._armed():
+            self._next = self.ctx.sim.at(nxt, self._tick)
+        else:
+            # Every tick until the next quantile crossing would be a no-op;
+            # park and let notify_progress() re-enter the grid.
+            self._next = None
+            self._parked_next = nxt
+
+    def notify_progress(self) -> None:
+        """Wake a parked loop after taskset progress counters moved.
+
+        Called whenever ``finished_count`` changes (task finish, or a reopen
+        after shuffle loss) — the only transitions that can arm a taskset.
+        Virtual ticks that would already have fired are skipped (each was a
+        no-op: the quantile was uncrossed when it would have run) while the
+        accumulated grid float is preserved, so the first real tick lands
+        exactly where the unparked chain would have put it.
+        """
+        if self._stopped or self._parked_next is None:
+            return
+        now = self.ctx.now
+        interval = self.ctx.conf.speculation_interval_s
+        while self._parked_next <= now:
+            self._parked_next += interval
+            self.ticks_parked += 1
+        if self._armed():
+            self._next = self.ctx.sim.at(self._parked_next, self._tick)
+            self._parked_next = None

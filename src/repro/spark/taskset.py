@@ -240,6 +240,21 @@ class TaskSetManager:
 
     # -- speculation -------------------------------------------------------------------
 
+    def speculation_armed(self) -> bool:
+        """True once :meth:`refresh_speculatable`'s quantile gate is open.
+
+        Until then every speculation tick is a no-op for this taskset, and
+        only a ``finished_count`` change can open the gate — which is what
+        lets the speculation loop park between crossings.  Must mirror the
+        short-circuits in :meth:`refresh_speculatable` exactly.
+        """
+        conf = self.ctx.conf
+        if not conf.speculation or self.complete:
+            return False
+        if self.finished_count < conf.speculation_quantile * self.num_tasks:
+            return False
+        return bool(self._durations)
+
     def refresh_speculatable(self, now: float) -> int:
         """Stock Spark's check: after the quantile of tasks finished, mark
         running tasks slower than multiplier x median as speculatable."""

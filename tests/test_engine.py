@@ -165,3 +165,172 @@ def test_pending_count_zero_after_cancelling_everything(sim):
     assert sim.pending_count == 0
     sim.run()
     assert sim.pending_count == 0
+
+
+def test_run_until_lands_clock_on_bound_between_events(sim):
+    """With live events straddling the bound, the clock parks exactly on it."""
+    fired = []
+    sim.at(1.0, fired.append, "a")
+    sim.at(5.0, fired.append, "b")
+    sim.run(until=3.0)
+    assert fired == ["a"]
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 5.0
+
+
+def test_run_until_ignores_cancelled_tombstones_at_bound(sim):
+    """A cancelled event past the bound neither runs nor advances the clock,
+    and tombstones before a live post-bound event can't smuggle it through."""
+    fired = []
+    h1 = sim.at(4.0, fired.append, "dead")
+    sim.at(6.0, fired.append, "live")
+    h1.cancel()
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+
+
+def test_run_until_with_only_tombstones_left(sim):
+    fired = []
+    sim.at(1.0, fired.append, "a")
+    h = sim.at(9.0, fired.append, "dead")
+    h.cancel()
+    sim.run(until=5.0)
+    # Queue is effectively drained: nothing live exists beyond the bound, so
+    # the clock stays at the last fired event rather than jumping to until.
+    assert fired == ["a"]
+    assert sim.now == 1.0
+
+
+def test_peek_time_physically_prunes_tombstones(sim):
+    for i in range(5):
+        sim.at(1.0 + i, lambda: None).cancel()
+    live = sim.at(10.0, lambda: None)
+    assert sim.peek_time() == 10.0
+    # Lazy deletion is real: the cancelled heads are gone from the heap.
+    assert len(sim._heap) == 1
+    assert sim._heap[0].handle is live
+
+
+def test_peek_time_none_when_drained(sim):
+    assert sim.peek_time() is None
+    sim.at(1.0, lambda: None)
+    sim.run()
+    assert sim.peek_time() is None
+
+
+def test_max_events_counts_only_fired_events(sim):
+    """Cancelled tombstones don't count against the livelock guard."""
+    for i in range(20):
+        sim.at(float(i), lambda: None).cancel()
+    for i in range(5):
+        sim.at(float(i), lambda: None)
+    sim.run(max_events=6)  # 5 live events fit under the guard
+    assert sim.events_processed == 5
+
+
+def test_defer_runs_after_current_instant_fifo(sim):
+    order = []
+
+    def first():
+        sim.defer(lambda: order.append("flush-a"))
+        sim.defer(lambda: order.append("flush-b"))
+        order.append("first")
+
+    sim.at(1.0, first)
+    sim.at(1.0, order.append, "second")
+    sim.at(2.0, order.append, "next-instant")
+    sim.run()
+    # Flushes run after every event at t=1.0, in registration order, before
+    # the clock moves to 2.0.
+    assert order == ["first", "second", "flush-a", "flush-b", "next-instant"]
+
+
+def test_defer_runs_before_until_break(sim):
+    order = []
+    sim.at(1.0, lambda: sim.defer(lambda: order.append((sim.now, "flush"))))
+    sim.at(9.0, order.append, "late")
+    sim.run(until=4.0)
+    assert order == [(1.0, "flush")]
+    assert sim.now == 4.0
+
+
+def test_defer_runs_before_drain_report(sim):
+    order = []
+    sim.at(1.0, lambda: sim.defer(lambda: order.append("flush")))
+    sim.run()
+    assert order == ["flush"]
+
+
+def test_defer_may_schedule_new_events(sim):
+    order = []
+
+    def flush():
+        order.append("flush")
+        sim.at(1.0, order.append, "same-instant")  # fires after the flush
+        sim.at(2.0, order.append, "later")
+
+    sim.at(1.0, lambda: sim.defer(flush))
+    sim.run()
+    assert order == ["flush", "same-instant", "later"]
+
+
+def test_deferred_flush_may_defer_again(sim):
+    order = []
+
+    def inner():
+        order.append("inner")
+
+    def outer():
+        order.append("outer")
+        sim.defer(inner)
+
+    sim.at(1.0, lambda: sim.defer(outer))
+    sim.run()
+    assert order == ["outer", "inner"]
+
+
+def test_heap_compaction_triggers_and_preserves_order(sim):
+    """Cancelling more than half the heap (past the floor) rebuilds it; the
+    surviving events still fire in exact (time, seq) order."""
+    import random
+
+    rng = random.Random(7)
+    fired = []
+    handles = []
+    for i in range(200):
+        t = float(rng.randrange(1, 50))
+        handles.append(sim.at(t, fired.append, (t, i)))
+    doomed = rng.sample(handles, 150)
+    for h in doomed:
+        h.cancel()
+    assert sim.heap_compactions >= 1
+    assert len(sim._heap) < 200
+    assert sim.pending_count == sim._scan_pending() == 50
+    sim.run()
+    expected = sorted(
+        ((h.time, i) for i, h in enumerate(handles) if h not in doomed),
+        key=lambda p: (p[0], p[1]),
+    )
+    assert fired == expected
+
+
+def test_heap_compaction_needs_min_dead_floor(sim):
+    """A trickle of cancellations below the floor never compacts."""
+    for i in range(20):
+        sim.at(float(i + 1), lambda: None).cancel()
+    sim.at(100.0, lambda: None)
+    assert sim.heap_compactions == 0
+
+
+def test_scheduled_and_cancelled_counters(sim):
+    hs = [sim.at(float(i + 1), lambda: None) for i in range(10)]
+    for h in hs[:4]:
+        h.cancel()
+    hs[0].cancel()  # double-cancel must not double-count
+    sim.run()
+    assert sim.events_scheduled == 10
+    assert sim.events_cancelled == 4
+    assert sim.events_processed == 6

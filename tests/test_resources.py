@@ -284,3 +284,197 @@ class TestMemoryPool:
             pool.reserve(-1.0)
         with pytest.raises(ValueError):
             pool.release(-1.0)
+
+
+class TestProgress:
+    def test_progress_reports_work_completed(self):
+        """Regression: progress() is work *done*, not work remaining."""
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        flow = res.acquire(20.0)
+        sim.at(1.0, lambda: None)
+        sim.run(until=1.0)
+        # 10 units/s for 1s of a 20-unit flow.
+        assert res.progress(flow) == pytest.approx(10.0)
+        assert flow.work == 20.0
+
+    def test_progress_of_finished_flow_is_full_work(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        flow = res.acquire(20.0)
+        sim.run()
+        assert res.progress(flow) == 20.0
+
+    def test_progress_of_aborted_flow_keeps_completed_work(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        flow = res.acquire(20.0)
+        sim.at(0.5, lambda: res.abort(flow))
+        sim.run()
+        assert res.progress(flow) == pytest.approx(5.0)
+
+    def test_progress_settles_mid_instant(self):
+        """progress() must account for time elapsed since the last event."""
+        sim = Simulator()
+        res = FluidResource(sim, capacity=4.0)
+        flow = res.acquire(8.0)
+        seen = []
+        sim.at(1.0, lambda: seen.append(res.progress(flow)))
+        sim.run(until=1.0)
+        assert seen == [pytest.approx(4.0)]
+
+    def test_zero_work_flow_progress(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        flow = res.acquire(0.0)
+        assert res.progress(flow) == 0.0
+
+
+class TestWeightedWaterfill:
+    def test_uncapped_weights_split_proportionally(self):
+        """An uncapped flow's weight now matters (it used to be ignored)."""
+        sim = Simulator()
+        res = FluidResource(sim, capacity=3.0)
+        done = {}
+        res.acquire(4.0, weight=2.0, on_complete=lambda f: done.setdefault("heavy", sim.now))
+        res.acquire(4.0, weight=1.0, on_complete=lambda f: done.setdefault("light", sim.now))
+        sim.run()
+        # heavy runs at 2/s -> 4 units in 2s; light at 1/s, then alone at
+        # 3/s: 2 units by t=2, remaining 2 at 3/s -> t = 2 + 2/3.
+        assert done["heavy"] == pytest.approx(2.0)
+        assert done["light"] == pytest.approx(2.0 + 2.0 / 3.0)
+
+    def test_capped_consumer_frees_surplus_for_weighted_rest(self):
+        from repro.simulate.resources import waterfill_weighted
+
+        # cap 1 binds below its 4.5 fair share; the freed capacity splits
+        # 2:1 between the uncapped consumers.
+        rates = waterfill_weighted(10.0, [1.0, None, None], [3.0, 2.0, 1.0])
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[1] == pytest.approx(6.0)
+        assert rates[2] == pytest.approx(3.0)
+
+    def test_all_weights_one_matches_unweighted(self):
+        from repro.simulate.resources import waterfill_weighted
+
+        caps = [2.0, None, 5.0, None]
+        assert waterfill_weighted(12.0, caps, [1.0] * 4) == waterfill(12.0, caps)
+
+    def test_weighted_capped_flow_end_to_end(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        done = {}
+        # cap * weight no longer double-counts: the cap is absolute.
+        res.acquire(4.0, cap=2.0, weight=5.0, on_complete=lambda f: done.setdefault("capped", sim.now))
+        res.acquire(8.0, weight=1.0, on_complete=lambda f: done.setdefault("free", sim.now))
+        sim.run()
+        # capped runs at min(2, fair) = 2 -> finishes at 2.0; free gets the
+        # rest (8/s) -> finishes at 1.0.
+        assert done["capped"] == pytest.approx(2.0)
+        assert done["free"] == pytest.approx(1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        with pytest.raises(ValueError, match="weight"):
+            res.acquire(1.0, weight=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            res.acquire(1.0, weight=-2.0)
+
+    def test_waterfill_weighted_validates_inputs(self):
+        from repro.simulate.resources import waterfill_weighted
+
+        with pytest.raises(ValueError, match="positive"):
+            waterfill_weighted(10.0, [None, None], [1.0, 0.0])
+        with pytest.raises(ValueError, match="equal length"):
+            waterfill_weighted(10.0, [None], [1.0, 1.0])
+        assert waterfill_weighted(10.0, [], []) == []
+
+
+class TestRefitCoalescing:
+    def test_same_instant_acquires_coalesce(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=12.0)
+        done = []
+
+        def burst():
+            for _ in range(4):
+                res.acquire(3.0, on_complete=lambda f: done.append(sim.now))
+
+        sim.at(1.0, burst)
+        sim.run()
+        # One deferred re-key served all four acquires.
+        assert res.refits_coalesced >= 3
+        assert done == [pytest.approx(2.0)] * 4
+
+    def test_rates_are_exact_between_coalesced_mutations(self):
+        """Same-instant readers see post-waterfill rates immediately."""
+        sim = Simulator()
+        res = FluidResource(sim, capacity=12.0)
+        seen = []
+
+        def burst():
+            res.acquire(3.0)
+            seen.append(res.current_rate_total())
+            res.acquire(3.0)
+            seen.append(res.current_rate_total())
+
+        sim.at(1.0, burst)
+        sim.run(until=1.0)
+        assert seen == [pytest.approx(12.0), pytest.approx(12.0)]
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_single_deadline_event_per_resource(self):
+        """However many flows are active, the resource keeps at most one
+        pending completion event."""
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        done = []
+
+        def burst():
+            for i in range(8):
+                res.acquire(float(i + 1), on_complete=lambda f: done.append(sim.now))
+
+        sim.at(1.0, burst)
+        sim.run(until=1.0)
+        sim.peek_time()  # force the end-of-instant flush
+        assert sim.pending_count == 1
+        sim.run()
+        assert len(done) == 8
+
+    def test_version_moves_per_mutation(self):
+        """Observers rely on version bumping at every mutation, even while
+        the refit itself is coalesced."""
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        versions = []
+
+        def burst():
+            for _ in range(3):
+                res.acquire(5.0)
+                versions.append(res.version)
+
+        sim.at(1.0, burst)
+        sim.run(until=1.0)
+        assert versions == [1, 2, 3]
+
+    def test_abort_midway_rebalances(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        done = {}
+        fa = res.acquire(10.0, on_complete=lambda f: done.setdefault("a", sim.now))
+        res.acquire(10.0, on_complete=lambda f: done.setdefault("b", sim.now))
+        sim.at(1.0, lambda: res.abort(fa))
+        sim.run()
+        assert "a" not in done
+        # b: 5 units by t=1, then full 10/s -> t = 1.5.
+        assert done["b"] == pytest.approx(1.5)
+        assert not fa.active and fa.aborted
+
+    def test_refit_counters_exposed(self):
+        sim = Simulator()
+        res = FluidResource(sim, capacity=10.0)
+        res.acquire(10.0)
+        sim.run()
+        assert res.refits >= 1
+        assert res.refits_coalesced >= 0
