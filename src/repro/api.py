@@ -162,7 +162,12 @@ class Session:
             obs=Observability(enabled=observe),
         )
         self.monitor = (
-            ClusterMonitor(self.sim, self.cluster, interval=monitor_interval)
+            ClusterMonitor(
+                self.sim,
+                self.cluster,
+                interval=monitor_interval,
+                obs=self.ctx.obs,
+            )
             if monitor_interval is not None
             else None
         )

@@ -9,7 +9,11 @@ Commands:
   unless ``--no-cache``).
 * ``cache`` — inspect or clear the content-addressed run cache.
 * ``metrics`` — run a workload and print its observability run report.
-* ``explain`` — run a workload and explain one task's dispatch decisions.
+* ``explain`` — run a workload and explain one task's dispatch decisions
+  (``--app`` scopes the query in multi-tenant traces).
+* ``critpath`` — run a workload and print the makespan-critical span chain.
+* ``blame`` — run a workload and decompose its makespan into blame
+  categories (``--compare`` diffs spark vs rupam).
 * ``list`` — list registered workloads and figures.
 """
 
@@ -121,18 +125,54 @@ def cmd_explain(args: argparse.Namespace) -> int:
     res = run_once(_spec_from(args))
     assert res.obs is not None
     trace = res.obs.decisions
-    keys = trace.matching_keys(args.task)
+    keys = trace.matching_keys(args.task, app=args.app)
     if not keys:
-        known = trace.task_keys()
-        print(f"no task matches {args.task!r}; {len(known)} task keys recorded, "
-              "e.g. " + ", ".join(known[:5]))
+        known = trace.task_keys(app=args.app)
+        scope = f" in app {args.app!r}" if args.app else ""
+        print(f"no task matches {args.task!r}{scope}; {len(known)} task keys "
+              "recorded, e.g. " + ", ".join(known[:5]))
         return 1
     if len(keys) > args.max_matches:
         print(f"{len(keys)} tasks match {args.task!r}; showing first "
               f"{args.max_matches} (narrow the query or raise --max-matches)")
         keys = keys[: args.max_matches]
     for key in keys:
-        print(trace.explain(key).render())
+        print(trace.explain(key, app=args.app).render())
+    return 0
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    from repro.obs.critpath import critical_path, render_critical_path
+
+    res = run_once(_spec_from(args))
+    assert res.obs is not None
+    cp = critical_path(res.obs)
+    print(render_critical_path(cp, max_links=args.max_links))
+    return 0
+
+
+def cmd_blame(args: argparse.Namespace) -> int:
+    from repro.obs.critpath import blame_delta, critical_path, render_blame
+
+    schedulers = ("spark", "rupam") if args.compare else (args.scheduler,)
+    paths = {}
+    for sched in schedulers:
+        res = run_once(
+            RunSpec(
+                workload=args.workload,
+                scheduler=sched,
+                seed=args.seed,
+                cluster=args.cluster,
+                monitor_interval=None,
+            )
+        )
+        assert res.obs is not None
+        paths[sched] = critical_path(res.obs)
+        print(render_blame(paths[sched], label=sched))
+    if args.compare:
+        print("blame delta (spark - rupam):")
+        for k, v in blame_delta(paths["spark"], paths["rupam"]).items():
+            print(f"  {k:>12}: {v:+.3f}")
     return 0
 
 
@@ -266,7 +306,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_args(exp_p)
     exp_p.add_argument("--max-matches", type=int, default=5)
+    exp_p.add_argument(
+        "--app",
+        default=None,
+        help="scope the query to one application: an app id ('lr@1') or an "
+        "app name ('lr'); task keys themselves are not app-prefixed",
+    )
     exp_p.set_defaults(fn=cmd_explain)
+
+    cp_p = sub.add_parser(
+        "critpath",
+        help="run one workload and print its makespan-critical span chain",
+    )
+    cp_p.add_argument("workload", choices=workload_names(include_matmul=True))
+    add_run_args(cp_p)
+    cp_p.add_argument(
+        "--max-links",
+        type=int,
+        default=12,
+        help="show at most this many chain links (latest first)",
+    )
+    cp_p.set_defaults(fn=cmd_critpath)
+
+    bl_p = sub.add_parser(
+        "blame",
+        help="run one workload and decompose its makespan into blame "
+        "categories (queueing / compute / hetero / shuffle / straggler)",
+    )
+    bl_p.add_argument("workload", choices=workload_names(include_matmul=True))
+    add_run_args(bl_p)
+    bl_p.add_argument(
+        "--compare",
+        action="store_true",
+        help="run under both schedulers and print the per-category blame "
+        "delta (spark - rupam)",
+    )
+    bl_p.set_defaults(fn=cmd_blame)
 
     cmp_p = sub.add_parser("compare", help="run under both schedulers")
     cmp_p.add_argument("workload", choices=workload_names(include_matmul=True))

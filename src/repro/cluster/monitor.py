@@ -60,14 +60,27 @@ class NodeSeries:
 
 
 class ClusterMonitor:
-    """Samples all nodes every ``interval`` seconds until stopped."""
+    """Samples all nodes every ``interval`` seconds until stopped.
 
-    def __init__(self, sim: Simulator, cluster: Cluster, interval: float = 1.0):
+    When given an :class:`~repro.obs.decision.Observability` bundle, each
+    tick also feeds cluster-mean utilization into its sliding windows
+    (``util.cpu`` / ``util.net`` / ``util.disk``), so long-horizon runs can
+    report windowed steady-state utilization, not just whole-run series.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        interval: float = 1.0,
+        obs=None,
+    ):
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
         self.cluster = cluster
         self.interval = interval
+        self.obs = obs
         self.node_series: dict[str, NodeSeries] = {
             n.name: NodeSeries(n.name) for n in cluster
         }
@@ -103,6 +116,9 @@ class ClusterMonitor:
         state = self.__dict__.copy()
         state["sim"] = None
         state["cluster"] = None
+        # The obs bundle travels on AppResult.obs already; keeping a second
+        # reference here would only bloat the pickle.
+        state["obs"] = None
         state["_stopped"] = True
         state["_next"] = None
         return state
@@ -117,6 +133,8 @@ class ClusterMonitor:
         self._next = self.sim.after(self.interval, self._tick)
 
     def sample_now(self) -> None:
+        cpu_total = net_total = disk_total = 0.0
+        n_nodes = 0
         for node in self.cluster:
             snap = node.utilization_snapshot()
             self.node_series[node.name].append(
@@ -133,6 +151,16 @@ class ClusterMonitor:
                     gpu=snap["gpu"],
                 )
             )
+            cpu_total += snap["cpu"]
+            net_total += snap["net"]
+            disk_total += snap["disk"]
+            n_nodes += 1
+        if self.obs is not None and self.obs.enabled and n_nodes:
+            now = self.sim.now
+            windows = self.obs.windows
+            windows.observe("util.cpu", now, cpu_total / n_nodes)
+            windows.observe("util.net", now, net_total / n_nodes)
+            windows.observe("util.disk", now, disk_total / n_nodes)
 
     # -- aggregations used by Figures 8 and 9 --------------------------------
 

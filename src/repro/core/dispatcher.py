@@ -75,6 +75,15 @@ class Dispatcher:
         self._loc_memo: dict[str, dict[int, Locality]] = {}
         self._memo_hits = 0
         self._dirty_seen = 0
+        # Dispatch bookkeeping accumulates in plain ints on the hot path
+        # (dispatch runs thousands of rounds per app, most of them empty)
+        # and folds into the metrics registry as deltas at quiesce points
+        # via flush_metrics() — see RupamScheduler.stop().
+        self._calls = 0
+        self._rounds = 0
+        self._empty_tally = 0
+        self._busy_tally = 0
+        self._flushed = (0, 0, 0, 0, 0, 0, 0)
         # (reason, enqueued_at) of schedule_task's last selection, consumed
         # by _try_node when it records the launch decision.
         self._last_selection: tuple[str, float | None] = (
@@ -91,9 +100,7 @@ class Dispatcher:
         self.obs.sample_queue_depths(self.ctx.now, self.tm.queues.depths)
         self._mem_memo.clear()
         self._loc_memo.clear()
-        memo0 = self._memo_hits
-        requeue0 = self.resource_queues.requeue_ops
-        dirty0 = self._dirty_seen
+        self._calls += 1
         total = 0
         while True:
             launched = self._dispatch_round()
@@ -101,14 +108,40 @@ class Dispatcher:
             if launched == 0:
                 break
         self.launches += total
-        if self.obs.enabled:
-            self.obs.metrics.inc("dispatch.calls")
-            self.obs.metrics.inc("dispatch.memo_hits", self._memo_hits - memo0)
-            self.obs.metrics.inc(
-                "dispatch.requeue_ops", self.resource_queues.requeue_ops - requeue0
-            )
-            self.obs.metrics.inc("dispatch.dirty_nodes", self._dirty_seen - dirty0)
+        if total and self.obs.enabled:
+            # Windowed launch rate: the steady-state throughput signal.
+            self.obs.windows.add("dispatch.launches", self.ctx.now, float(total))
         return total
+
+    def flush_metrics(self) -> None:
+        """Fold accumulated dispatch bookkeeping into the metrics registry.
+
+        Called at quiesce points (the scheduler's ``stop()``, i.e. whenever
+        the last active application ends).  Deltas since the previous flush
+        are added, so repeated idle/wake cycles never double count.
+        """
+        if not self.obs.enabled:
+            return
+        base = self._flushed
+        now = (
+            self._calls,
+            self._rounds,
+            self._memo_hits,
+            self.resource_queues.requeue_ops,
+            self._dirty_seen,
+            self._empty_tally,
+            self._busy_tally,
+        )
+        self.obs.metrics.inc_many((
+            ("dispatch.calls", float(now[0] - base[0])),
+            ("dispatch.rounds", float(now[1] - base[1])),
+            ("dispatch.memo_hits", float(now[2] - base[2])),
+            ("dispatch.requeue_ops", float(now[3] - base[3])),
+            ("dispatch.dirty_nodes", float(now[4] - base[4])),
+        ))
+        self.obs.decisions.tally_rejections(obs.QUEUE_EMPTY, now[5] - base[5])
+        self.obs.decisions.tally_rejections(obs.NODE_BUSY, now[6] - base[6])
+        self._flushed = now
 
     # -- memoized hot-path lookups ------------------------------------------------
 
@@ -167,21 +200,20 @@ class Dispatcher:
         self.resource_queues.begin_round(
             metrics, dirty=dirty, load_hint=self._load_hint
         )
-        self.obs.metrics.inc("dispatch.rounds")
+        self._rounds += 1
         # Cross-app arbitration: None with fewer than two active apps (the
         # single-tenant fast path — schedule_task scans unfiltered, exactly
         # the pre-multi-tenant behavior), else the pool layer's policy order.
         app_order = self.ctx.pools.app_order()
         launched = 0
+        live = self.tm.queues.live_counts() if self.obs.enabled else None
         for _ in range(len(ALL_KINDS)):
             kind = ALL_KINDS[self._rr % len(ALL_KINDS)]
             self._rr += 1
-            if self.obs.enabled and self.tm.queues.live_count(kind) == 0:
+            if live is not None and live[kind] == 0:
                 # Nothing pending of this kind this round (fallbacks below
                 # may still find speculative/racing work).
-                self.obs.decisions.record_rejection(
-                    self.ctx.now, obs.QUEUE_EMPTY, queue=kind.value
-                )
+                self._empty_tally += 1
             # Walk down this kind's queue until something launches: the
             # best node may lack the free memory the queued tasks need,
             # while a lesser node has room.
@@ -207,9 +239,7 @@ class Dispatcher:
             ex = executors.get(m.name)
             if ex is not None and ex.alive and self._available_for(ex, kind):
                 return m
-            self.obs.decisions.record_rejection(
-                self.ctx.now, obs.NODE_BUSY, node=m.name, queue=kind.value
-            )
+            self._busy_tally += 1
 
     # -- Algorithm 2 core -------------------------------------------------------------
 
@@ -389,8 +419,24 @@ class Dispatcher:
             return
         now = self.ctx.now
         m = self.rm.metrics_for(ex.node.name)
+        # Inlined NodeMetrics.utilization for each kind (same values, same
+        # key order): one dict literal instead of 5 enum-dispatched calls on
+        # every launch.
         util = (
-            {k.value: round(m.utilization(k), 4) for k in ALL_KINDS}
+            {
+                "cpu": round(m.cpuutil, 4),
+                "mem": round(
+                    1.0
+                    if m.memory_mb <= 0
+                    else 1.0 - m.freememory_mb / m.memory_mb,
+                    4,
+                ),
+                "disk": round(m.diskutil, 4),
+                "net": round(m.netutil, 4),
+                "gpu": round(
+                    1.0 if m.gpus == 0 else 1.0 - m.gpus_idle / m.gpus, 4
+                ),
+            }
             if m is not None
             else {}
         )

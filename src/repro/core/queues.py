@@ -486,6 +486,16 @@ class TaskQueues:
         self._fold_inactive()
         return self._live[kind]
 
+    def live_counts(self) -> dict[ResourceKind, int]:
+        """Live-entry counts for every kind behind a single staleness fold.
+
+        Returns the maintained counter map itself (not a copy), so callers
+        that hold it across mutations observe updates — the dispatcher reads
+        it once per round instead of paying one fold per kind.
+        """
+        self._fold_inactive()
+        return self._live
+
     def depths(self) -> dict[str, int]:
         """Live entries per kind (the telemetry queue-depth sample)."""
         self._fold_inactive()

@@ -155,15 +155,34 @@ class ResourceMonitor:
         )
 
     def _mean_utilization(self) -> dict[str, float]:
-        """Cluster-mean utilization per resource kind (telemetry sample)."""
+        """Cluster-mean utilization per resource kind (telemetry sample).
+
+        One pass over the heartbeat data with direct field reads — the
+        per-(node, kind) ``has``/``utilization`` calls dominated the
+        obs-enabled sampling cost.  Values and key order match the generic
+        formulation exactly (GPU averages only over GPU-bearing nodes).
+        """
         out: dict[str, float] = {}
         data = list(self.executor_data.values())
         if not data:
             return out
-        for kind in ALL_KINDS:
-            nodes = [m for m in data if m.has(kind)]
-            if nodes:
-                out[kind.value] = sum(m.utilization(kind) for m in nodes) / len(nodes)
+        cpu = mem = disk = net = gpu = 0.0
+        gpu_nodes = 0
+        for m in data:
+            cpu += m.cpuutil
+            mem += 1.0 if m.memory_mb <= 0 else 1.0 - m.freememory_mb / m.memory_mb
+            disk += m.diskutil
+            net += m.netutil
+            if m.gpus > 0:
+                gpu += 1.0 - m.gpus_idle / m.gpus
+                gpu_nodes += 1
+        n = len(data)
+        out["cpu"] = cpu / n
+        out["mem"] = mem / n
+        out["disk"] = disk / n
+        out["net"] = net / n
+        if gpu_nodes:
+            out["gpu"] = gpu / gpu_nodes
         out["low_memory_nodes"] = float(len(self.low_memory_nodes))
         return out
 

@@ -81,6 +81,10 @@ class RupamScheduler(TaskScheduler):
         self.rm.start()
 
     def stop(self) -> None:
+        # Quiesce point: fold the dispatcher's accumulated bookkeeping into
+        # the metrics registry (delta-tracked, safe across idle/wake cycles).
+        if self.dispatcher is not None:
+            self.dispatcher.flush_metrics()
         if self.rm is not None:
             self.rm.stop()
 

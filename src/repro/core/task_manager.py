@@ -70,6 +70,8 @@ class TaskManager:
             queue = kind.value if kind is not None else "all"
             obs.metrics.inc(f"tm.admit.{queue}")
             obs.decisions.record_enqueue(self.ctx.now, spec.key, queue)
+            # Windowed admission rate: the steady-state demand signal.
+            obs.windows.add("tm.admissions", self.ctx.now)
         return kind
 
     def _admit(self, ts: "TaskSetManager", spec: "TaskSpec") -> ResourceKind | None:

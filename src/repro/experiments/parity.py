@@ -38,12 +38,19 @@ def decision_signature(result: Any) -> list[list[Any]]:
 
 
 def capture_fig5_signature(
-    scale: str = "smoke", workloads: tuple[str, ...] | None = None
+    scale: str = "smoke",
+    workloads: tuple[str, ...] | None = None,
+    trace: bool = False,
 ) -> dict[str, Any]:
     """Replay the fig5 RUPAM trials and collect every decision sequence.
 
     Only the RUPAM side is captured: the stock-Spark scheduler is not touched
     by dispatch-engine work, and the two sides run independently in fig5.
+
+    ``trace=True`` runs the same trials with the simulation trace recorder
+    (and span mirroring) on — the signature must be identical either way,
+    which is how the benchmark suite proves observability never perturbs
+    scheduling decisions.
     """
     sc = get_scale(scale)
     sig: dict[str, Any] = {
@@ -53,7 +60,9 @@ def capture_fig5_signature(
         "base_seed": sc.base_seed,
         "workloads": {},
     }
-    spec = RunSpec(workload="lr", scheduler="rupam", monitor_interval=None)
+    spec = RunSpec(
+        workload="lr", scheduler="rupam", monitor_interval=None, trace=trace
+    )
     for wl in workloads or FIG5_WORKLOADS:
         trials = []
         for t in range(sc.trials):

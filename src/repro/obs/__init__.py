@@ -27,6 +27,14 @@ from repro.obs.decision import (
     Rejection,
     TaskExplanation,
 )
+from repro.obs.critpath import (
+    BLAME_CATEGORIES,
+    CriticalPath,
+    blame_delta,
+    critical_path,
+    render_blame,
+    render_critical_path,
+)
 from repro.obs.export import (
     bench_payload,
     events,
@@ -36,8 +44,11 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import Histogram, MetricsRegistry, TimeSeries
 from repro.obs.report import RunReport, build_run_report
+from repro.obs.span import TASK_PHASES, Span, SpanRecorder
+from repro.obs.windows import SlidingWindow, WindowedMetrics
 
 __all__ = [
+    "BLAME_CATEGORIES",
     "LAUNCH_BEST_LOCALITY",
     "LAUNCH_DELAY_SCHED",
     "LAUNCH_GPU_ON_CPU",
@@ -53,6 +64,8 @@ __all__ = [
     "QUEUE_EMPTY",
     "REJECTION_REASONS",
     "TASKSET_BLOCKED",
+    "TASK_PHASES",
+    "CriticalPath",
     "DecisionTrace",
     "DispatchDecision",
     "Histogram",
@@ -60,12 +73,20 @@ __all__ = [
     "Observability",
     "Rejection",
     "RunReport",
+    "SlidingWindow",
+    "Span",
+    "SpanRecorder",
     "TaskExplanation",
     "TimeSeries",
+    "WindowedMetrics",
     "bench_payload",
+    "blame_delta",
     "build_run_report",
+    "critical_path",
     "events",
     "read_jsonl",
+    "render_blame",
+    "render_critical_path",
     "write_bench_json",
     "write_jsonl",
 ]

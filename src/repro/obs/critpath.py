@@ -1,0 +1,377 @@
+"""Critical-path extraction and makespan blame over a run's span DAG.
+
+Given the spans one application emitted (:mod:`repro.obs.span`), this module
+answers the question the runtime number alone cannot: *where did the
+makespan go?*  ``critical_path`` walks the span DAG backwards from the
+last-finishing task — through parent stages inside a job, and across the
+sequential job boundary — to recover the chain of task attempts whose
+end-to-end time IS the makespan.  Each chain link's wall time is then split
+into a **blame taxonomy**:
+
+* ``queueing``   — runnable-but-not-launched wait plus dispatch delay
+* ``compute``    — CPU work (compute + (de)serialize + GC) at the node's
+  own speed
+* ``hetero``     — the *extra* compute time caused by running on a
+  slower-than-best node: ``compute x (1 - core_rate / best_rate)``.  This is
+  the heterogeneity penalty RUPAM's placement is supposed to remove.
+* ``shuffle``    — data movement: input read, shuffle fetch, shuffle disk,
+  result output
+* ``straggler``  — for re-launched tasks (speculation winners, retry after
+  failure), the time burned by earlier attempts before the winning attempt
+  started
+* ``other``      — span wall time none of the phases account for (e.g. GPU
+  transfer overhead)
+
+Only the *winning* (successful) attempt of each task enters the chain, so
+duplicate speculative attempts never double-count compute blame; their cost
+shows up as ``straggler`` time instead.  The backward walk keeps a cursor
+that clips every link to the not-yet-attributed part of the makespan, so the
+blame fractions always sum to <= 1; whatever no link covers is reported as
+``unattributed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.span import APP, STAGE, TASK, Span, SpanRecorder
+
+BLAME_CATEGORIES = (
+    "queueing",
+    "compute",
+    "hetero",
+    "shuffle",
+    "straggler",
+    "other",
+)
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One critical-path element: a winning task attempt and its charge."""
+
+    span: Span
+    covered: float                 # seconds of makespan charged to this link
+    blame: dict[str, float]        # covered, split by BLAME_CATEGORIES
+
+    def top_blame(self) -> str:
+        if not self.blame:
+            return "-"
+        return max(self.blame, key=lambda k: self.blame[k])
+
+
+@dataclass
+class CriticalPath:
+    """The makespan-critical chain of one application, with blame totals."""
+
+    app_id: str
+    app_name: str
+    start: float
+    end: float
+    chain: list[ChainLink]         # ordered finish -> start (backward walk)
+    blame: dict[str, float]        # seconds per category, summed over links
+
+    @property
+    def makespan(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def attributed(self) -> float:
+        """Seconds of makespan covered by chain links (<= makespan)."""
+        return sum(link.covered for link in self.chain)
+
+    def fractions(self) -> dict[str, float]:
+        """Blame as fractions of the makespan; sums to <= 1.0.
+
+        The complement of the sum is reported under ``unattributed`` —
+        makespan time no critical-path link covers (scheduling gaps between
+        stages, spans evicted from the recorder ring).
+        """
+        mk = self.makespan
+        if mk <= 0:
+            return {k: 0.0 for k in (*BLAME_CATEGORIES, "unattributed")}
+        out = {k: self.blame.get(k, 0.0) / mk for k in BLAME_CATEGORIES}
+        out["unattributed"] = max(0.0, 1.0 - sum(out.values()))
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app_id,
+            "app_name": self.app_name,
+            "makespan_s": self.makespan,
+            "attributed_s": self.attributed,
+            "links": len(self.chain),
+            "blame_s": {k: self.blame.get(k, 0.0) for k in BLAME_CATEGORIES},
+            "fractions": self.fractions(),
+            "chain": [
+                {
+                    "span_id": link.span.span_id,
+                    "task": link.span.name,
+                    "node": link.span.attrs.get("node", ""),
+                    "t0": link.span.start,
+                    "t1": link.span.end,
+                    "covered_s": link.covered,
+                    "top_blame": link.top_blame(),
+                }
+                for link in self.chain
+            ],
+        }
+
+
+# -- blame weights --------------------------------------------------------------
+
+
+def _task_weights(span: Span, best_rate: float) -> dict[str, float]:
+    """Split one winning attempt's wall time into blame-category weights."""
+    queueing = span.phase("queued") + span.phase("sched_delay")
+    shuffle = (
+        span.phase("input_read")
+        + span.phase("fetch")
+        + span.phase("shuffle_disk")
+        + span.phase("output")
+    )
+    compute_all = span.phase("compute") + span.phase("ser") + span.phase("gc")
+    rate = float(span.attrs.get("core_rate") or best_rate or 0.0)
+    hetero = 0.0
+    if best_rate > 0 and 0 < rate < best_rate:
+        hetero = span.phase("compute") * (1.0 - rate / best_rate)
+    compute = max(0.0, compute_all - hetero)
+    first = float(span.attrs.get("first_start", span.start))
+    straggler = max(0.0, span.start - first)
+    other = max(0.0, span.duration - (queueing + shuffle + compute_all))
+    return {
+        "queueing": queueing,
+        "compute": compute,
+        "hetero": hetero,
+        "shuffle": shuffle,
+        "straggler": straggler,
+        "other": other,
+    }
+
+
+# -- span-source resolution ------------------------------------------------------
+
+
+def _recorder_of(source: Any) -> SpanRecorder:
+    """Accept a SpanRecorder, an Observability, or an AppResult."""
+    if isinstance(source, SpanRecorder):
+        return source
+    spans = getattr(source, "spans", None)
+    if isinstance(spans, SpanRecorder):
+        return spans
+    obs = getattr(source, "obs", None)
+    if obs is not None and isinstance(getattr(obs, "spans", None), SpanRecorder):
+        return obs.spans
+    raise ValueError(
+        "expected a SpanRecorder, an Observability with spans, or an "
+        f"AppResult carrying one; got {type(source).__name__}"
+    )
+
+
+def _resolve_app(recorder: SpanRecorder, app_id: str | None) -> str:
+    """Pick the application to analyze; names match their ``name@N`` ids."""
+    known = [a for a in recorder.app_ids() if a]
+    if not known:
+        # No app span yet (run still in flight, or ring evicted it): fall
+        # back to app ids seen on any span.
+        known = sorted(
+            {s.attrs.get("app", "") for s in recorder.spans if s.attrs.get("app")}
+        )
+    if app_id is None:
+        if len(known) == 1:
+            return known[0]
+        raise ValueError(
+            "app_id is required for multi-app runs; recorded apps: "
+            + (", ".join(known) if known else "(none)")
+        )
+    if app_id in known:
+        return app_id
+    by_name = [a for a in known if a.split("@", 1)[0] == app_id]
+    if len(by_name) == 1:
+        return by_name[0]
+    raise ValueError(
+        f"app {app_id!r} matches {len(by_name)} of the recorded apps: "
+        + (", ".join(known) if known else "(none)")
+    )
+
+
+# -- the analyzer ----------------------------------------------------------------
+
+
+def critical_path(source: Any, app_id: str | None = None) -> CriticalPath:
+    """Extract one app's makespan-critical chain and blame decomposition.
+
+    ``source`` is a :class:`SpanRecorder`, an ``Observability`` bundle, or an
+    ``AppResult``.  ``app_id`` selects the application in multi-tenant runs
+    (exact ``name@N`` id or unambiguous ``name`` prefix); it may be omitted
+    when exactly one app was recorded.
+    """
+    rec = _recorder_of(source)
+    app = _resolve_app(rec, app_id)
+
+    # Latest emission wins for every span id (stages re-complete after
+    # shuffle loss; the re-emitted span reflects the final timeline).
+    tasks: dict[str, Span] = {}
+    stages: dict[int, Span] = {}
+    app_span: Span | None = None
+    for s in rec.spans:
+        if s.attrs.get("app") != app:
+            continue
+        if s.kind == TASK:
+            if s.attrs.get("status") == "succeeded":
+                tasks[s.span_id] = s
+        elif s.kind == STAGE:
+            stages[int(s.attrs.get("stage_id", -1))] = s
+        elif s.kind == APP:
+            app_span = s
+
+    winners = list(tasks.values())
+    if app_span is not None:
+        app_start, app_end = app_span.start, app_span.end
+        app_name = app_span.name
+    elif winners:
+        app_start = min(t.start for t in winners)
+        app_end = max(t.end for t in winners)
+        app_name = app.split("@", 1)[0]
+    else:
+        raise ValueError(f"no spans recorded for app {app!r}")
+
+    # Per stage: the last-finishing winning attempt (ties break on span_id so
+    # the walk is deterministic).
+    last_of_stage: dict[int, Span] = {}
+    for t in winners:
+        sid = int(t.attrs.get("stage_id", -1))
+        cur = last_of_stage.get(sid)
+        if cur is None or (t.end, t.span_id) > (cur.end, cur.span_id):
+            last_of_stage[sid] = t
+
+    best_rate = max(
+        (float(t.attrs.get("core_rate", 0.0)) for t in winners), default=0.0
+    )
+
+    # Backward walk: last-finishing stage, then the parent stage whose last
+    # task ends latest; with no DAG parent left, hop to the latest stage that
+    # ended before this link became runnable (the sequential-job boundary).
+    chain_spans: list[Span] = []
+    visited: set[int] = set()
+    cur = max(
+        last_of_stage,
+        key=lambda sid: (last_of_stage[sid].end, last_of_stage[sid].span_id),
+        default=None,
+    )
+    while cur is not None and cur not in visited:
+        visited.add(cur)
+        link = last_of_stage[cur]
+        chain_spans.append(link)
+        parent_ids: list[int] = []
+        stage_span = stages.get(cur)
+        if stage_span is not None:
+            for pid in stage_span.attrs.get("parents", ()):
+                tail = str(pid).rsplit("/", 1)[-1]
+                if tail.lstrip("-").isdigit():
+                    parent_ids.append(int(tail))
+        candidates = [p for p in parent_ids if p in last_of_stage]
+        if candidates:
+            cur = max(
+                candidates,
+                key=lambda sid: (last_of_stage[sid].end, last_of_stage[sid].span_id),
+            )
+            continue
+        eff = min(link.start, float(link.attrs.get("first_start", link.start)))
+        prior = [
+            sid
+            for sid, t in last_of_stage.items()
+            if sid not in visited and t.end <= eff + _EPS
+        ]
+        cur = (
+            max(prior, key=lambda sid: (last_of_stage[sid].end, last_of_stage[sid].span_id))
+            if prior
+            else None
+        )
+
+    # Charge each link with the makespan slice it alone covers.
+    blame = {k: 0.0 for k in BLAME_CATEGORIES}
+    links: list[ChainLink] = []
+    cursor = app_end
+    for span in chain_spans:
+        eff_start = min(span.start, float(span.attrs.get("first_start", span.start)))
+        hi = min(cursor, span.end)
+        lo = max(app_start, eff_start)
+        covered = max(0.0, hi - lo)
+        link_blame: dict[str, float] = {}
+        if covered > _EPS:
+            weights = _task_weights(span, best_rate)
+            total = sum(weights.values())
+            if total > _EPS:
+                for k, w in weights.items():
+                    share = covered * w / total
+                    blame[k] += share
+                    link_blame[k] = share
+        links.append(ChainLink(span=span, covered=covered, blame=link_blame))
+        cursor = min(cursor, max(app_start, lo))
+        if cursor <= app_start + _EPS:
+            break
+
+    return CriticalPath(
+        app_id=app,
+        app_name=app_name,
+        start=app_start,
+        end=app_end,
+        chain=links,
+        blame=blame,
+    )
+
+
+# -- comparisons and rendering ---------------------------------------------------
+
+
+def blame_delta(a: CriticalPath, b: CriticalPath) -> dict[str, float]:
+    """Per-category fraction difference ``a - b`` (each over its own makespan).
+
+    Positive values mean ``a`` spends a larger share of its makespan in that
+    category than ``b`` — e.g. ``blame_delta(spark, rupam)["hetero"] > 0``
+    says stock Spark loses more of its runtime to slow-node compute.
+    """
+    fa, fb = a.fractions(), b.fractions()
+    return {k: fa[k] - fb[k] for k in fa}
+
+
+def render_blame(cp: CriticalPath, label: str | None = None) -> str:
+    """One-screen blame summary for the CLI."""
+    head = f"blame: {cp.app_id}" + (f" under {label}" if label else "")
+    fr = cp.fractions()
+    lines = [
+        f"{head}  makespan={cp.makespan:.1f}s  "
+        f"critical-path links={len(cp.chain)}  "
+        f"attributed={100 * (1 - fr['unattributed']):.1f}%",
+    ]
+    for k in (*BLAME_CATEGORIES, "unattributed"):
+        secs = cp.blame.get(k, 0.0) if k != "unattributed" else (
+            cp.makespan * fr["unattributed"]
+        )
+        bar = "#" * int(round(40 * fr[k]))
+        lines.append(f"  {k:>12}  {fr[k]:6.1%}  {secs:9.1f}s  {bar}")
+    return "\n".join(lines)
+
+
+def render_critical_path(cp: CriticalPath, max_links: int = 12) -> str:
+    """The chain itself, newest link first, for the CLI."""
+    lines = [
+        f"critical path: {cp.app_id}  makespan={cp.makespan:.1f}s  "
+        f"links={len(cp.chain)}"
+    ]
+    shown = cp.chain[:max_links]
+    for link in shown:
+        s = link.span
+        lines.append(
+            f"  t={s.start:9.2f}..{s.end:9.2f}s  {s.name:<24} "
+            f"on {str(s.attrs.get('node', '?')):<10} "
+            f"covered={link.covered:7.2f}s  blame={link.top_blame()}"
+        )
+    if len(cp.chain) > len(shown):
+        lines.append(f"  ... {len(cp.chain) - len(shown)} earlier links elided")
+    lines.append(render_blame(cp))
+    return "\n".join(lines)

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span, SpanRecorder
+from repro.obs.windows import WindowedMetrics
 
 # Reason codes for rejections (why a candidate placement did NOT happen).
 NO_FIT_MEMORY = "no-fit-memory"      # task's est. peak memory > node free heap
@@ -156,6 +158,26 @@ class TaskExplanation:
         return "\n".join(lines)
 
 
+# Rejection tallies fire on every empty dispatch round (thousands per run), so
+# the reason -> counter-name mapping is cached rather than rebuilt per call.
+_REJECT_METRIC: dict[str, str] = {}
+_LAUNCH_METRIC: dict[str, str] = {}
+
+
+def _reject_metric(reason: str) -> str:
+    name = _REJECT_METRIC.get(reason)
+    if name is None:
+        name = _REJECT_METRIC[reason] = f"dispatch.reject.{reason}"
+    return name
+
+
+def _launch_metric(reason: str) -> str:
+    name = _LAUNCH_METRIC.get(reason)
+    if name is None:
+        name = _LAUNCH_METRIC[reason] = f"dispatch.launch.{reason}"
+    return name
+
+
 class DecisionTrace:
     """Collects dispatch decisions and rejections for one run."""
 
@@ -164,9 +186,11 @@ class DecisionTrace:
         metrics: MetricsRegistry,
         enabled: bool = True,
         max_rejections_per_task: int = 16,
+        windows: "WindowedMetrics | None" = None,
     ):
         self.enabled = enabled
         self.metrics = metrics
+        self.windows = windows
         self.max_rejections_per_task = max_rejections_per_task
         self.decisions: list[DispatchDecision] = []
         self.reason_counts: dict[str, int] = {}
@@ -187,9 +211,13 @@ class DecisionTrace:
             return
         self.decisions.append(decision)
         self._decisions_of.setdefault(decision.task_key, []).append(decision)
-        self.metrics.inc(f"dispatch.launch.{decision.reason}")
+        self.metrics.inc(_launch_metric(decision.reason))
         if decision.wait_s is not None:
             self.metrics.observe("dispatch.latency_s", decision.wait_s)
+            if self.windows is not None:
+                self.windows.observe(
+                    "dispatch.wait_s", decision.time, decision.wait_s
+                )
 
     def record_rejection(
         self,
@@ -202,7 +230,7 @@ class DecisionTrace:
         if not self.enabled:
             return
         self.reason_counts[reason] = self.reason_counts.get(reason, 0) + 1
-        self.metrics.inc(f"dispatch.reject.{reason}")
+        self.metrics.inc(_reject_metric(reason))
         if task_key is None:
             return
         ring = self._rejections_of.get(task_key)
@@ -216,32 +244,78 @@ class DecisionTrace:
             )
         ring.append(Rejection(time, reason, task_key, node, detail))
 
+    def tally_rejections(self, reason: str, count: int) -> None:
+        """Bulk keyless rejection tally.
+
+        Equivalent to ``count`` task-key-less :meth:`record_rejection` calls.
+        Empty dispatch rounds fire thousands of these per run, so the
+        dispatcher batches them per dispatch call and flushes one increment.
+        """
+        if not self.enabled or count <= 0:
+            return
+        self.reason_counts[reason] = self.reason_counts.get(reason, 0) + count
+        self.metrics.inc(_reject_metric(reason), float(count))
+
     # -- read path ---------------------------------------------------------------
 
-    def task_keys(self) -> list[str]:
+    @staticmethod
+    def _app_matches(app_id: str, query: str) -> bool:
+        """``query`` names an app by exact id or by its pre-``@N`` name."""
+        return app_id == query or app_id.split("@", 1)[0] == query
+
+    def apps(self) -> list[str]:
+        """Distinct app ids seen on launch decisions, sorted."""
+        return sorted({d.app for d in self.decisions if d.app})
+
+    def task_keys(self, app: str | None = None) -> list[str]:
+        """All known task keys; ``app`` restricts to one application.
+
+        Task keys are *not* app-prefixed (``lr:gradient#3``), so in
+        multi-tenant runs two apps of the same workload share keys; the app
+        filter disambiguates via the launch decisions' ``app`` field.
+        """
         keys = set(self._decisions_of) | set(self._rejections_of)
         keys.update(self._queues_of)
+        if app is not None:
+            keys &= {
+                k
+                for k, ds in self._decisions_of.items()
+                if any(self._app_matches(d.app, app) for d in ds)
+            }
         return sorted(keys)
 
-    def explain(self, task_key: str) -> TaskExplanation:
+    def explain(self, task_key: str, app: str | None = None) -> TaskExplanation:
+        decisions = list(self._decisions_of.get(task_key, []))
+        if app is not None:
+            decisions = [d for d in decisions if self._app_matches(d.app, app)]
         return TaskExplanation(
             task_key=task_key,
             queues=list(self._queues_of.get(task_key, [])),
-            decisions=list(self._decisions_of.get(task_key, [])),
+            decisions=decisions,
             rejections=list(self._rejections_of.get(task_key, [])),
             rejections_dropped=self._rejections_dropped.get(task_key, 0),
         )
 
-    def matching_keys(self, query: str) -> list[str]:
-        """Exact match wins; otherwise substring matches, sorted."""
-        keys = self.task_keys()
+    def matching_keys(self, query: str, app: str | None = None) -> list[str]:
+        """Exact match wins; otherwise substring matches, sorted.
+
+        ``app`` filters to one application's tasks.  A query of the form
+        ``app/key`` (e.g. ``lr@1/lr:gradient#3``) is normalized into the
+        equivalent ``(app=..., query=key)`` form when the prefix names a
+        known app.
+        """
+        if app is None and "/" in query:
+            prefix, rest = query.split("/", 1)
+            if any(self._app_matches(a, prefix) for a in self.apps()):
+                app, query = prefix, rest
+        keys = self.task_keys(app=app)
         if query in keys:
             return [query]
         return [k for k in keys if query in k]
 
 
 class Observability:
-    """The per-run observability bundle: metrics registry + decision trace.
+    """The per-run observability bundle: metrics, decisions, spans, windows.
 
     Created once per simulated application and carried on the
     :class:`~repro.spark.scheduler.SchedulerContext`; disabled instances
@@ -251,7 +325,11 @@ class Observability:
     def __init__(self, enabled: bool = True, sample_interval_s: float = 1.0):
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
-        self.decisions = DecisionTrace(self.metrics, enabled=enabled)
+        self.spans = SpanRecorder(enabled=enabled)
+        self.windows = WindowedMetrics(enabled=enabled)
+        self.decisions = DecisionTrace(
+            self.metrics, enabled=enabled, windows=self.windows
+        )
         self.sample_interval_s = sample_interval_s
         self._last_queue_sample = -math.inf
         self._last_util_sample = -math.inf
@@ -261,20 +339,73 @@ class Observability:
         """Fold a finished run's observability bundle into this one.
 
         The parallel experiment pool calls this once per completed run so the
-        parent process keeps a fleet-level aggregate: counters and histograms
-        merge exactly (see :meth:`MetricsRegistry.merge_from`), and the
-        decision trace contributes its *summary* — per-reason launch and
-        rejection tallies — rather than every individual decision, keeping
-        the parent's memory independent of grid size.  Per-task explanation
-        state (``explain``) intentionally stays per-run.
+        parent process keeps a fleet-level aggregate: counters, histograms,
+        and time series merge exactly (see :meth:`MetricsRegistry.merge_from`
+        — every run's simulated clock starts at t=0, so merged series read as
+        per-instant fleet samples), sliding windows merge bucket-by-epoch
+        (:meth:`WindowedMetrics.merge_from`), and the decision trace
+        contributes its *summary* — per-reason launch and rejection tallies —
+        rather than every individual decision, keeping the parent's memory
+        independent of grid size.  Per-task explanation state (``explain``)
+        and causal spans intentionally stay per-run.
         """
         if not self.enabled or other is None:
             return
         self.metrics.merge_from(other.metrics)
+        other_windows = getattr(other, "windows", None)
+        if other_windows is not None:
+            self.windows.merge_from(other_windows)
         for reason, count in other.decisions.reason_counts.items():
             self.decisions.reason_counts[reason] = (
                 self.decisions.reason_counts.get(reason, 0) + count
             )
+
+    def record_span(self, span: Span, trace: Any = None) -> None:
+        """Record a finished causal span; mirror into the sim trace if given.
+
+        ``trace`` is the run's :class:`~repro.simulate.trace.TraceRecorder`;
+        when simulation tracing is enabled the span rides the trace's event
+        stream too (kind ``"span"``), so span data reaches every trace
+        export path.
+        """
+        if not self.enabled:
+            return
+        self.spans.record(span)
+        if trace is not None:
+            # Same payload as span.to_dict() minus "type", with "kind"
+            # renamed to "span_kind" (TraceEvent has its own event kind) —
+            # built directly to keep the per-span mirror allocation-light.
+            trace.record(
+                span.end,
+                "span",
+                span_id=span.span_id,
+                span_kind=span.kind,
+                name=span.name,
+                parent_id=span.parent_id,
+                t0=span.start,
+                t1=span.end,
+                phases=[[n, s] for n, s in span.phases],
+                attrs=span.attrs,
+            )
+
+    def note_trace_state(self, trace: Any) -> None:
+        """Snapshot trace/span ring-buffer health into gauges.
+
+        Called at every quiesce point so ``repro metrics`` and the RunReport
+        can surface silent drops (``trace.dropped``) and ring occupancy.
+        """
+        if not self.enabled:
+            return
+        g = self.metrics.set_gauge
+        if trace is not None:
+            g("trace.enabled", 1.0 if trace.enabled else 0.0)
+            g("trace.events", float(len(trace)))
+            g("trace.dropped", float(trace.dropped))
+            if trace.max_events is not None:
+                g("trace.capacity", float(trace.max_events))
+                g("trace.occupancy", trace.occupancy)
+        g("trace.spans", float(len(self.spans)))
+        g("trace.spans_dropped", float(self.spans.dropped))
 
     def record_sim_counters(self, sim, resources: "Iterable[Any]" = ()) -> None:
         """Fold the simulation core's counters into the metrics registry.

@@ -1,8 +1,8 @@
 """Exporters: JSONL event logs and benchmark metrics artifacts.
 
 The JSONL log is one JSON object per line, ordered by simulated time, with a
-``type`` discriminator (``decision`` | ``rejection`` | ``series`` |
-``counters``) — see README's Observability section for the schema.  The
+``type`` discriminator (``decision`` | ``rejection`` | ``span`` | ``series``
+| ``counters``) — see README's Observability section for the schema.  The
 benchmark artifact (``BENCH_<name>.json``) wraps a :class:`RunReport` with
 benchmark identity so the perf trajectory across PRs is machine-diffable.
 """
@@ -19,7 +19,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.decision import Observability
     from repro.spark.driver import AppResult
 
-SCHEMA_VERSION = 1
+# v2: added "span" records (causal task/stage/job/app spans) and the
+# blame/windowed/trace sections of the run report.
+SCHEMA_VERSION = 2
 
 
 def events(obs: "Observability") -> list[dict[str, Any]]:
@@ -30,6 +32,9 @@ def events(obs: "Observability") -> list[dict[str, Any]]:
     for key in trace.task_keys():
         exp = trace.explain(key)
         out.extend(r.to_dict() for r in exp.rejections)
+    spans = getattr(obs, "spans", None)
+    if spans is not None:
+        out.extend({"t": s.end, **s.to_dict()} for s in spans)
     out.sort(key=lambda e: e["t"])
     reg = obs.metrics
     for name in reg.series_names():

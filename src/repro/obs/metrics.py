@@ -20,6 +20,7 @@ _LO = 1e-6
 _HI = 1e6
 _DECADES = int(round(math.log10(_HI / _LO)))
 _NBUCKETS = _DECADES * _PER_DECADE
+_LOG_LO = math.log10(_LO)
 
 
 class Histogram:
@@ -45,7 +46,7 @@ class Histogram:
             return 0
         if value >= _HI:
             return _NBUCKETS + 1
-        return 1 + int((math.log10(value) - math.log10(_LO)) * _PER_DECADE)
+        return 1 + int((math.log10(value) - _LOG_LO) * _PER_DECADE)
 
     @staticmethod
     def _bucket_value(idx: int) -> float:
@@ -143,6 +144,33 @@ class TimeSeries:
             self.values = self.values[::2]
             self._stride *= 2
 
+    def merge_from(self, other: "TimeSeries") -> None:
+        """Fold another series' samples in, keeping time order and the cap.
+
+        Samples interleave by timestamp (stable: on ties, this series' points
+        stay first), then the stride-doubling policy re-applies until the
+        result fits ``max_points`` — same bound, halved resolution, full time
+        coverage.  Used by the experiment pool to aggregate per-run series
+        that share a time base (runs all start at t=0 on their own simulated
+        clocks).
+        """
+        if not other.times:
+            return
+        if self.times:
+            merged = sorted(
+                zip(self.times + list(other.times), self.values + list(other.values)),
+                key=lambda p: p[0],
+            )
+            self.times = [t for t, _ in merged]
+            self.values = [v for _, v in merged]
+        else:
+            self.times = list(other.times)
+            self.values = list(other.values)
+        while len(self.times) >= self.max_points:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self._stride *= 2
+
     def __len__(self) -> int:
         return len(self.times)
 
@@ -166,6 +194,14 @@ class MetricsRegistry:
         if not self.enabled:
             return
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def inc_many(self, pairs: "tuple[tuple[str, float], ...]") -> None:
+        """Increment several counters in one call (hot-path batching)."""
+        if not self.enabled:
+            return
+        c = self.counters
+        for name, value in pairs:
+            c[name] = c.get(name, 0.0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         if not self.enabled:
@@ -193,10 +229,11 @@ class MetricsRegistry:
 
         Merge semantics (documented in DESIGN.md §10): counters add,
         histograms merge bucket-wise, gauges take the other side's latest
-        value (last-write-wins), and *time series are not merged* — each
-        run's series lives on its own simulated clock, so concatenating them
-        would interleave unrelated time bases.  Per-run series stay available
-        on the per-run :class:`Observability` bundles.
+        value (last-write-wins), and time series merge time-ordered under
+        the ``max_points`` cap (see :meth:`TimeSeries.merge_from`).  Every
+        run's simulated clock starts at t=0, so merged series read as
+        per-instant samples across the fleet; per-run series stay available
+        unmixed on the per-run :class:`Observability` bundles.
         """
         if not self.enabled:
             return
@@ -208,6 +245,11 @@ class MetricsRegistry:
             if mine is None:
                 mine = self.histograms[name] = Histogram()
             mine.merge_from(h)
+        for name, s in other._series.items():
+            mine_s = self._series.get(name)
+            if mine_s is None:
+                mine_s = self._series[name] = TimeSeries(max_points=s.max_points)
+            mine_s.merge_from(s)
 
     # -- read path ---------------------------------------------------------------
 

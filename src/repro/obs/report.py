@@ -3,8 +3,10 @@
 ``build_run_report`` distills one :class:`AppResult`'s observability data
 into a :class:`RunReport`: dispatch-latency quantiles, decision-reason
 tallies, queue depths over simulated time, per-resource-kind utilization,
-and the raw counters.  ``render()`` prints it; ``to_dict()`` feeds the
-JSON exporters and the ``BENCH_*.json`` benchmark artifacts.
+critical-path blame (when spans were recorded), sliding-window steady-state
+metrics, trace ring-buffer health, and the raw counters.  ``render()``
+prints it; ``to_dict()`` feeds the JSON exporters and the ``BENCH_*.json``
+benchmark artifacts.
 """
 
 from __future__ import annotations
@@ -31,6 +33,15 @@ class RunReport:
     queue_depth: dict[str, dict[str, list[float]]]   # kind -> {"t": [...], "v": [...]}
     utilization: dict[str, dict[str, list[float]]]   # kind -> {"t": [...], "v": [...]}
     counters: dict[str, float] = field(default_factory=dict)
+    # Critical-path blame decomposition (CriticalPath.to_dict(); None when
+    # the run recorded no spans or the chain could not be resolved).
+    blame: dict[str, Any] | None = None
+    # Sliding-window snapshots over the window ending at app finish:
+    # name -> {count, mean, rate_per_s, p50, p99, ...}.
+    windowed: dict[str, dict[str, float]] = field(default_factory=dict)
+    # Trace/span ring-buffer health gauges ("events", "dropped", "capacity",
+    # "occupancy", "spans", "spans_dropped", "enabled").
+    trace_stats: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -45,6 +56,9 @@ class RunReport:
             "queue_depth": self.queue_depth,
             "utilization": self.utilization,
             "counters": self.counters,
+            "blame": self.blame,
+            "windowed": self.windowed,
+            "trace": self.trace_stats,
         }
 
     def render(self) -> str:
@@ -68,6 +82,14 @@ class RunReport:
                 f"p50={lat['p50']:.3f} p95={lat['p95']:.3f} "
                 f"p99={lat['p99']:.3f} max={lat['max']:.3f}"
             )
+        if self.blame:
+            fr = self.blame.get("fractions", {})
+            out.append(
+                "critical path: "
+                f"links={self.blame.get('links', 0)} "
+                f"makespan={self.blame.get('makespan_s', 0.0):.1f}s  blame: "
+                + "  ".join(f"{k}={v:.1%}" for k, v in sorted(fr.items()))
+            )
         if self.launch_reasons:
             out.append(
                 render_table(
@@ -82,6 +104,15 @@ class RunReport:
                     sorted(self.rejection_reasons.items(), key=lambda kv: -kv[1]),
                 )
             )
+        if self.windowed:
+            rows = []
+            for name, snap in sorted(self.windowed.items()):
+                cell = f"n={snap.get('count', 0):.0f}"
+                if "p50" in snap:
+                    cell += f" p50={snap['p50']:.3f} p99={snap['p99']:.3f}"
+                cell += f" rate={snap.get('rate_per_s', 0.0):.2f}/s"
+                rows.append((name, cell))
+            out.append(render_table(["window (last)", "stats"], rows))
         for label, series in (("queue depth", self.queue_depth),
                               ("utilization", self.utilization)):
             for kind, ts in sorted(series.items()):
@@ -93,6 +124,28 @@ class RunReport:
                             np.asarray(ts["v"]),
                         )
                     )
+        tr = self.trace_stats
+        if tr:
+            parts = [f"events={tr.get('events', 0):.0f}"]
+            if "capacity" in tr:
+                parts.append(
+                    f"capacity={tr['capacity']:.0f} "
+                    f"occupancy={tr.get('occupancy', 0.0):.0%}"
+                )
+            parts.append(f"spans={tr.get('spans', 0):.0f}")
+            out.append("trace: " + " ".join(parts))
+            dropped = tr.get("dropped", 0.0)
+            if dropped > 0:
+                out.append(
+                    f"WARNING: trace ring buffer dropped {dropped:.0f} events "
+                    "(raise trace_max_events or filter kinds)"
+                )
+            span_dropped = tr.get("spans_dropped", 0.0)
+            if span_dropped > 0:
+                out.append(
+                    f"WARNING: span ring buffer dropped {span_dropped:.0f} "
+                    "spans; critical-path blame may be incomplete"
+                )
         return "\n".join(out)
 
 
@@ -123,6 +176,25 @@ def build_run_report(result: "AppResult") -> RunReport:
         short: reg.series(full).to_dict()
         for short, full in _strip_prefix(reg.series_names("util."), "util.").items()
     }
+    blame: dict[str, Any] | None = None
+    if getattr(obs, "spans", None) is not None and len(obs.spans):
+        from repro.obs.critpath import critical_path
+
+        try:
+            blame = critical_path(obs, app_id=result.app_id or None).to_dict()
+        except ValueError:
+            blame = None
+    windows = getattr(obs, "windows", None)
+    windowed = (
+        windows.snapshot(result.finished_at)
+        if windows is not None and windows.windows
+        else {}
+    )
+    trace_stats = {
+        name.removeprefix("trace."): v
+        for name, v in reg.gauges.items()
+        if name.startswith("trace.")
+    }
     return RunReport(
         app_name=result.app_name,
         scheduler_name=result.scheduler_name,
@@ -135,4 +207,7 @@ def build_run_report(result: "AppResult") -> RunReport:
         queue_depth=queue_depth,
         utilization=utilization,
         counters=dict(sorted(reg.counters.items())),
+        blame=blame,
+        windowed=windowed,
+        trace_stats=trace_stats,
     )

@@ -1,0 +1,146 @@
+"""Causal spans: the who-waited-on-what skeleton of one run.
+
+Every task attempt, stage, job, and application emits one :class:`Span` when
+it finishes.  Spans carry parent links (task -> stage -> job -> app) and
+*phase segments* — ordered ``(phase, seconds)`` pairs splitting the span's
+wall time into queued / scheduler-delay / input / fetch / shuffle-disk /
+(de)serialize / compute / gc / output — so the critical-path analyzer
+(:mod:`repro.obs.critpath`) can walk a finished run's span DAG and say not
+just *that* a run was slow but *where* the makespan went.
+
+Spans are collected by the per-run :class:`SpanRecorder` (a bounded ring,
+like the trace recorder, so unbounded horizons cannot grow memory) and —
+when simulation tracing is on — mirrored into the
+:class:`~repro.simulate.trace.TraceRecorder` as ``kind="span"`` events, so
+span data rides the same export paths as every other trace event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+# Span kinds, leaf to root.
+TASK = "task"
+STAGE = "stage"
+JOB = "job"
+APP = "app"
+
+# Phase names a task span may carry, in pipeline order.  ``queued`` is the
+# pre-launch wait (task runnable -> launched); the rest mirror TaskMetrics.
+TASK_PHASES = (
+    "queued",
+    "sched_delay",
+    "input_read",
+    "fetch",
+    "shuffle_disk",
+    "ser",
+    "compute",
+    "gc",
+    "output",
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished unit of work, with its causal parent and phase split."""
+
+    span_id: str
+    kind: str                # "task" | "stage" | "job" | "app"
+    name: str                # task key / stage template / job name / app name
+    start: float
+    end: float
+    parent_id: str | None = None
+    phases: tuple[tuple[str, float], ...] = ()
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def phase(self, name: str) -> float:
+        """Total seconds recorded under one phase name (0.0 if absent)."""
+        return sum(s for n, s in self.phases if n == name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "kind": self.kind,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "t0": self.start,
+            "t1": self.end,
+            "phases": [[n, s] for n, s in self.phases],
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Span":
+        return cls(
+            span_id=d["span_id"],
+            kind=d["kind"],
+            name=d["name"],
+            start=d["t0"],
+            end=d["t1"],
+            parent_id=d.get("parent_id"),
+            phases=tuple((n, s) for n, s in d.get("phases", [])),
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+class SpanRecorder:
+    """Collects finished spans for one run, bounded by a ring buffer.
+
+    The ring keeps the most recent ``max_spans`` spans and counts evictions
+    in ``dropped`` (the same contract as the trace recorder), so week-long
+    open-loop horizons stay memory-bounded while short runs keep everything.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 100_000):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans: deque[Span] = deque(maxlen=max_spans)
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        if not self.enabled:
+            return
+        if len(self.spans) == self.max_spans:
+            self.dropped += 1
+        self.spans.append(span)
+
+    # -- read path ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def of_kind(self, kind: str) -> Iterator[Span]:
+        return (s for s in self.spans if s.kind == kind)
+
+    def of_app(self, app_id: str, kind: str | None = None) -> list[Span]:
+        """Spans belonging to one application (by ``attrs["app"]``)."""
+        return [
+            s
+            for s in self.spans
+            if s.attrs.get("app") == app_id and (kind is None or s.kind == kind)
+        ]
+
+    def find(self, span_id: str) -> Span | None:
+        """The span with this id; re-emissions (shuffle-loss re-runs) resolve
+        to the latest one."""
+        found = None
+        for s in self.spans:
+            if s.span_id == span_id:
+                found = s
+        return found
+
+    def app_ids(self) -> list[str]:
+        """Distinct application ids with at least one app span, sorted."""
+        return sorted({s.attrs.get("app", "") for s in self.of_kind(APP)})

@@ -1,0 +1,257 @@
+"""Sliding-window telemetry: steady-state metrics for long-horizon runs.
+
+The whole-run :class:`~repro.obs.metrics.MetricsRegistry` answers "what
+happened over the entire run" — useless for a service that has been up for a
+simulated week, where operators want "P99 queueing delay *over the last
+minute*".  This module adds that layer: each :class:`SlidingWindow` is a
+ring of fixed-width time buckets (count/total/min/max plus an optional
+log-bucket histogram per bucket), so an observation is O(1), memory is fixed
+regardless of horizon, and window aggregates (mean, rate, P50/P99) merge the
+live buckets on read.
+
+Windows are mergeable like the registry (bucket rings align on absolute
+bucket epochs), so the parallel experiment pool can fold per-run windows
+into a fleet view with the same ``merge_from`` discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.obs.metrics import Histogram
+
+
+class _Bucket:
+    """One time slice of a sliding window."""
+
+    __slots__ = ("epoch", "count", "total", "min", "max", "hist")
+
+    def __init__(self, epoch: int, quantiles: bool):
+        self.epoch = epoch
+        self.count = 0.0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.hist: Histogram | None = Histogram() if quantiles else None
+
+    def observe(self, value: float) -> None:
+        self.count += 1.0
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.hist is not None:
+            self.hist.observe(value)
+
+    def add(self, value: float) -> None:
+        self.count += value
+        self.total += value
+
+    def merge_from(self, other: "_Bucket") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        if self.hist is not None and other.hist is not None:
+            self.hist.merge_from(other.hist)
+
+
+class SlidingWindow:
+    """Ring-buffer sliding window over ``window_s`` seconds of observations.
+
+    The window is split into ``buckets`` equal sub-windows; an observation
+    lands in the bucket of its epoch ``int(now / bucket_s)``, recycling the
+    ring slot in place.  Reads aggregate only buckets whose epoch is still
+    inside the window ending at ``now``, so expiry needs no timers.
+
+    With ``quantiles=True`` each bucket carries a log-bucket histogram
+    (:class:`~repro.obs.metrics.Histogram`) and the window answers
+    ``quantile(q)`` with the usual ~±13% bucket resolution; with ``False``
+    the window is a pure counter/rate (``add``) at a fraction of the memory.
+    """
+
+    __slots__ = ("window_s", "buckets", "bucket_s", "quantiles", "_ring")
+
+    def __init__(
+        self, window_s: float = 60.0, buckets: int = 6, quantiles: bool = True
+    ):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        self.window_s = window_s
+        self.buckets = buckets
+        self.bucket_s = window_s / buckets
+        self.quantiles = quantiles
+        self._ring: list[_Bucket | None] = [None] * buckets
+
+    # -- write path --------------------------------------------------------------
+    #
+    # The bucket lookup is inlined into observe/add: these fire on every
+    # task completion and dispatch round, and the extra call level showed up
+    # in the observability-overhead gate.
+
+    def observe(self, now: float, value: float) -> None:
+        epoch = int(now / self.bucket_s)
+        slot = epoch % self.buckets
+        b = self._ring[slot]
+        if b is None or b.epoch != epoch:
+            b = self._ring[slot] = _Bucket(epoch, self.quantiles)
+        b.observe(value)
+
+    def add(self, now: float, value: float = 1.0) -> None:
+        epoch = int(now / self.bucket_s)
+        slot = epoch % self.buckets
+        b = self._ring[slot]
+        if b is None or b.epoch != epoch:
+            b = self._ring[slot] = _Bucket(epoch, self.quantiles)
+        b.add(value)
+
+    def merge_from(self, other: "SlidingWindow") -> None:
+        """Fold another window's buckets into this one, aligned by epoch.
+
+        Requires identical geometry (same ``window_s``/``buckets``): buckets
+        with matching epochs merge sample-wise; epochs this ring has not seen
+        take the other side's bucket; older epochs than a slot's current
+        occupant are dropped (they are outside any future window anyway).
+        """
+        if (other.window_s, other.buckets) != (self.window_s, self.buckets):
+            raise ValueError(
+                "cannot merge sliding windows with different geometry: "
+                f"{other.window_s}s/{other.buckets} into "
+                f"{self.window_s}s/{self.buckets}"
+            )
+        for ob in other._ring:
+            if ob is None:
+                continue
+            slot = ob.epoch % self.buckets
+            mine = self._ring[slot]
+            if mine is None or mine.epoch < ob.epoch:
+                fresh = _Bucket(ob.epoch, self.quantiles)
+                fresh.merge_from(ob)
+                self._ring[slot] = fresh
+            elif mine.epoch == ob.epoch:
+                mine.merge_from(ob)
+            # mine.epoch > ob.epoch: other's bucket is stale — drop it.
+
+    # -- read path ---------------------------------------------------------------
+
+    def _live(self, now: float) -> list[_Bucket]:
+        """Buckets inside the window ending at ``now`` (inclusive of now's)."""
+        epoch = int(now / self.bucket_s)
+        lo = epoch - self.buckets + 1
+        return [
+            b for b in self._ring if b is not None and lo <= b.epoch <= epoch
+        ]
+
+    def count(self, now: float) -> float:
+        return sum(b.count for b in self._live(now))
+
+    def rate_per_s(self, now: float) -> float:
+        """Events (or summed counter increments) per second over the window."""
+        return self.count(now) / self.window_s
+
+    def mean(self, now: float) -> float:
+        live = self._live(now)
+        n = sum(b.count for b in live)
+        return sum(b.total for b in live) / n if n else 0.0
+
+    def quantile(self, now: float, q: float) -> float:
+        if not self.quantiles:
+            raise ValueError("window was built without quantile tracking")
+        merged = Histogram()
+        for b in self._live(now):
+            if b.hist is not None:
+                merged.merge_from(b.hist)
+        return merged.quantile(q)
+
+    def snapshot(self, now: float) -> dict[str, float]:
+        live = self._live(now)
+        n = sum(b.count for b in live)
+        out: dict[str, float] = {
+            "count": n,
+            "mean": sum(b.total for b in live) / n if n else 0.0,
+            "rate_per_s": n / self.window_s,
+        }
+        if live and n:
+            out["min"] = min(b.min for b in live)
+            out["max"] = max(b.max for b in live)
+        if self.quantiles:
+            merged = Histogram()
+            for b in live:
+                if b.hist is not None:
+                    merged.merge_from(b.hist)
+            out["p50"] = merged.quantile(0.50)
+            out["p99"] = merged.quantile(0.99)
+        return out
+
+
+class WindowedMetrics:
+    """Named sliding windows: the steady-state face of the metrics layer.
+
+    ``observe`` tracks a value distribution (windowed P50/P99); ``add``
+    tracks a counter (windowed rate).  All windows share one geometry so the
+    registry stays mergeable across runs.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        window_s: float = 60.0,
+        buckets: int = 6,
+    ):
+        self.enabled = enabled
+        self.window_s = window_s
+        self.buckets = buckets
+        self.windows: dict[str, SlidingWindow] = {}
+
+    def _window(self, name: str, quantiles: bool) -> SlidingWindow:
+        w = self.windows.get(name)
+        if w is None:
+            w = self.windows[name] = SlidingWindow(
+                self.window_s, self.buckets, quantiles=quantiles
+            )
+        return w
+
+    def observe(self, name: str, now: float, value: float) -> None:
+        if not self.enabled:
+            return
+        w = self.windows.get(name)
+        if w is None:
+            w = self._window(name, quantiles=True)
+        w.observe(now, value)
+
+    def add(self, name: str, now: float, value: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        w = self.windows.get(name)
+        if w is None:
+            w = self._window(name, quantiles=False)
+        w.add(now, value)
+
+    def window(self, name: str) -> SlidingWindow | None:
+        return self.windows.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self.windows)
+
+    def merge_from(self, other: "WindowedMetrics") -> None:
+        if not self.enabled:
+            return
+        for name, w in other.windows.items():
+            mine = self.windows.get(name)
+            if mine is None:
+                mine = self.windows[name] = SlidingWindow(
+                    w.window_s, w.buckets, quantiles=w.quantiles
+                )
+            mine.merge_from(w)
+
+    def snapshot(self, now: float) -> dict[str, Any]:
+        """Every window's aggregate over the window ending at ``now``."""
+        return {
+            name: self.windows[name].snapshot(now) for name in self.names()
+        }

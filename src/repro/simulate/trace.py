@@ -61,6 +61,13 @@ class TraceRecorder:
             self.dropped += 1
         self.events.append(TraceEvent(time, kind, data))
 
+    @property
+    def occupancy(self) -> float:
+        """Ring-buffer fill fraction in [0, 1] (0.0 when unbounded)."""
+        if self.max_events is None:
+            return 0.0
+        return len(self.events) / self.max_events
+
     def of_kind(self, kind: str) -> Iterator[TraceEvent]:
         return (e for e in self.events if e.kind == kind)
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.monitor import ClusterMonitor
 from repro.obs.decision import Observability
+from repro.obs.span import Span
 from repro.spark.application import Application, Job
 from repro.spark.executor import Executor
 from repro.spark.metrics import TaskMetrics
@@ -32,6 +33,21 @@ from repro.spark.speculation import SpeculationLoop
 from repro.spark.stage import Stage
 from repro.spark.task import TaskSpec
 from repro.spark.taskset import TaskSetAborted, TaskSetManager
+
+# Per-task metric names are cached: the f-string builds showed up in the
+# observability-overhead gate (two per task attempt across a whole run).
+_TASK_METRIC = {
+    outcome: f"tasks.{outcome}"
+    for outcome in ("succeeded", "oom", "killed", "failed", "launched")
+}
+_APP_METRIC: dict[tuple[str, str], str] = {}
+
+
+def _app_metric(app_id: str, outcome: str) -> str:
+    name = _APP_METRIC.get((app_id, outcome))
+    if name is None:
+        name = _APP_METRIC[(app_id, outcome)] = f"app.{app_id}.tasks.{outcome}"
+    return name
 
 
 @dataclass
@@ -125,6 +141,7 @@ class AppHandle:
         self.stage_done: set[int] = set()
         self.current_job: Job | None = None
         self.job_index = 0
+        self.job_start_time = 0.0
 
     @property
     def is_active(self) -> bool:
@@ -320,16 +337,19 @@ class Driver:
         self._services_running = False
         # Quiesce point: fold the simulation core's counters into the run's
         # metrics (delta-tracked, so repeated idle/wake cycles don't double
-        # count).
+        # count), and snapshot trace/span ring health so silent drops surface
+        # in the run report.
         self.ctx.obs.record_sim_counters(
             self.ctx.sim, self.ctx.cluster.fluid_resources()
         )
+        self.ctx.obs.note_trace_state(self.ctx.trace)
 
     def _finish_app(self, handle: AppHandle) -> None:
         handle.done = True
         handle.finish_time = self.ctx.now
         self.ctx.pools.deactivate(handle.app_id)
         self.scheduler.on_app_removed(handle.app_id)
+        self._emit_app_span(handle, aborted=False)
         if not self._any_active():
             self._stop_services(sample=True)
         self.ctx.trace.record(self.ctx.now, "app_complete", app=handle.app_id)
@@ -340,6 +360,7 @@ class Driver:
         handle.aborted = True
         handle.finish_time = self.ctx.now
         self.ctx.pools.deactivate(handle.app_id)
+        self._emit_app_span(handle, aborted=True)
         if not self._any_active():
             self._stop_services(sample=False)
         for ex in list(self.executors.values()):
@@ -464,6 +485,7 @@ class Driver:
         job = handle.app.jobs[handle.job_index]
         handle.job_index += 1
         handle.current_job = job
+        handle.job_start_time = self.ctx.now
         self.ctx.trace.record(self.ctx.now, "job_start", job=job.name)
         for stage in job.roots():
             self._submit_stage(handle, stage)
@@ -498,6 +520,14 @@ class Driver:
             speculative=speculative,
             extra_dispatch_delay=extra_dispatch_delay,
         )
+        # Queue wait: runnable (stage submission or requeue) -> this launch.
+        # Speculative copies are never "waiting" — the primary attempt runs.
+        queued = (
+            0.0
+            if speculative
+            else max(0.0, self.ctx.sim.now - ts.states[spec.index].ready_since)
+        )
+        run.metrics.extras["queued_s"] = queued
         ts.register_launch(spec, run)
         self.all_runs.append(run)
         handle = self.apps.get(ts.app_id)
@@ -506,7 +536,11 @@ class Driver:
         self.ctx.pools.note_launch(ts.app_id)
         self.ctx.obs.metrics.inc("tasks.launched")
         if ts.app_id:
-            self.ctx.obs.metrics.inc(f"app.{ts.app_id}.tasks.launched")
+            self.ctx.obs.metrics.inc(_app_metric(ts.app_id, "launched"))
+        if not speculative:
+            self.ctx.obs.windows.observe(
+                "task.queue_wait_s", self.ctx.sim.now, queued
+            )
         run.start()
         return run
 
@@ -517,12 +551,13 @@ class Driver:
             if m.succeeded
             else "oom" if m.failed_oom else "killed" if m.killed else "failed"
         )
-        self.ctx.obs.metrics.inc(f"tasks.{outcome}")
+        self.ctx.obs.metrics.inc(_TASK_METRIC[outcome])
         ts = run.taskset
         app_id = ts.app_id
         self.ctx.pools.note_end(app_id)
         if app_id:
-            self.ctx.obs.metrics.inc(f"app.{app_id}.tasks.{outcome}")
+            self.ctx.obs.metrics.inc(_app_metric(app_id, outcome))
+        self._emit_task_span(run, outcome)
         handle = self.apps.get(app_id)
         stage_completed = False
         try:
@@ -548,6 +583,7 @@ class Driver:
         self.ctx.trace.record(self.ctx.now, "stage_complete", stage=stage.template_id)
         job = handle.current_job
         assert job is not None
+        self._emit_stage_span(handle, ts)
         for child in job.children_of(stage):
             if child.stage_id in handle.tasksets:
                 # Unblock consumers that were waiting on a shuffle re-run.
@@ -562,4 +598,134 @@ class Driver:
                 self._submit_stage(handle, child)
         if all(s.stage_id in handle.stage_done for s in job.stages):
             self.ctx.trace.record(self.ctx.now, "job_complete", job=job.name)
+            self._emit_job_span(handle, job)
             self._submit_next_job(handle)
+
+    # -- causal spans -------------------------------------------------------------
+    #
+    # Every task attempt, stage, job, and app emits one Span on completion,
+    # parent-linked task -> stage -> job -> app, with the task's wall time
+    # split into phase segments.  Span emission is pure observation: it
+    # schedules no simulator events and touches no RNG, so golden decision
+    # signatures are unaffected.
+
+    def _emit_task_span(self, run: TaskRun, outcome: str) -> None:
+        obs = self.ctx.obs
+        if not obs.enabled:
+            return
+        m = run.metrics
+        ts = run.taskset
+        app_id = ts.app_id
+        queued = m.extras.get("queued_s", 0.0)
+        st = ts.states[m.index]
+        first = st.first_launch if st.first_launch is not None else m.launch_time
+        phases: list[tuple[str, float]] = []
+        if queued > 0:
+            phases.append(("queued", queued))
+        if m.scheduler_delay > 0:
+            phases.append(("sched_delay", m.scheduler_delay))
+        if m.input_read_time > 0:
+            phases.append(("input_read", m.input_read_time))
+        if m.fetch_wait_time > 0:
+            phases.append(("fetch", m.fetch_wait_time))
+        if m.shuffle_disk_time > 0:
+            phases.append(("shuffle_disk", m.shuffle_disk_time))
+        if m.ser_time > 0:
+            phases.append(("ser", m.ser_time))
+        if m.compute_time > 0:
+            phases.append(("compute", m.compute_time))
+        if m.gc_time > 0:
+            phases.append(("gc", m.gc_time))
+        if m.output_time > 0:
+            phases.append(("output", m.output_time))
+        obs.record_span(
+            Span(
+                # Task keys recur across jobs (iteration N re-runs the same
+                # stage template), so the stage id is part of the identity.
+                span_id=f"task:{app_id}/s{m.stage_id}/{m.task_key}#a{m.attempt}",
+                kind="task",
+                name=m.task_key,
+                start=m.launch_time - queued,
+                end=m.finish_time,
+                parent_id=f"stage:{app_id}/{m.stage_id}",
+                phases=tuple(phases),
+                attrs={
+                    "app": app_id,
+                    "node": m.node,
+                    "attempt": m.attempt,
+                    "speculative": m.speculative,
+                    "status": outcome,
+                    "locality": m.locality.name,
+                    "core_rate": run.executor.node.core_rate,
+                    "stage_id": m.stage_id,
+                    "first_start": first,
+                },
+            ),
+            self.ctx.trace,
+        )
+        obs.windows.observe("task.duration_s", self.ctx.now, m.duration)
+
+    def _emit_stage_span(self, handle: AppHandle, ts: TaskSetManager) -> None:
+        obs = self.ctx.obs
+        if not obs.enabled:
+            return
+        stage = ts.stage
+        obs.record_span(
+            Span(
+                span_id=f"stage:{handle.app_id}/{stage.stage_id}",
+                kind="stage",
+                name=stage.template_id,
+                start=ts.submit_time,
+                end=self.ctx.now,
+                parent_id=f"job:{handle.app_id}/{handle.job_index - 1}",
+                attrs={
+                    "app": handle.app_id,
+                    "stage_id": stage.stage_id,
+                    "tasks": stage.num_tasks,
+                    "parents": [
+                        f"stage:{handle.app_id}/{p.stage_id}"
+                        for p in stage.parents
+                    ],
+                },
+            ),
+            self.ctx.trace,
+        )
+
+    def _emit_job_span(self, handle: AppHandle, job: Job) -> None:
+        obs = self.ctx.obs
+        if not obs.enabled:
+            return
+        obs.record_span(
+            Span(
+                span_id=f"job:{handle.app_id}/{handle.job_index - 1}",
+                kind="job",
+                name=job.name,
+                start=handle.job_start_time,
+                end=self.ctx.now,
+                parent_id=f"app:{handle.app_id}",
+                attrs={"app": handle.app_id},
+            ),
+            self.ctx.trace,
+        )
+
+    def _emit_app_span(self, handle: AppHandle, aborted: bool) -> None:
+        obs = self.ctx.obs
+        if not obs.enabled:
+            return
+        start = handle.submit_time if handle.submit_time is not None else 0.0
+        obs.record_span(
+            Span(
+                span_id=f"app:{handle.app_id}",
+                kind="app",
+                name=handle.app.name,
+                start=start,
+                end=self.ctx.now,
+                attrs={
+                    "app": handle.app_id,
+                    "aborted": aborted,
+                    "pool": handle.pool,
+                },
+            ),
+            self.ctx.trace,
+        )
+        obs.windows.observe("app.runtime_s", self.ctx.now, self.ctx.now - start)

@@ -37,6 +37,12 @@ class _TaskState:
     running: list["TaskRun"] = field(default_factory=list)
     speculatable: bool = False
     speculated: bool = False
+    # When this task last became runnable (stage submission, or requeue after
+    # a failure/kill/reopen): launch_time - ready_since is its queue wait.
+    ready_since: float = 0.0
+    # First attempt's launch time; a later winning attempt's start minus this
+    # is the straggler time blamed on the critical path.
+    first_launch: float | None = None
 
 
 class TaskSetManager:
@@ -49,7 +55,9 @@ class TaskSetManager:
         # queue teardown, and decision traces on this; "" in unit tests that
         # drive a taskset without a driver).
         self.app_id = app_id
-        self.states = [_TaskState(t) for t in stage.tasks]
+        self.states = [
+            _TaskState(t, ready_since=ctx.sim.now) for t in stage.tasks
+        ]
         self.pending: set[int] = set(range(len(stage.tasks)))
         self.finished_count = 0
         self.submit_time = ctx.sim.now
@@ -178,6 +186,8 @@ class TaskSetManager:
     def register_launch(self, spec: TaskSpec, run: "TaskRun") -> None:
         st = self.states[spec.index]
         st.attempts += 1
+        if st.first_launch is None:
+            st.first_launch = self.ctx.sim.now
         st.running.append(run)
         if run.speculative:
             st.speculated = True
@@ -211,6 +221,7 @@ class TaskSetManager:
             # requeue unless another attempt is still going or it finished.
             if not st.finished and not st.running:
                 self.pending.add(run.task.index)
+                st.ready_since = self.ctx.sim.now
             return False
         # Failure (OOM or otherwise).
         st.failures += 1
@@ -221,6 +232,7 @@ class TaskSetManager:
             )
         if not st.finished and not st.running:
             self.pending.add(run.task.index)
+            st.ready_since = self.ctx.sim.now
         return False
 
     def reopen_task(self, index: int) -> bool:
@@ -232,6 +244,10 @@ class TaskSetManager:
         st.finished = False
         st.speculatable = False
         st.speculated = False
+        # The re-run is a fresh scheduling epoch: queue wait and straggler
+        # accounting restart from now.
+        st.ready_since = self.ctx.sim.now
+        st.first_launch = None
         self.finished_count -= 1
         self.pending.add(index)
         was_complete = self.complete

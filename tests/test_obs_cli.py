@@ -1,4 +1,5 @@
-"""Tests for the ``repro metrics`` and ``repro explain`` CLI commands."""
+"""Tests for the observability CLI commands: ``repro metrics``,
+``repro explain``, ``repro critpath``, and ``repro blame``."""
 
 from __future__ import annotations
 
@@ -85,3 +86,59 @@ class TestExplainCommand:
         out = capsys.readouterr().out
         assert "showing first 2" in out
         assert out.count("launches:") == 2
+
+    def test_app_filter_scopes_query(self, capsys):
+        # A single-app run: the app id is "<name>@0", and both the bare name
+        # and the exact id resolve; a wrong app matches nothing.
+        rc = main([
+            "explain", "#0", "--workload", "gramian",
+            "--scheduler", "rupam", "--seed", "3", "--app", "GM",
+        ])
+        assert rc == 0
+        assert "launches:" in capsys.readouterr().out
+        rc = main([
+            "explain", "#0", "--workload", "gramian",
+            "--scheduler", "rupam", "--seed", "3", "--app", "nosuch@9",
+        ])
+        assert rc == 1
+        assert "no task matches" in capsys.readouterr().out
+
+
+class TestCritpathCommand:
+    def test_prints_chain_and_blame(self, capsys):
+        rc = main([
+            "critpath", "gramian", "--scheduler", "rupam", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "makespan=" in out
+        assert "covered=" in out
+        assert "unattributed" in out
+
+    def test_max_links_elides(self, capsys):
+        rc = main([
+            "critpath", "gramian", "--scheduler", "rupam", "--seed", "3",
+            "--max-links", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("covered=") == 1
+
+
+class TestBlameCommand:
+    def test_single_scheduler_blame(self, capsys):
+        rc = main(["blame", "gramian", "--scheduler", "rupam", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blame:" in out and "under rupam" in out
+        for cat in ("queueing", "compute", "hetero", "shuffle", "straggler"):
+            assert cat in out
+
+    def test_compare_prints_delta(self, capsys):
+        rc = main(["blame", "gramian", "--seed", "3", "--compare"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "under spark" in out and "under rupam" in out
+        assert "blame delta (spark - rupam):" in out
+        assert "hetero" in out.split("blame delta")[1]

@@ -156,6 +156,43 @@ class TestDecisionTraceUnit:
         assert trace.matching_keys("map#1") == ["t:map#1", "t:map#11"]
         assert trace.matching_keys("nope") == []
 
+    def _multi_tenant_trace(self) -> DecisionTrace:
+        """Two apps of the same workload: task keys collide across apps."""
+        trace = self._trace()
+        for i, app in enumerate(("lr@1", "lr@2", "pr@3")):
+            d = DispatchDecision(
+                time=float(i), task_key="lr:gradient#3" if app != "pr@3"
+                else "pr:contrib#0",
+                attempt=0, node=f"n{i}", queue="cpu",
+                locality="NODE_LOCAL", reason=obs.LAUNCH_BEST_LOCALITY,
+                app=app,
+            )
+            trace.record_launch(d)
+        return trace
+
+    def test_app_filter_on_task_keys_and_explain(self):
+        trace = self._multi_tenant_trace()
+        assert trace.apps() == ["lr@1", "lr@2", "pr@3"]
+        # Unfiltered: the shared key appears once (keys are not app-prefixed).
+        assert trace.task_keys() == ["lr:gradient#3", "pr:contrib#0"]
+        assert trace.task_keys(app="pr@3") == ["pr:contrib#0"]
+        # Exact app id narrows the decision list; the bare name matches any
+        # instance of that workload.
+        assert len(trace.explain("lr:gradient#3").decisions) == 2
+        assert len(trace.explain("lr:gradient#3", app="lr@1").decisions) == 1
+        assert len(trace.explain("lr:gradient#3", app="lr").decisions) == 2
+
+    def test_matching_keys_normalizes_app_slash_key_queries(self):
+        trace = self._multi_tenant_trace()
+        # "app/key" form resolves the prefix as an app filter.
+        assert trace.matching_keys("lr@1/lr:gradient#3") == ["lr:gradient#3"]
+        assert trace.matching_keys("lr@1/gradient") == ["lr:gradient#3"]
+        assert trace.matching_keys("lr@1/pr:contrib#0") == []
+        # A prefix that names no known app stays part of the query.
+        assert trace.matching_keys("zz@9/lr:gradient#3") == []
+        # Explicit app argument wins over normalization.
+        assert trace.matching_keys("gradient", app="lr@2") == ["lr:gradient#3"]
+
     def test_explanation_render_mentions_reasons(self):
         trace = self._trace()
         trace.record_enqueue(0.0, "a#0", "cpu")

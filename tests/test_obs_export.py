@@ -50,8 +50,12 @@ class TestJsonl:
         write_jsonl(rupam_result.obs, path)
         recs = read_jsonl(path)
         types = {r["type"] for r in recs}
-        assert types == {"decision", "rejection", "series", "counters"}
-        timed = [r["t"] for r in recs if r["type"] in ("decision", "rejection")]
+        assert types == {"decision", "rejection", "span", "series", "counters"}
+        timed = [
+            r["t"]
+            for r in recs
+            if r["type"] in ("decision", "rejection", "span")
+        ]
         assert timed == sorted(timed)
         counters = [r for r in recs if r["type"] == "counters"]
         assert len(counters) == 1

@@ -52,6 +52,27 @@ class TestHistogram:
         s = Histogram().summary()
         assert s["count"] == 0 and s["p99"] == 0.0 and s["min"] == 0.0
 
+    def test_empty_histogram_quantiles_are_zero(self):
+        h = Histogram()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_single_value_histogram_every_quantile_is_that_value(self):
+        h = Histogram()
+        h.observe(3.7)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(3.7)
+
+    def test_q0_and_q1_hit_observed_extremes(self):
+        h = Histogram()
+        for v in (0.2, 1.0, 7.0, 55.0):
+            h.observe(v)
+        # q=0 lands in the min's bucket (±13% resolution, never below min);
+        # q=1 clamps exactly to the observed max.
+        assert h.quantile(0.0) == pytest.approx(0.2, rel=0.13)
+        assert h.quantile(0.0) >= 0.2
+        assert h.quantile(1.0) == 55.0
+
     def test_extreme_values_land_in_clamp_buckets(self):
         h = Histogram()
         h.observe(1e-12)
@@ -147,9 +168,44 @@ class TestMergeFrom:
         assert parent.counter("child.only") == 1.0
         assert parent.gauges["g"] == 9.0
         assert parent.histogram("lat").count == 1
-        # Time series are NOT merged: per-run sim clocks do not compose.
-        assert parent.series("child.series") is None
+        # Time series merge time-ordered (every run's sim clock starts at 0).
+        assert parent.series("child.series") is not None
         assert parent.series("parent.series") is not None
+
+    def test_series_merge_is_time_ordered_and_capped(self):
+        a, b = TimeSeries(max_points=100), TimeSeries(max_points=100)
+        for i in range(0, 10, 2):
+            a.append(float(i), 1.0)
+        for i in range(1, 10, 2):
+            b.append(float(i), 2.0)
+        a.merge_from(b)
+        d = a.to_dict()
+        assert d["t"] == sorted(d["t"])
+        assert d["t"] == [float(i) for i in range(10)]
+        assert d["v"] == [1.0, 2.0] * 5
+
+    def test_series_merge_respects_max_points(self):
+        a, b = TimeSeries(max_points=32), TimeSeries(max_points=32)
+        for i in range(500):
+            a.append(float(i), float(i))
+            b.append(float(i) + 0.5, float(i))
+        a.merge_from(b)
+        assert len(a) <= 32
+        d = a.to_dict()
+        assert d["t"] == sorted(d["t"])
+        # Full time coverage survives the cap (no tail truncation).
+        assert d["t"][0] <= 1.0 and d["t"][-1] > 450.0
+
+    def test_registry_series_merge_folds_same_name(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.sample("util.cpu", 0.0, 0.1)
+        parent.sample("util.cpu", 2.0, 0.3)
+        child.sample("util.cpu", 1.0, 0.2)
+        parent.merge_from(child)
+        assert parent.series("util.cpu").to_dict() == {
+            "t": [0.0, 1.0, 2.0],
+            "v": [0.1, 0.2, 0.3],
+        }
 
     def test_disabled_parent_merge_is_noop(self):
         parent = MetricsRegistry(enabled=False)

@@ -1,0 +1,154 @@
+"""Tests for the sliding-window telemetry layer (repro.obs.windows)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.windows import SlidingWindow, WindowedMetrics
+
+
+class TestSlidingWindow:
+    def test_count_and_rate_inside_window(self):
+        w = SlidingWindow(window_s=60.0, buckets=6)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            w.observe(t, 1.0)
+        assert w.count(30.0) == 4
+        assert w.rate_per_s(30.0) == pytest.approx(4 / 60.0)
+
+    def test_old_buckets_expire(self):
+        w = SlidingWindow(window_s=60.0, buckets=6)
+        w.observe(0.0, 5.0)
+        w.observe(100.0, 7.0)
+        # At t=100 the t=0 bucket is outside [41, 100]: only one sample left.
+        assert w.count(100.0) == 1
+        assert w.mean(100.0) == pytest.approx(7.0)
+
+    def test_ring_slot_recycled_on_epoch_wrap(self):
+        w = SlidingWindow(window_s=60.0, buckets=6)
+        w.observe(5.0, 1.0)     # epoch 0
+        w.observe(65.0, 2.0)    # epoch 6 -> same slot, must reset in place
+        assert w.count(65.0) == 1
+        assert w.mean(65.0) == pytest.approx(2.0)
+
+    def test_quantiles_over_live_buckets(self):
+        w = SlidingWindow(window_s=60.0, buckets=6)
+        for i in range(100):
+            w.observe(float(i % 50), 1.0 + (i % 10))
+        p50 = w.quantile(50.0, 0.50)
+        p99 = w.quantile(50.0, 0.99)
+        assert 0 < p50 <= p99 <= 10.0 * 1.2
+
+    def test_counter_mode_rejects_quantiles(self):
+        w = SlidingWindow(window_s=60.0, buckets=6, quantiles=False)
+        w.add(1.0, 3.0)
+        assert w.count(1.0) == 3.0
+        with pytest.raises(ValueError, match="quantile"):
+            w.quantile(1.0, 0.5)
+
+    def test_snapshot_fields(self):
+        w = SlidingWindow(window_s=60.0, buckets=6)
+        w.observe(1.0, 2.0)
+        w.observe(2.0, 8.0)
+        snap = w.snapshot(10.0)
+        assert snap["count"] == 2
+        assert snap["mean"] == pytest.approx(5.0)
+        assert snap["min"] == 2.0 and snap["max"] == 8.0
+        assert "p50" in snap and "p99" in snap
+
+    def test_empty_snapshot(self):
+        snap = SlidingWindow(window_s=60.0, buckets=6).snapshot(0.0)
+        assert snap["count"] == 0 and snap["rate_per_s"] == 0.0
+        assert "min" not in snap
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(window_s=0.0)
+        with pytest.raises(ValueError):
+            SlidingWindow(buckets=0)
+
+
+class TestSlidingWindowMerge:
+    def test_merge_aligns_absolute_epochs(self):
+        a = SlidingWindow(window_s=60.0, buckets=6)
+        b = SlidingWindow(window_s=60.0, buckets=6)
+        a.observe(5.0, 1.0)    # epoch 0
+        b.observe(7.0, 3.0)    # epoch 0 too: same bucket after merge
+        b.observe(15.0, 5.0)   # epoch 1: new bucket for a
+        a.merge_from(b)
+        assert a.count(20.0) == 3
+        assert a.mean(20.0) == pytest.approx(3.0)
+
+    def test_merge_drops_stale_epochs(self):
+        a = SlidingWindow(window_s=60.0, buckets=6)
+        b = SlidingWindow(window_s=60.0, buckets=6)
+        b.observe(5.0, 100.0)   # epoch 0
+        a.observe(65.0, 1.0)    # epoch 6 occupies the same slot, is newer
+        a.merge_from(b)
+        assert a.count(65.0) == 1
+        assert a.mean(65.0) == pytest.approx(1.0)
+
+    def test_merge_geometry_mismatch_raises(self):
+        a = SlidingWindow(window_s=60.0, buckets=6)
+        b = SlidingWindow(window_s=30.0, buckets=6)
+        with pytest.raises(ValueError, match="geometry"):
+            a.merge_from(b)
+
+
+class TestWindowedMetrics:
+    def test_observe_and_add_create_typed_windows(self):
+        wm = WindowedMetrics()
+        wm.observe("lat", 1.0, 0.5)
+        wm.add("hits", 1.0)
+        assert wm.names() == ["hits", "lat"]
+        assert wm.window("lat").quantiles is True
+        assert wm.window("hits").quantiles is False
+
+    def test_disabled_is_noop(self):
+        wm = WindowedMetrics(enabled=False)
+        wm.observe("lat", 1.0, 0.5)
+        wm.add("hits", 1.0)
+        assert wm.names() == []
+
+    def test_merge_from_folds_same_names(self):
+        a, b = WindowedMetrics(), WindowedMetrics()
+        a.add("hits", 1.0, 2.0)
+        b.add("hits", 2.0, 3.0)
+        b.add("b.only", 2.0)
+        a.merge_from(b)
+        assert a.window("hits").count(10.0) == 5.0
+        assert a.window("b.only") is not None
+
+    def test_snapshot_covers_all_windows(self):
+        wm = WindowedMetrics()
+        wm.observe("lat", 1.0, 0.5)
+        wm.add("hits", 1.0)
+        snap = wm.snapshot(10.0)
+        assert set(snap) == {"hits", "lat"}
+        assert snap["lat"]["count"] == 1
+
+
+class TestWindowsEndToEnd:
+    def test_run_populates_windows_and_pickles(self):
+        from repro.experiments.runner import RunSpec, run_once
+
+        res = run_once(
+            RunSpec(
+                workload="gramian",
+                scheduler="rupam",
+                seed=3,
+                monitor_interval=1.0,
+            )
+        )
+        wm = res.obs.windows
+        names = wm.names()
+        # Scheduler-side and monitor-side feeds are both live.
+        assert "task.duration_s" in names
+        assert "tm.admissions" in names
+        assert "util.cpu" in names
+        snap = wm.snapshot(res.finished_at)
+        assert snap["task.duration_s"]["count"] > 0
+        # The bundle must survive the worker-pool pickle path.
+        clone = pickle.loads(pickle.dumps(res))
+        assert clone.obs.windows.snapshot(res.finished_at) == snap

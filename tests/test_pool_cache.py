@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import os
 import pickle
-from dataclasses import asdict
+from dataclasses import asdict, replace
 
 import pytest
 
@@ -272,6 +272,32 @@ class TestObsMerge:
         child.decisions.reason_counts["mem"] = 1
         parent.merge_run(child)
         assert parent.decisions.reason_counts == {"busy": 5, "mem": 1}
+
+    def test_merge_run_folds_series_and_windows(self):
+        parent, child = Observability(enabled=True), Observability(enabled=True)
+        parent.metrics.sample("util.cpu", 0.0, 0.2)
+        child.metrics.sample("util.cpu", 1.0, 0.4)
+        child.metrics.sample("util.gpu", 0.0, 0.9)
+        child.windows.observe("task.duration_s", 5.0, 3.0)
+        parent.merge_run(child)
+        assert parent.metrics.series("util.cpu").to_dict() == {
+            "t": [0.0, 1.0],
+            "v": [0.2, 0.4],
+        }
+        assert parent.metrics.series("util.gpu") is not None
+        assert parent.windows.window("task.duration_s").count(5.0) == 1
+
+    def test_pool_merges_series_and_windows_from_runs(self):
+        """End-to-end: worker-pool runs land their series and sliding windows
+        in the parent bundle (the satellite-3 pool-merge path)."""
+        parent = Observability(enabled=True)
+        grid = [replace(s, monitor_interval=1.0) for s in small_grid()[:2]]
+        run_many(grid, jobs=1, obs=parent)
+        names = parent.metrics.series_names("util.")
+        assert names, "per-run utilization series did not merge"
+        s = parent.metrics.series(names[0]).to_dict()
+        assert s["t"] == sorted(s["t"])
+        assert parent.windows.names(), "per-run windows did not merge"
 
     def test_disabled_parent_is_noop(self):
         parent = Observability(enabled=False)
