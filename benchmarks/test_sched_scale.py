@@ -1,234 +1,50 @@
-"""Dispatch-engine scale benchmarks: incremental vs. pre-rewrite engine.
+"""Dispatch-engine scale benchmarks: vectorized vs incremental vs legacy.
 
-Two suites:
+Two suites, both driven by the shared harness in
+:mod:`repro.experiments.schedbench` (also reachable as ``repro bench scale``):
 
 * ``test_dispatch_scale`` sweeps a (nodes x tasks) grid and times one
-  dispatch call on the incremental engine against the frozen pre-rewrite
-  copy in :mod:`benchmarks._legacy_sched`, on identical synthetic worlds.
-  The harness isolates pure scheduling cost: tasks never actually run, so
-  every timed microsecond is queue maintenance, ranking, and task selection.
-* ``test_fig5_decision_parity`` proves the rewrite is behavior-preserving by
-  replaying the fig5 RUPAM trials and comparing every launch decision
+  dispatch call per engine on identical synthetic worlds: the frozen
+  pre-rewrite copy in :mod:`benchmarks._legacy_sched`, the PR-2 incremental
+  engine (scalar scan), and the batch offer pass (numpy masks).  The harness
+  isolates pure scheduling cost: tasks never actually run, so every timed
+  microsecond is queue maintenance, ranking, and task selection.  The
+  vectorized pass must be >=3x faster than the incremental scan at the
+  largest shared tier (1000 nodes x 10k tasks), and it alone runs the
+  10k-node x 100k-task tier.
+* ``test_fig5_decision_parity`` proves the rewrites are behavior-preserving
+  by replaying the fig5 RUPAM trials and comparing every launch decision
   against the golden trace captured before the rewrite
   (``benchmarks/golden/fig5_decisions.json``).
 
-``RUPAM_BENCH_SCALE=paper`` runs the full grid up to 1000 nodes x 10k tasks
-(the acceptance point for the >=5x speedup); the default smoke tier uses the
-same harness on a small grid.
+``RUPAM_BENCH_SCALE=paper`` runs the historical paper grid; the default
+smoke tier now includes the 1000 x 10k acceptance point.
 """
 
 from __future__ import annotations
 
-import time
-
 from benchmarks._legacy_sched import LegacyDispatcher, LegacyTaskQueues
-from repro.cluster.cluster import Cluster
-from repro.cluster.hardware import CpuSpec, DiskSpec, GpuSpec, NodeSpec
-from repro.core.config import RupamConfig
-from repro.core.dispatcher import Dispatcher
-from repro.core.nodeinfo import ALL_KINDS
-from repro.core.resource_monitor import ResourceMonitor
-from repro.core.task_manager import TaskManager
-from repro.obs.decision import Observability
-from repro.simulate.engine import Simulator
-from repro.simulate.randomness import RandomSource
-from repro.simulate.trace import TraceRecorder
-from repro.spark.blocks import BlockManager
-from repro.spark.conf import SparkConf
-from repro.spark.executor import Executor
-from repro.spark.scheduler import SchedulerContext
-from repro.spark.shuffle import ShuffleManager
-from repro.spark.stage import Stage, StageKind
-from repro.spark.task import TaskSpec
-
 from benchmarks.conftest import emit
+from repro.experiments.schedbench import format_table, run_grid, run_vec_tiers
 
-# Heterogeneous node profiles, cycled across the cluster (mirrors the
-# paper's mixed testbed: fast CPUs, SSD nodes, big-memory, a few GPUs).
-_PROFILES = [
-    dict(cores=8, ghz=2.0, mem_gb=32.0, net=1000.0, ssd=False, gpus=0),
-    dict(cores=16, ghz=3.0, mem_gb=64.0, net=10000.0, ssd=True, gpus=0),
-    dict(cores=4, ghz=1.6, mem_gb=16.0, net=1000.0, ssd=False, gpus=0),
-    dict(cores=12, ghz=2.4, mem_gb=128.0, net=10000.0, ssd=True, gpus=2),
-]
-
-
-def _node(name: str, p: dict) -> NodeSpec:
-    return NodeSpec(
-        name=name,
-        cpu=CpuSpec(cores=p["cores"], freq_ghz=p["ghz"]),
-        memory_mb=p["mem_gb"] * 1024,
-        net_mbps=p["net"],
-        disk=DiskSpec(
-            read_mbps=400 if p["ssd"] else 120,
-            write_mbps=350 if p["ssd"] else 100,
-            is_ssd=p["ssd"],
-        ),
-        gpu=GpuSpec(count=p["gpus"], kernel_speedup=8.0) if p["gpus"] else None,
-        rack=f"rack{hash(name) % 8}",
-        group=name,
-    )
-
-
-class BenchTaskSet:
-    """Duck-typed TaskSetManager: just enough surface for the dispatchers."""
-
-    def __init__(self, n_tasks: int):
-        self.pending = set(range(n_tasks))
-        self.blocked = False
-
-    def is_active(self) -> bool:
-        return bool(self.pending)
-
-    def has_speculatable(self) -> bool:
-        return False
-
-    def next_attempt_number(self, spec) -> int:
-        return 0
-
-
-class World:
-    """One synthetic scheduling world: N nodes, T queued tasks, no runtime."""
-
-    def __init__(self, n_nodes: int, n_tasks: int, engine: str):
-        assert engine in ("legacy", "incremental")
-        self.engine = engine
-        sim = Simulator()
-        nodes = [_node(f"b{i}", _PROFILES[i % len(_PROFILES)]) for i in range(n_nodes)]
-        cluster = Cluster(sim, nodes)
-        racks: dict[str, list[str]] = {}
-        for node in cluster:
-            racks.setdefault(node.spec.rack, []).append(node.name)
-        ctx = SchedulerContext(
-            sim=sim,
-            conf=SparkConf(),
-            cluster=cluster,
-            blocks=BlockManager(racks),
-            shuffle=ShuffleManager(),
-            rng=RandomSource(7),
-            trace=TraceRecorder(enabled=False),
-            driver_node=nodes[0].name,
-            obs=Observability(enabled=False),
-        )
-        self.executors = {
-            node.name: Executor(ctx, node, heap_mb=8192.0, slots=node.spec.cpu.cores)
-            for node in cluster
-        }
-        cfg = RupamConfig(gpu_race_enabled=False)
-        rm = ResourceMonitor(ctx, executors=lambda: list(self.executors.values()))
-        tm = TaskManager(ctx, cfg)
-        if engine == "legacy":
-            tm.queues = LegacyTaskQueues()
-        self.rm, self.tm = rm, tm
-        self.budget = 0
-        self.launched = 0
-        cls = LegacyDispatcher if engine == "legacy" else Dispatcher
-        self.dispatcher = cls(
-            ctx,
-            cfg,
-            rm,
-            tm,
-            executors=lambda: self.executors,
-            available_for=lambda ex, kind: self.budget > 0,
-            launch=self._launch,
-            active_tasksets=lambda: [],
-            load_hint=None,
-        )
-        # Identical workload for both engines: tasks spread evenly over the
-        # five resource queues, enqueued straight into the task queues (the
-        # TaskManager's classification policy is not under test here).
-        stage = Stage(
-            "bench:scan",
-            StageKind.SHUFFLE_MAP,
-            [TaskSpec(index=i, compute_gigacycles=1.0) for i in range(n_tasks)],
-        )
-        self.ts = BenchTaskSet(n_tasks)
-        for i, spec in enumerate(stage.tasks):
-            tm.queues.enqueue(ALL_KINDS[i % len(ALL_KINDS)], self.ts, spec, now=0.0)
-        # RUPAM's steady state pins a characterized subset to its
-        # best-observed executor (optExecutor locking): every 20th task is
-        # locked to a node, so find_for_node does real work in both engines.
-        names = [node.name for node in cluster]
-        for i, spec in enumerate(stage.tasks):
-            if i % 20 == 0:
-                name = names[(i // 20) % len(names)]
-                tm._locked[spec.key] = name  # preset, bypassing the DB path
-                if engine == "incremental":
-                    tm.queues.update_lock(spec.key, name)
-        rm.collect_now()
-
-    def _launch(self, ts, spec, ex, loc, kind, speculative=False) -> None:
-        self.budget -= 1
-        self.launched += 1
-        ts.pending.discard(spec.index)
-        if self.engine == "incremental":
-            # What the real scheduler facade does on launch with the new
-            # engine: tombstone the entries and dirty the node's heap key.
-            self.tm.queues.invalidate_task(ts, spec)
-            self.rm.mark_dirty(ex.node.name)
-
-    def timed_dispatch(self, budget: int) -> float:
-        self.budget = budget
-        t0 = time.perf_counter()
-        self.dispatcher.dispatch()
-        return time.perf_counter() - t0
-
-
-def _grid(scale: str) -> list[tuple[int, int]]:
-    if scale == "paper":
-        return [(50, 500), (200, 2000), (1000, 10_000)]
-    return [(20, 200), (60, 600)]
-
-
-def _measure(engine: str, n_nodes: int, n_tasks: int, repeats: int) -> tuple[float, int, dict]:
-    """Best-of-N wall time for one dispatch call on a fresh world."""
-    best, launched, counters = float("inf"), 0, {}
-    budget = max(50, n_nodes // 4)
-    for _ in range(repeats):
-        world = World(n_nodes, n_tasks, engine)
-        dt = world.timed_dispatch(budget)
-        if dt < best:
-            best = dt
-            launched = world.launched
-            if engine == "incremental":
-                counters = {
-                    "requeue_ops": world.dispatcher.resource_queues.requeue_ops,
-                    "task_queue_work_ops": world.tm.queues.work_ops,
-                }
-    return best, launched, counters
+_LEGACY = (LegacyDispatcher, LegacyTaskQueues)
 
 
 def test_dispatch_scale(bench_scale, bench_artifact):
-    rows = []
-    grid = _grid(bench_scale)
-    repeats = 3
-    for n_nodes, n_tasks in grid:
-        legacy_s, legacy_n, _ = _measure("legacy", n_nodes, n_tasks, repeats)
-        inc_s, inc_n, counters = _measure("incremental", n_nodes, n_tasks, repeats)
-        assert inc_n == legacy_n, "engines must launch the same number of tasks"
-        rows.append(
-            {
-                "nodes": n_nodes,
-                "tasks": n_tasks,
-                "launches": inc_n,
-                "legacy_s": round(legacy_s, 6),
-                "incremental_s": round(inc_s, 6),
-                "speedup": round(legacy_s / inc_s, 2),
-                **counters,
-            }
-        )
+    rows = run_grid(bench_scale, repeats=3, legacy=_LEGACY)
+    rows += run_vec_tiers(bench_scale)
     bench_artifact.name = "sched_scale"
     bench_artifact.attach({"scale": bench_scale, "grid": rows})
-    lines = ["nodes  tasks  launches  legacy_s  incremental_s  speedup"]
-    for r in rows:
-        lines.append(
-            f"{r['nodes']:>5}  {r['tasks']:>5}  {r['launches']:>8}  "
-            f"{r['legacy_s']:>8.4f}  {r['incremental_s']:>13.4f}  {r['speedup']:>6.2f}x"
-        )
-    emit("\n".join(lines))
-    top = rows[-1]
+    emit(format_table(rows))
+    top = [r for r in rows if not r.get("vectorized_only")][-1]
+    # The batch-pass acceptance gate: >=3x over the incremental engine at
+    # the largest tier both engines run (1000 nodes x 10k tasks).
+    assert top["vec_speedup"] >= 3.0, (
+        f"batch pass only {top['vec_speedup']}x over incremental at "
+        f"{top['nodes']}x{top['tasks']}"
+    )
     if bench_scale == "paper":
-        # The acceptance point: 1000 nodes x 10k pending tasks.
+        # The PR-2 acceptance point: 1000 nodes x 10k pending tasks.
         assert top["speedup"] >= 5.0, f"expected >=5x at scale, got {top['speedup']}x"
     else:
         # Smoke tier: small grids are noisier; just require no regression.
@@ -236,7 +52,7 @@ def test_dispatch_scale(bench_scale, bench_artifact):
 
 
 def test_fig5_decision_parity(bench_artifact):
-    """The incremental engine makes the exact decisions the old one did."""
+    """The rewritten engines make the exact decisions the old one did."""
     from repro.experiments.parity import (
         capture_fig5_signature,
         diff_signatures,

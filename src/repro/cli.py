@@ -12,6 +12,8 @@ Commands:
 * ``explain`` — run a workload and explain one task's dispatch decisions
   (``--app`` scopes the query in multi-tenant traces).
 * ``critpath`` — run a workload and print the makespan-critical span chain.
+* ``bench`` — run a micro-benchmark (``bench scale``: dispatch-engine
+  speedup table, incremental vs batch offer pass).
 * ``blame`` — run a workload and decompose its makespan into blame
   categories (``--compare`` diffs spark vs rupam).
 * ``list`` — list registered workloads and figures.
@@ -173,6 +175,26 @@ def cmd_blame(args: argparse.Namespace) -> int:
         print("blame delta (spark - rupam):")
         for k, v in blame_delta(paths["spark"], paths["rupam"]).items():
             print(f"  {k:>12}: {v:+.3f}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.schedbench import format_table, run_grid, run_vec_tiers
+
+    legacy = None
+    try:
+        # The frozen pre-rewrite engine ships with the repo's benchmark
+        # suite, not the installed package; include it when available.
+        from benchmarks._legacy_sched import LegacyDispatcher, LegacyTaskQueues
+
+        legacy = (LegacyDispatcher, LegacyTaskQueues)
+    except ImportError:
+        print("(benchmarks._legacy_sched not importable; skipping the "
+              "legacy-engine column)")
+    rows = run_grid(args.scale, repeats=args.repeats, legacy=legacy)
+    if not args.no_vec_tiers:
+        rows += run_vec_tiers(args.scale)
+    print(format_table(rows))
     return 0
 
 
@@ -342,6 +364,29 @@ def build_parser() -> argparse.ArgumentParser:
         "delta (spark - rupam)",
     )
     bl_p.set_defaults(fn=cmd_blame)
+
+    bench_p = sub.add_parser(
+        "bench", help="run a micro-benchmark and print its table"
+    )
+    bench_p.add_argument(
+        "suite",
+        choices=("scale",),
+        help="scale: dispatch-engine wall times (legacy / incremental / "
+        "batch offer pass) over a (nodes x tasks) grid",
+    )
+    bench_p.add_argument(
+        "--scale",
+        choices=("smoke", "paper"),
+        default="smoke",
+        help="grid size (both top out at 10k nodes x 100k tasks)",
+    )
+    bench_p.add_argument("--repeats", type=int, default=3)
+    bench_p.add_argument(
+        "--no-vec-tiers",
+        action="store_true",
+        help="skip the vectorized-only 10k-node tier",
+    )
+    bench_p.set_defaults(fn=cmd_bench)
 
     cmp_p = sub.add_parser("compare", help="run under both schedulers")
     cmp_p.add_argument("workload", choices=workload_names(include_matmul=True))

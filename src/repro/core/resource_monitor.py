@@ -12,11 +12,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.nodeinfo import ALL_KINDS, NodeMetrics
+import numpy as np
+
+from repro.core.nodeinfo import NodeMetrics, NodeTable
 from repro.spark.scheduler import SchedulerContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.spark.executor import Executor
+
+# Below this many nodes the scalar fold beats the array reduction (same
+# discipline as resources.VEC_MIN_FLOWS; both produce bit-identical floats,
+# so the crossover is purely a speed knob).
+VEC_MIN_NODES = 24
 
 
 class ResourceMonitor:
@@ -46,6 +53,13 @@ class ResourceMonitor:
         # Nodes whose report changed since the last consume_dirty() call —
         # this feeds the dispatcher's lazy resource-queue re-keying.
         self.dirty_nodes: set[str] = set()
+        # Struct-of-arrays mirror of executor_data (DESIGN.md §14): the
+        # changed nodes of each collection round land in one batched scatter,
+        # and cluster-wide reductions read columns instead of dataclasses.
+        self.table = NodeTable()
+        self._mean_rows: np.ndarray | None = None
+        self._mean_epoch = -1
+        self._flushed = (0, 0)
 
     def start(self) -> None:
         """Begin (or, after :meth:`stop`, resume) the heartbeat loop."""
@@ -72,13 +86,18 @@ class ResourceMonitor:
             node.gpu.version if node.gpu is not None else -1,
         )
 
-    def collect_now(self, force: bool = False) -> None:
+    def collect_now(self, force: bool = False) -> list[str]:
         """One collection round (also usable without the periodic loop).
 
         Only nodes whose resource/memory versions moved since their last
         report are re-read; ``force=True`` restores the rebuild-everything
         behavior (used by tooling that bypasses the dirty protocol).
+        Returns the names whose report object was rebuilt this call (always
+        a subset of the dirty set) — the dispatcher uses it to patch its
+        cached candidate list instead of rebuilding it every round.
         """
+        batch: list[tuple[int, NodeMetrics]] = []
+        table = self.table
         for ex in self._executors():
             name = ex.node.name
             if not ex.alive:
@@ -90,8 +109,21 @@ class ResourceMonitor:
             if not force and self._signatures.get(name) == sig:
                 continue
             self._signatures[name] = sig
-            self.executor_data[name] = self._collect(ex)
+            self.executor_data[name] = m = self._collect(ex)
             self.dirty_nodes.add(name)
+            row = table.row_of.get(name)
+            if row is None:
+                row = table.register(
+                    name,
+                    core_rate=m.core_rate,
+                    cores=m.cores,
+                    gpus=m.gpus,
+                    ssd=m.ssd,
+                    netbandwidth=m.netbandwidth,
+                    disk_bandwidth=m.disk_bandwidth,
+                    memory_mb=m.memory_mb,
+                )
+            batch.append((row, m))
             usable = ex.memory.usable_mb
             # Flag only genuine OOM danger (overcommitted heap), not a heap
             # that is merely well-used by tasks that fit.
@@ -103,7 +135,20 @@ class ResourceMonitor:
                 self.low_memory_nodes.add(name)
             else:
                 self.low_memory_nodes.discard(name)
+        if batch:
+            # One scatter per tick covering exactly the changed nodes.
+            rows = np.array([r for r, _ in batch], dtype=np.intp)
+            table.scatter(
+                rows,
+                time=np.array([m.time for _, m in batch]),
+                cpuutil=np.array([m.cpuutil for _, m in batch]),
+                diskutil=np.array([m.diskutil for _, m in batch]),
+                netutil=np.array([m.netutil for _, m in batch]),
+                gpus_idle=np.array([float(m.gpus_idle) for _, m in batch]),
+                freememory_mb=np.array([m.freememory_mb for _, m in batch]),
+            )
         self.beats += 1
+        return [m.name for _, m in batch]
 
     def consume_dirty(self) -> set[str]:
         """Nodes re-collected since the previous call (and reset the set)."""
@@ -157,32 +202,54 @@ class ResourceMonitor:
     def _mean_utilization(self) -> dict[str, float]:
         """Cluster-mean utilization per resource kind (telemetry sample).
 
-        One pass over the heartbeat data with direct field reads — the
-        per-(node, kind) ``has``/``utilization`` calls dominated the
-        obs-enabled sampling cost.  Values and key order match the generic
-        formulation exactly (GPU averages only over GPU-bearing nodes).
+        Delegates to the :class:`NodeTable` masked-array reduction — values
+        and key order match the scalar fold over ``executor_data`` exactly
+        (left-fold sums in report insertion order, same elementwise
+        expressions, GPU averaged only over GPU-bearing nodes).  Small
+        clusters keep the scalar fold: numpy's per-op overhead loses below
+        ``VEC_MIN_NODES``, and this runs once per obs-enabled heartbeat.
         """
-        out: dict[str, float] = {}
-        data = list(self.executor_data.values())
-        if not data:
+        data = self.executor_data
+        if len(data) < VEC_MIN_NODES:
+            out: dict[str, float] = {}
+            if not data:
+                return out
+            cpu = mem = disk = net = gpu = 0.0
+            gpu_nodes = 0
+            for m in data.values():
+                cpu += m.cpuutil
+                mem += (
+                    1.0
+                    if m.memory_mb <= 0
+                    else 1.0 - m.freememory_mb / m.memory_mb
+                )
+                disk += m.diskutil
+                net += m.netutil
+                if m.gpus > 0:
+                    gpu += 1.0 - m.gpus_idle / m.gpus
+                    gpu_nodes += 1
+            n = len(data)
+            out["cpu"] = cpu / n
+            out["mem"] = mem / n
+            out["disk"] = disk / n
+            out["net"] = net / n
+            if gpu_nodes:
+                out["gpu"] = gpu / gpu_nodes
+            out["low_memory_nodes"] = float(len(self.low_memory_nodes))
             return out
-        cpu = mem = disk = net = gpu = 0.0
-        gpu_nodes = 0
-        for m in data:
-            cpu += m.cpuutil
-            mem += 1.0 if m.memory_mb <= 0 else 1.0 - m.freememory_mb / m.memory_mb
-            disk += m.diskutil
-            net += m.netutil
-            if m.gpus > 0:
-                gpu += 1.0 - m.gpus_idle / m.gpus
-                gpu_nodes += 1
-        n = len(data)
-        out["cpu"] = cpu / n
-        out["mem"] = mem / n
-        out["disk"] = disk / n
-        out["net"] = net / n
-        if gpu_nodes:
-            out["gpu"] = gpu / gpu_nodes
+        table = self.table
+        if self._mean_epoch != table.epoch:
+            # Rebuild the row gather (executor_data insertion order) only
+            # when table membership changed.
+            self._mean_rows = np.array(
+                [table.row_of[name] for name in self.executor_data],
+                dtype=np.intp,
+            )
+            self._mean_epoch = table.epoch
+        rows = self._mean_rows
+        if rows is None or len(rows) == 0:
+            return {}
+        out = table.mean_utilization(rows)
         out["low_memory_nodes"] = float(len(self.low_memory_nodes))
         return out
 
@@ -193,4 +260,21 @@ class ResourceMonitor:
         self.executor_data.pop(node_name, None)
         self.low_memory_nodes.discard(node_name)
         self._signatures.pop(node_name, None)
+        self.table.remove(node_name)
         self.dirty_nodes.add(node_name)
+
+    def flush_metrics(self) -> None:
+        """Fold batched-scatter accounting into the metrics registry.
+
+        Delta-tracked like the dispatcher's flush, called at the same
+        quiesce points, so idle/wake cycles never double count.
+        """
+        if not self.ctx.obs.enabled:
+            return
+        base = self._flushed
+        now = (self.table.scatter_ops, self.table.scatters)
+        self.ctx.obs.metrics.inc_many((
+            ("nodetable.scatter_ops", float(now[0] - base[0])),
+            ("nodetable.scatters", float(now[1] - base[1])),
+        ))
+        self._flushed = now

@@ -86,6 +86,7 @@ class RupamScheduler(TaskScheduler):
         if self.dispatcher is not None:
             self.dispatcher.flush_metrics()
         if self.rm is not None:
+            self.rm.flush_metrics()
             self.rm.stop()
 
     def resume(self) -> None:

@@ -1,0 +1,216 @@
+"""The batch offer pass picks exactly what the scalar scan picks.
+
+Each scenario builds two identical synthetic worlds (the schedbench
+harness), runs a full ``dispatch()`` on the incremental (scalar scan) and
+vectorized (batch mask) engines, and compares the complete launch stream —
+task index, node, locality, queue — element by element.  A guard asserts
+the batch path actually ran, so a silent fallback to the scalar scan can
+never make these pass vacuously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nodeinfo import ALL_KINDS
+from repro.experiments.schedbench import BenchTaskSet, World
+from repro.spark.stage import Stage, StageKind
+from repro.spark.task import TaskSpec
+
+
+def _record_launches(world: World) -> list[tuple]:
+    events: list[tuple] = []
+    orig = world.dispatcher._launch
+
+    def recorder(ts, spec, ex, loc, kind, speculative=False):
+        events.append((spec.index, ex.node.name, loc, kind, speculative))
+        orig(ts, spec, ex, loc, kind, speculative=speculative)
+
+    world.dispatcher._launch = recorder
+    return events
+
+
+def _drain(engine: str, mutate=None, n_nodes: int = 12, n_tasks: int = 120,
+           budget: int = 60) -> tuple[World, list[tuple]]:
+    world = World(n_nodes, n_tasks, engine)
+    events = _record_launches(world)
+    if mutate is not None:
+        mutate(world)
+    world.budget = budget
+    world.dispatcher.dispatch()
+    return world, events
+
+
+def _parity(mutate=None, **kw) -> tuple[World, World, list[tuple]]:
+    inc_world, inc_events = _drain("incremental", mutate, **kw)
+    vec_world, vec_events = _drain("vectorized", mutate, **kw)
+    assert vec_world.dispatcher._batch_rounds > 0, (
+        "batch path never ran — parity would be vacuous"
+    )
+    assert inc_world.dispatcher._batch_rounds == 0
+    assert vec_events == inc_events
+    return inc_world, vec_world, inc_events
+
+
+class TestLaunchStreamParity:
+    def test_baseline_with_locks(self):
+        # The default world locks every 20th task to a node, so both the
+        # locked short-circuit and the best-estimate ranking are exercised.
+        _, _, events = _parity()
+        assert len(events) == 60
+
+    def test_memory_pressure(self):
+        # Starve half the executors so unlocked tasks stop fitting there and
+        # locked tasks take the memory-override branch.
+        def starve(world: World) -> None:
+            for i, ex in enumerate(world.executors.values()):
+                if i % 2:
+                    ex.memory.reserve_execution(8100.0)
+
+        _, _, events = _parity(mutate=starve)
+        assert events, "pressure scenario must still launch somewhere"
+
+    def test_stale_entries_killed_identically(self):
+        # Tasks completed out-of-band leave stale queue entries; both paths
+        # must skip (and tombstone) them without launching.
+        gone = set(range(0, 120, 7))
+
+        def complete_out_of_band(world: World) -> None:
+            for i in gone:
+                world.ts.pending.discard(i)
+
+        inc_world, vec_world, events = _parity(mutate=complete_out_of_band)
+        assert not ({e[0] for e in events} & gone)
+        assert inc_world.tm.queues.work_ops > 0
+        assert vec_world.tm.queues.work_ops > 0
+
+    def test_blocked_taskset_skipped(self):
+        # A delay-scheduling-blocked taskset is invisible to both engines.
+        def add_blocked(world: World) -> None:
+            stage = Stage(
+                "bench:blocked",
+                StageKind.SHUFFLE_MAP,
+                [TaskSpec(index=i, compute_gigacycles=1.0) for i in range(40)],
+            )
+            ts2 = BenchTaskSet(40)
+            ts2.blocked = True
+            for i, spec in enumerate(stage.tasks):
+                world.tm.queues.enqueue(
+                    ALL_KINDS[i % len(ALL_KINDS)], ts2, spec, now=0.0
+                )
+            world.blocked_ts = ts2
+
+        inc_world, vec_world, events = _parity(mutate=add_blocked)
+        assert len(events) == 60
+        for world in (inc_world, vec_world):
+            assert world.blocked_ts.pending == set(range(40))
+
+    def test_larger_world_full_drain(self):
+        # Drain a bigger world to exhaustion of the launch budget so many
+        # rounds (and queue compactions) happen on both engines.
+        _parity(n_nodes=24, n_tasks=400, budget=200)
+
+
+class TestAppFilterParity:
+    def _worlds(self):
+        worlds = []
+        for engine in ("incremental", "vectorized"):
+            world = World(8, 40, engine)
+            world.ts.app_id = "appA"
+            stage = Stage(
+                "bench:appB",
+                StageKind.SHUFFLE_MAP,
+                [TaskSpec(index=i, compute_gigacycles=1.0) for i in range(10)],
+            )
+            ts2 = BenchTaskSet(10)
+            ts2.app_id = "appB"
+            for spec in stage.tasks:
+                world.tm.queues.enqueue(ALL_KINDS[0], ts2, spec, now=0.0)
+            worlds.append(world)
+        return worlds
+
+    @pytest.mark.parametrize("app_id", ["appA", "appB", "ghost"])
+    def test_same_selection_per_app(self, app_id):
+        inc_world, vec_world = self._worlds()
+        picks = []
+        for world in (inc_world, vec_world):
+            ex = next(iter(world.executors.values()))
+            sel = world.dispatcher.schedule_task(ALL_KINDS[0], ex, app_id=app_id)
+            picks.append(None if sel is None else (sel[1].key, sel[2]))
+        assert vec_world.dispatcher._batch_rounds > 0
+        assert picks[0] == picks[1]
+        if app_id == "ghost":
+            assert picks[0] is None
+
+
+class TestEntryColsIntegrity:
+    def test_compaction_preserves_positions_and_columns(self):
+        from repro.core.queues import TaskQueues
+
+        q = TaskQueues()
+        stage = Stage(
+            "t:compact",
+            StageKind.SHUFFLE_MAP,
+            [TaskSpec(index=i, compute_gigacycles=1.0) for i in range(300)],
+        )
+        ts = BenchTaskSet(300)
+        kind = ALL_KINDS[0]
+        for spec in stage.tasks:
+            q.enqueue(kind, ts, spec, now=float(spec.index))
+            if spec.index % 5 == 0:
+                q.update_lock(spec.key, f"node{spec.index % 3}")
+        for spec in stage.tasks:
+            if spec.index % 3:
+                q.invalidate_task(ts, spec)
+        lst = q._compacted(kind)
+        cols = q._cols[kind]
+        assert len(lst) == 100, "two thirds dead -> compaction must run"
+        ts_code = q._ts_code[id(ts)]
+        for i, e in enumerate(lst):
+            assert e.pos == i, "entry.pos must track the compacted index"
+            assert not e.dead
+            assert cols.ts_code[i] == ts_code
+            assert cols.key_code[i] == q._key_code[e.spec.key]
+            assert cols.enq[i] == e.enqueued_at
+            expect = q._node_code[e.locked_node] if e.locked_node else -1
+            assert cols.locked[i] == expect
+        assert not cols.dead[: len(lst)].any()
+
+    def test_ts_code_recycled_after_taskset_invalidation(self):
+        from repro.core.queues import TaskQueues
+
+        q = TaskQueues()
+        kind = ALL_KINDS[0]
+
+        def make_ts(n: int, tag: str):
+            stage = Stage(
+                f"t:{tag}",
+                StageKind.SHUFFLE_MAP,
+                [TaskSpec(index=i, compute_gigacycles=1.0) for i in range(n)],
+            )
+            ts = BenchTaskSet(n)
+            for spec in stage.tasks:
+                q.enqueue(kind, ts, spec, now=0.0)
+            return ts
+
+        a = make_ts(5, "a")
+        code_a = q._ts_code[id(a)]
+        q.invalidate_taskset(a)
+        assert code_a in q._ts_free and q._ts_refs[code_a] is None
+        b = make_ts(5, "b")
+        assert q._ts_code[id(b)] == code_a, "freed code must be recycled"
+        active, blocked = q.ts_flags()
+        assert active[code_a] and not blocked[code_a]
+
+    def test_entrycols_growth_keeps_lock_fill(self):
+        from repro.core.queues import _EntryCols
+
+        cols = _EntryCols(cap=4)
+        cols.locked[:4] = [2, -1, 0, 1]
+        cols.ensure(100)
+        assert list(cols.locked[:4]) == [2, -1, 0, 1]
+        assert (cols.locked[4:] == -1).all(), "grown lock slots must read unlocked"
+        assert not cols.dead[4:].any()
+        assert len(cols.enq) >= 100
+        assert cols.enq.dtype == np.float64

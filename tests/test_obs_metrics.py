@@ -295,6 +295,7 @@ class TestSimCounterExport:
         class FakeRes:
             refits = 7
             refits_coalesced = 3
+            refits_vectorized = 2
 
         obs = Observability()
         sim, res = FakeSim(), FakeRes()
@@ -306,6 +307,7 @@ class TestSimCounterExport:
         assert c["sim.heap_compactions"] == 2
         assert c["fluid.refits"] == 7
         assert c["fluid.refits_coalesced"] == 3
+        assert c["fluid.refits_vectorized"] == 2
         # No movement -> no double counting.
         obs.record_sim_counters(sim, [res])
         assert c["sim.events_scheduled"] == 100
@@ -353,3 +355,10 @@ class TestSimCounterExport:
         assert c["fluid.refits_coalesced"] > 0
         # Flushed totals match the live objects exactly (delta protocol).
         assert c["sim.events_scheduled"] == sim.events_scheduled
+        # The vectorization counters ride the same quiesce flush: registered
+        # even when a run is too small to trip the array paths, so their
+        # absence in an export means the flush wiring broke.
+        assert "fluid.refits_vectorized" in c
+        assert "dispatch.batch_rounds" in c
+        assert "nodetable.scatter_ops" in c
+        assert c.get("nodetable.scatters", 0) > 0

@@ -1,0 +1,254 @@
+"""Bit-for-bit parity between the vectorized hot paths and their scalar
+references (DESIGN.md §14), plus the struct-of-arrays row plumbing.
+
+The simulator's golden traces only stay byte-identical if the array code
+replays the scalar float sequences exactly, so these tests compare with
+``==`` on every element — no tolerances anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.nodeinfo import NodeTable, ResourceKind
+from repro.simulate.resources import (
+    waterfill,
+    waterfill_into,
+    waterfill_weighted,
+    waterfill_weighted_into,
+)
+
+_INF = math.inf
+
+
+def _vec_waterfill(capacity: float, caps: list[float | None]) -> list[float]:
+    arr = np.array([_INF if c is None else c for c in caps], dtype=np.float64)
+    out = np.empty(len(caps), dtype=np.float64)
+    waterfill_into(capacity, arr, out)
+    return [float(x) for x in out]
+
+
+def _vec_weighted(
+    capacity: float, caps: list[float | None], weights: list[float]
+) -> list[float]:
+    arr = np.array([_INF if c is None else c for c in caps], dtype=np.float64)
+    w = np.array(weights, dtype=np.float64)
+    out = np.empty(len(caps), dtype=np.float64)
+    waterfill_weighted_into(capacity, arr, w, out)
+    return [float(x) for x in out]
+
+
+def _random_caps(rng: random.Random, n: int) -> list[float | None]:
+    caps: list[float | None] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.3:
+            caps.append(None)  # uncapped
+        elif roll < 0.4:
+            caps.append(0.0)  # fully saturated consumer
+        else:
+            caps.append(rng.uniform(0.0, 4.0))
+    return caps
+
+
+class TestWaterfillParity:
+    """Seeded property sweep: vectorized == scalar, element by element."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 24, 25, 100])
+    def test_capped_mix(self, seed, n):
+        rng = random.Random(1000 * seed + n)
+        caps = _random_caps(rng, n)
+        capacity = rng.uniform(0.01, 3.0 * n)
+        assert _vec_waterfill(capacity, caps) == waterfill(capacity, caps)
+
+    @pytest.mark.parametrize("n", [1, 2, 24, 1000, 10_000])
+    def test_all_uncapped(self, n):
+        # The common compute-flow shape: nobody clipped, pure division chain.
+        capacity = 123.456
+        assert _vec_waterfill(capacity, [None] * n) == waterfill(
+            capacity, [None] * n
+        )
+
+    def test_all_caps_zero(self):
+        caps = [0.0] * 8
+        assert _vec_waterfill(5.0, caps) == waterfill(5.0, caps) == [0.0] * 8
+
+    def test_single_flow(self):
+        assert _vec_waterfill(7.5, [None]) == waterfill(7.5, [None]) == [7.5]
+        assert _vec_waterfill(7.5, [2.0]) == waterfill(7.5, [2.0]) == [2.0]
+
+    def test_capacity_exhausted_early(self):
+        # Tiny capacity: the <=EPS early-out triggers mid-fill on both paths.
+        caps = [1.0, None, 0.5, None]
+        assert _vec_waterfill(1e-12, caps) == waterfill(1e-12, caps)
+        assert _vec_waterfill(1.0, caps) == waterfill(1.0, caps)
+
+    @pytest.mark.parametrize("n", [1, 2, 24, 10_000])
+    def test_large_uniform_caps(self, n):
+        # Every cap binds: the clipped prefix covers the whole sorted order.
+        caps = [0.25] * n
+        capacity = 0.5 * n
+        assert _vec_waterfill(capacity, caps) == waterfill(capacity, caps)
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 24, 100])
+    def test_weighted_mix(self, seed, n):
+        rng = random.Random(9000 * seed + n)
+        caps = _random_caps(rng, n)
+        weights = [rng.uniform(0.1, 5.0) for _ in range(n)]
+        capacity = rng.uniform(0.01, 3.0 * n)
+        assert _vec_weighted(capacity, caps, weights) == waterfill_weighted(
+            capacity, caps, weights
+        )
+
+    def test_weighted_equal_weights_degenerates(self):
+        caps = [1.0, None, 0.0, 3.0, None]
+        got = _vec_weighted(10.0, caps, [1.0] * 5)
+        assert got == waterfill_weighted(10.0, caps, [1.0] * 5)
+
+    def test_duplicate_caps_stable_order(self):
+        # Ties in the sort key must resolve in input order on both paths.
+        caps = [2.0, 2.0, None, 2.0, None, 2.0]
+        assert _vec_waterfill(7.0, caps) == waterfill(7.0, caps)
+
+
+def _register(table: NodeTable, name: str, i: int) -> int:
+    return table.register(
+        name,
+        core_rate=2.0 + 0.1 * i,
+        cores=8,
+        gpus=i % 3,
+        ssd=bool(i % 2),
+        netbandwidth=1000.0 * (1 + i % 4),
+        disk_bandwidth=120.0 + i,
+        memory_mb=1024.0 * (8 + i),
+    )
+
+
+class TestNodeTableChurn:
+    def test_free_list_reuse(self):
+        table = NodeTable()
+        rows = {f"n{i}": _register(table, f"n{i}", i) for i in range(40)}
+        assert len(table) == 40
+        epoch = table.epoch
+        removed = [f"n{i}" for i in range(0, 40, 2)]
+        for name in removed:
+            table.remove(name)
+        assert len(table) == 20
+        assert table.epoch == epoch + len(removed)
+        freed = {rows[name] for name in removed}
+        # New registrations must recycle the freed rows (LIFO), not grow.
+        cols = len(table._name_of)
+        for i, name in enumerate(f"m{j}" for j in range(len(removed))):
+            row = _register(table, name, i)
+            assert row in freed
+        assert len(table._name_of) == cols, "churn must not grow the columns"
+        assert len(table) == 40
+
+    def test_reregister_is_in_place(self):
+        table = NodeTable()
+        row = _register(table, "a", 1)
+        epoch = table.epoch
+        assert _register(table, "a", 5) == row, "same name, same row"
+        assert table.epoch == epoch, "re-register must not invalidate caches"
+        assert table.core_rate[row] == 2.5
+
+    def test_remove_unknown_is_noop(self):
+        table = NodeTable()
+        epoch = table.epoch
+        table.remove("ghost")
+        assert table.epoch == epoch
+
+    def test_growth_preserves_rows(self):
+        table = NodeTable()
+        names = [f"n{i}" for i in range(3 * NodeTable._INITIAL_ROWS)]
+        rows = {name: _register(table, name, i) for i, name in enumerate(names)}
+        for name, row in rows.items():
+            assert table.row_of[name] == row
+            assert table.memory_mb[row] == 1024.0 * (8 + names.index(name))
+
+    def test_mean_utilization_matches_scalar_fold(self):
+        table = NodeTable()
+        rng = random.Random(42)
+        names = [f"n{i}" for i in range(17)]
+        rows = np.array(
+            [_register(table, name, i) for i, name in enumerate(names)],
+            dtype=np.intp,
+        )
+        dyn = {
+            "time": [float(i) for i in range(17)],
+            "cpuutil": [rng.random() for _ in names],
+            "diskutil": [rng.random() for _ in names],
+            "netutil": [rng.random() for _ in names],
+            "gpus_idle": [float(rng.randint(0, 2)) for _ in names],
+            "freememory_mb": [rng.uniform(0, 8192) for _ in names],
+        }
+        table.scatter(rows, **{k: np.array(v) for k, v in dyn.items()})
+        got = table.mean_utilization(rows)
+        # Scalar reference: the pre-rewrite fold over per-node reports.
+        n = len(names)
+        ref: dict[str, float] = {}
+        for key, vals in (
+            ("cpu", dyn["cpuutil"]),
+            ("disk", dyn["diskutil"]),
+            ("net", dyn["netutil"]),
+        ):
+            total = 0.0
+            for v in vals:
+                total += v
+            ref[key] = total / n
+        total = 0.0
+        for i in range(n):
+            cap = table.memory_mb[rows[i]]
+            total += 1.0 - dyn["freememory_mb"][i] / cap if cap > 0 else 1.0
+        ref["mem"] = total / n
+        gtotal, gnodes = 0.0, 0
+        for i in range(n):
+            gpus = table.gpus[rows[i]]
+            if gpus > 0:
+                gtotal += 1.0 - dyn["gpus_idle"][i] / gpus
+                gnodes += 1
+        ref["gpu"] = gtotal / gnodes
+        assert got == ref, "masked-array reduction must equal the scalar fold"
+
+    def test_capability_matches_nodemetrics(self):
+        from repro.core.nodeinfo import NodeMetrics
+
+        table = NodeTable()
+        rows, mets = [], []
+        for i in range(6):
+            rows.append(_register(table, f"n{i}", i))
+            mets.append(
+                NodeMetrics(
+                    name=f"n{i}", time=0.0,
+                    core_rate=2.0 + 0.1 * i, cores=8, gpus=i % 3,
+                    ssd=bool(i % 2), netbandwidth=1000.0 * (1 + i % 4),
+                    disk_bandwidth=120.0 + i, memory_mb=1024.0 * (8 + i),
+                    cpuutil=0.0, diskutil=0.0, netutil=0.0, gpus_idle=0,
+                    freememory_mb=0.0,
+                )
+            )
+        arr = np.array(rows, dtype=np.intp)
+        for kind in ResourceKind:
+            col = table.capability(arr, kind)
+            assert [float(x) for x in col] == [m.capability(kind) for m in mets]
+
+
+class TestMonitorMeanCrossover:
+    def test_array_and_scalar_paths_agree(self, monkeypatch):
+        # The monitor picks scalar vs array by cluster size (VEC_MIN_NODES);
+        # both must produce the identical dict for the same reports.
+        import repro.core.resource_monitor as rmod
+        from repro.experiments.schedbench import World
+
+        world = World(30, 10, "incremental")
+        via_array = world.rm._mean_utilization()
+        monkeypatch.setattr(rmod, "VEC_MIN_NODES", 10_000)
+        via_scalar = world.rm._mean_utilization()
+        assert via_array == via_scalar
+        assert set(via_array) >= {"cpu", "mem", "disk", "net", "gpu"}
