@@ -1,0 +1,117 @@
+"""App-axis scale benchmarks: indexed fair pools + open-loop reclamation.
+
+Two suites, both driven by the shared harness in
+:mod:`repro.experiments.appbench` (also reachable as ``repro bench apps``):
+
+* ``test_pools_churn_and_parity`` times one seeded churn storm (register /
+  complete / re-key) per tier against both pool engines: the indexed
+  lazy-deletion heap behind ``app_order()`` and the frozen pre-PR full sort
+  kept verbatim as ``app_order_sorted()``.  A shared-instance parity probe
+  materializes the heap walk every round and compares it against the full
+  sort — the orders must be identical on every round (fair keys end in the
+  unique registration seq, so the comparator is a total order and there are
+  no ties for the heap to break differently).
+* ``test_open_loop_reclamation`` drives a Poisson arrival stream through a
+  real ``Session`` in service mode (``enable_reclamation``): every finished
+  app is spilled to a compact record and its driver/TM/pools/obs state torn
+  down eagerly.  Retained-entity counts and memory samples at checkpoints
+  must stay flat — the plateau, not the submission count, bounds memory.
+
+``RUPAM_BENCH_SCALE`` maps smoke->smoke and paper->bench; the ``scale``
+tier (1M registered apps, 100k open-loop submissions) runs via
+``repro bench apps --scale scale`` and produces the committed
+``BENCH_app_scale.json``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.appbench import (
+    CHURN_TIERS,
+    OPEN_LOOP_TIERS,
+    format_churn_table,
+    format_open_loop,
+    pools_parity_probe,
+    run_open_loop,
+    run_pools_churn,
+)
+
+_TIER_OF_SCALE = {"smoke": "smoke", "paper": "bench", "scale": "scale"}
+
+# Conservative per-tier floors on indexed-vs-sorted speedup at the largest
+# tier both engines run.  The headline >=5x acceptance gate applies to the
+# committed scale-tier artifact (active=10k); smoke's top shared tier is
+# only active=1000, where the sort is cheap enough that the margin is
+# smaller and noisier.
+_MIN_SPEEDUP = {"smoke": 1.5, "bench": 4.0, "scale": 5.0}
+
+
+def test_pools_churn_and_parity(bench_scale, bench_artifact):
+    tier_name = _TIER_OF_SCALE[bench_scale]
+    rows = [run_pools_churn(t, seed=7) for t in CHURN_TIERS[tier_name]]
+    parity = pools_parity_probe(CHURN_TIERS[tier_name][0], seed=7)
+    shared = [r for r in rows if "speedup" in r]
+    top = shared[-1] if shared else None
+    bench_artifact.name = "app_scale"
+    bench_artifact.attach(
+        {
+            "scale": tier_name,
+            "churn": rows,
+            "parity": parity,
+            "top_shared_speedup": top["speedup"] if top else None,
+        }
+    )
+    emit(format_churn_table(rows))
+    emit(
+        f"parity: {parity['mismatches']} mismatches over "
+        f"{parity['rounds']} churn rounds"
+    )
+    # The ordering-parity gate: the heap walk must reproduce the frozen
+    # sort's order exactly, every round, under seeded churn.
+    assert parity["parity_ok"], (
+        f"heap order diverged from frozen sort on "
+        f"{parity['mismatches']}/{parity['rounds']} rounds"
+    )
+    assert top is not None, "no tier ran both engines"
+    assert top["speedup"] >= _MIN_SPEEDUP[tier_name], (
+        f"indexed pools only {top['speedup']}x over frozen sort at "
+        f"active={top['active']} (floor {_MIN_SPEEDUP[tier_name]}x)"
+    )
+    # The indexed engine releases finished apps; its share table must track
+    # the active population, not everything ever registered.
+    for r in rows:
+        assert r["retained_shares"] <= r["active"] + 1, (
+            f"indexed pools retained {r['retained_shares']} shares with "
+            f"only {r['active']} active apps"
+        )
+
+
+def test_open_loop_reclamation(bench_scale, bench_artifact):
+    tier = OPEN_LOOP_TIERS[_TIER_OF_SCALE[bench_scale]]
+    row = run_open_loop(tier)
+    bench_artifact.name = "app_scale_open_loop"
+    bench_artifact.attach(row)
+    emit(format_open_loop(row))
+    assert row["completed"] == tier.submissions, (
+        f"open loop lost apps: {row['completed']}/{tier.submissions}"
+    )
+    assert row["aborted"] == 0
+    # Bounded-memory gates: post-warmup checkpoints vs the last one.  The
+    # retained-entity count oscillates with the in-flight population, so the
+    # bound is loose; a leak of one entry per app would blow through it
+    # within a fraction of the run.
+    assert row["retained_growth"] < 2.0, (
+        f"retained entities grew {row['retained_growth']}x across the run"
+    )
+    if "traced_growth" in row:
+        assert row["traced_growth"] < 1.5, (
+            f"traced heap grew {row['traced_growth']}x after warmup"
+        )
+    if "rss_growth" in row:
+        assert row["rss_growth"] < 1.5, (
+            f"RSS grew {row['rss_growth']}x after warmup"
+        )
+    # Steady state is O(active), independent of submission count.
+    assert row["retained_final"] < 1_000, (
+        f"{row['retained_final']} entities retained after quiesce"
+    )

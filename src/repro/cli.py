@@ -179,6 +179,29 @@ def cmd_blame(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "apps":
+        from repro.experiments.appbench import (
+            format_churn_table,
+            format_open_loop,
+            run_app_scale,
+        )
+
+        # The apps suite has its own tier ladder (smoke/bench/scale); map the
+        # shared --scale flag's "paper" onto the largest tier.
+        tier = "scale" if args.scale == "paper" else args.scale
+        result = run_app_scale(tier, seed=7)
+        print(f"pools churn ({tier}):")
+        print(format_churn_table(result["churn"]))
+        parity = result["parity"]
+        print(
+            f"parity: heap order vs frozen sort over {parity['rounds']} "
+            f"churn rounds: {parity['mismatches']} mismatches"
+        )
+        print(format_open_loop(result["open_loop"]))
+        if result["top_shared_speedup"] is not None:
+            print(f"top shared-tier speedup: {result['top_shared_speedup']:.2f}x")
+        return 0
+
     from repro.experiments.schedbench import format_table, run_grid, run_vec_tiers
 
     legacy = None
@@ -370,15 +393,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "suite",
-        choices=("scale",),
+        choices=("scale", "apps"),
         help="scale: dispatch-engine wall times (legacy / incremental / "
-        "batch offer pass) over a (nodes x tasks) grid",
+        "batch offer pass) over a (nodes x tasks) grid; "
+        "apps: app-axis control-plane costs (indexed fair pools vs frozen "
+        "sort, plus an open-loop arrival stream with state reclamation)",
     )
     bench_p.add_argument(
         "--scale",
-        choices=("smoke", "paper"),
+        choices=("smoke", "paper", "bench", "scale"),
         default="smoke",
-        help="grid size (both top out at 10k nodes x 100k tasks)",
+        help="suite size (scale suite: smoke/paper grids; apps suite: "
+        "smoke/bench/scale tiers, up to 1M registered apps and 100k "
+        "open-loop submissions)",
     )
     bench_p.add_argument("--repeats", type=int, default=3)
     bench_p.add_argument(

@@ -36,6 +36,7 @@ from repro.spark.scheduler import SchedulerContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.spark.executor import Executor
+    from repro.spark.pools import AppOrder
     from repro.spark.task import TaskSpec
     from repro.spark.taskset import TaskSetManager
 
@@ -278,6 +279,11 @@ class Dispatcher:
                     self.resource_queues.remove_node(node_metrics.name)
                     launched += 1
                     break
+        if app_order is not None:
+            # The lazy snapshot may be only partially walked (offer loops
+            # stop at the first app with work); closing it lets the next
+            # round discard it in O(1) instead of materializing the rest.
+            app_order.close()
         return launched
 
     def _pop_available(
@@ -298,7 +304,7 @@ class Dispatcher:
         self,
         kind: ResourceKind,
         ex: "Executor",
-        app_order: list[str] | None = None,
+        app_order: "AppOrder | None" = None,
     ) -> bool:
         # A task locked to this node takes priority regardless of which
         # queue its bottleneck put it in (served straight from the lock

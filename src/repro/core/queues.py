@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 import numpy as np
 
 from repro.core.nodeinfo import ALL_KINDS, NodeMetrics, ResourceKind
+from repro.simulate.engine import COMPACT_MIN_DEAD
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.spark.task import TaskSpec
@@ -585,9 +586,12 @@ class TaskQueues:
             self.invalidate_taskset(ts)
 
     def _compacted(self, kind: ResourceKind) -> list[QueuedTask]:
-        """The kind's backing list, compacted if at least half is dead."""
+        """The kind's backing list, compacted once at least half is dead
+        (with the shared :data:`COMPACT_MIN_DEAD` floor — tiny lists are
+        cheaper to prune lazily during iteration than to rebuild)."""
         lst = self._lists[kind]
-        if self._dead[kind] * 2 >= len(lst) and self._dead[kind] > 0:
+        dead = self._dead[kind]
+        if dead >= COMPACT_MIN_DEAD and dead * 2 >= len(lst):
             live = []
             keep = []
             for i, e in enumerate(lst):

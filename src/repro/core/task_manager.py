@@ -129,6 +129,24 @@ class TaskManager:
             else:
                 del self._stage_tasksets[template_id]
 
+    def retained_app_state(self, app_id: str) -> dict[str, int]:
+        """Count live structures still referencing this app — the teardown
+        leak tests assert every value is zero after the app is released.
+        (The char DB / lock cache are task-keyed by design and excluded.)"""
+        return {
+            "queue_tasksets": sum(
+                1
+                for ts, _entries in self.queues._ts_entries.values()
+                if ts.app_id == app_id
+            ),
+            "stage_tasksets": sum(
+                1
+                for lst in self._stage_tasksets.values()
+                for ts in lst
+                if ts.app_id == app_id
+            ),
+        }
+
     # -- recording ---------------------------------------------------------------
 
     def record_task_end(self, run: "TaskRun") -> None:

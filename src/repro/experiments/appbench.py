@@ -1,0 +1,425 @@
+"""App-axis scaling benchmark: how many tenants can the control plane take?
+
+Two complementary probes, both pure functions of ``(tier, seed)``:
+
+**Pools churn** (``run_pools_churn``) isolates the cross-app ordering
+structure: a seeded open-loop churn of registrations, completions, and
+launch/end demand signals drives one :class:`SchedulingPools` through
+thousands of offer rounds, consuming only the short order prefix a real
+dispatch round reads.  The same churn replays against the frozen full-sort
+reference (``app_order_sorted`` + ``deactivate`` — exactly the pre-indexed
+implementation's per-round cost *and* its unbounded share map), so the
+speedup column is indexed-vs-frozen at identical decision sequences.
+``pools_parity_probe`` runs one instance and checks, round by round, that
+the lazy heap walk and the full sort yield byte-identical orderings.
+
+**Open loop** (``run_open_loop``) is the end-to-end service-mode probe: a
+Poisson arrival process submits short registry workloads to one shared
+:class:`repro.Session` cluster forever (well — ``submissions`` times), with
+:meth:`Driver.enable_reclamation` on, so every app's state is reaped at
+completion.  Sampled retained-entity counts (driver maps, observability
+rings, pool shares, shuffle registry) must stay flat from the first
+checkpoint to the last — that is the bounded-memory claim, asserted by
+``benchmarks/test_app_scale.py`` and CI.
+
+Tiers: ``smoke`` (CI, seconds), ``bench`` (local sanity, ~a minute),
+``scale`` (the headline run: a million churned apps, 100k+ submissions).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simulate.randomness import RandomSource
+from repro.spark.pools import FAIR, SchedulingPools
+
+# -- pools churn ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolsChurnTier:
+    """One churn size: ``apps`` total submissions pass through a steady
+    ``active``-sized population over ``rounds`` offer rounds."""
+
+    apps: int
+    active: int
+    rounds: int
+    walk: int = 8              # order prefix a dispatch round consumes
+    churn_per_round: int = 16  # launch/end demand signals per round
+    sorted_ref: bool = True    # also run the frozen full-sort reference
+    mode: str = FAIR           # pool comparator under test
+
+
+# Tier lists per scale.  The last sorted_ref tier of each scale is "the top
+# shared tier" — the speedup the CI gate checks.  The million-app tier runs
+# indexed-only: the frozen reference would sort 10k shares a thousand times.
+CHURN_TIERS: dict[str, list[PoolsChurnTier]] = {
+    "smoke": [
+        PoolsChurnTier(apps=1_000, active=200, rounds=300),
+        PoolsChurnTier(apps=4_000, active=1_000, rounds=300),
+    ],
+    "bench": [
+        PoolsChurnTier(apps=4_000, active=1_000, rounds=500),
+        PoolsChurnTier(apps=20_000, active=4_000, rounds=500),
+    ],
+    "scale": [
+        PoolsChurnTier(apps=20_000, active=4_000, rounds=500),
+        PoolsChurnTier(apps=100_000, active=10_000, rounds=500),
+        PoolsChurnTier(
+            apps=1_000_000, active=10_000, rounds=1_000, sorted_ref=False
+        ),
+    ],
+}
+
+
+def _churn(
+    tier: PoolsChurnTier,
+    seed: int,
+    consume: Callable[[SchedulingPools], None],
+    retire: Callable[[SchedulingPools, str], None],
+) -> SchedulingPools:
+    """Drive one pools instance through the tier's seeded churn.
+
+    ``consume`` reads this round's order (engine-specific); ``retire``
+    removes a completed app (``release`` for the indexed engine,
+    ``deactivate`` for the frozen reference, which never forgot shares).
+    Every random draw is engine-independent, so both engines see the exact
+    same registration/demand/completion sequence.
+    """
+    rng = RandomSource(seed).stream("appbench-churn")
+    pools = SchedulingPools(mode=tier.mode)
+    next_id = 0
+
+    def arrive() -> str:
+        nonlocal next_id
+        app_id = f"app@{next_id}"
+        pools.register(
+            app_id,
+            weight=2.0 if next_id % 3 == 0 else 1.0,
+            min_share=2 if next_id % 7 == 0 else 0,
+        )
+        next_id += 1
+        return app_id
+
+    active = [arrive() for _ in range(min(tier.active, tier.apps))]
+    remaining = tier.apps - len(active)
+    per_round = -(-remaining // tier.rounds) if tier.rounds else 0
+    for _ in range(tier.rounds):
+        # One batched draw per round: the churn harness's own RNG cost is
+        # engine-independent and must not dilute the measured difference.
+        picks = rng.integers(0, len(active), size=tier.churn_per_round)
+        coins = rng.integers(0, 2, size=tier.churn_per_round)
+        for i in range(tier.churn_per_round):
+            app_id = active[picks[i]]
+            if coins[i]:
+                pools.note_launch(app_id)
+            else:
+                pools.note_end(app_id)
+        consume(pools)
+        for _ in range(min(per_round, remaining)):
+            done = active.pop(int(rng.integers(len(active))))
+            retire(pools, done)
+            remaining -= 1
+            active.append(arrive())
+    return pools
+
+
+def run_pools_churn(tier: PoolsChurnTier, seed: int = 7) -> dict[str, Any]:
+    """Wall-clock one churn tier on the indexed engine (and, when the tier
+    allows, the frozen sorted reference) and report per-round overhead."""
+
+    def consume_indexed(pools: SchedulingPools) -> None:
+        order = pools.app_order()
+        if order is not None:
+            for i, _app_id in enumerate(order):
+                if i + 1 >= tier.walk:
+                    break
+            order.close()
+
+    def consume_sorted(pools: SchedulingPools) -> None:
+        pools.app_order_sorted()
+
+    t0 = time.perf_counter()
+    pools = _churn(
+        tier, seed, consume_indexed, lambda p, app_id: p.release(app_id)
+    )
+    indexed_s = time.perf_counter() - t0
+    row: dict[str, Any] = {
+        "apps": tier.apps,
+        "active": tier.active,
+        "rounds": tier.rounds,
+        "indexed_s": round(indexed_s, 4),
+        "indexed_us_per_round": round(1e6 * indexed_s / tier.rounds, 2),
+        "rekeys": pools.rekeys,
+        "compactions": pools.compactions,
+        "retained_shares": len(pools._apps),
+        "heap_len": len(pools._heap),
+        "sorted_only": False,
+    }
+    if tier.sorted_ref:
+        t0 = time.perf_counter()
+        frozen = _churn(
+            tier, seed, consume_sorted, lambda p, app_id: p.deactivate(app_id)
+        )
+        sorted_s = time.perf_counter() - t0
+        row["sorted_s"] = round(sorted_s, 4)
+        row["sorted_us_per_round"] = round(1e6 * sorted_s / tier.rounds, 2)
+        row["speedup"] = round(sorted_s / indexed_s, 2) if indexed_s else 0.0
+        # The frozen reference never reclaims: every share ever registered.
+        row["sorted_retained_shares"] = len(frozen._apps)
+    return row
+
+
+def pools_parity_probe(
+    tier: PoolsChurnTier, seed: int = 7
+) -> dict[str, Any]:
+    """Seeded-churn parity: heap-walk order == frozen full-sort order, every
+    round, on one shared instance (identical keys by construction)."""
+    rounds = 0
+    mismatches = 0
+
+    def consume_both(pools: SchedulingPools) -> None:
+        nonlocal rounds, mismatches
+        rounds += 1
+        order = pools.app_order()
+        reference = pools.app_order_sorted()
+        walked = None if order is None else order.materialize()
+        if walked != reference:
+            mismatches += 1
+        if order is not None:
+            order.close()
+
+    _churn(tier, seed, consume_both, lambda p, app_id: p.release(app_id))
+    return {"rounds": rounds, "mismatches": mismatches, "parity_ok": mismatches == 0}
+
+
+# -- open loop -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpenLoopTier:
+    """One open-loop service-mode size."""
+
+    submissions: int
+    mean_interarrival_s: float = 20.0
+    seed: int = 7
+    scheduler: str = "spark"
+    scheduler_mode: str = "fair"
+    workload: str = "lr"
+    overrides: dict[str, Any] = field(
+        default_factory=lambda: {
+            "size_gb": 0.02,
+            "iterations": 1,
+            "partitions": 2,
+        }
+    )
+    checkpoints: int = 12
+    # tracemalloc gives exact traced-heap bytes but costs ~5x wall; the big
+    # tiers turn it off and rely on retained-entity counts + RSS samples.
+    trace_malloc: bool = True
+
+
+OPEN_LOOP_TIERS: dict[str, OpenLoopTier] = {
+    "smoke": OpenLoopTier(submissions=800),
+    "bench": OpenLoopTier(submissions=20_000, trace_malloc=False),
+    "scale": OpenLoopTier(submissions=100_000, trace_malloc=False),
+}
+
+
+def _rss_kb() -> float | None:
+    """Resident set size via /proc (Linux; None elsewhere) — cheap enough to
+    sample at every checkpoint even on the 100k-submission tier."""
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * 4096 / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _retained_entities(session: Any) -> int:
+    """Total live per-app-ish entries across every reclaimable structure.
+
+    The bounded-memory gate compares this between early and late checkpoints:
+    under reclamation it oscillates with the active population instead of
+    growing with total submissions.
+    """
+    driver = session.driver
+    obs = session.ctx.obs
+    pools = session.ctx.pools
+    scheduler_tasksets = len(
+        getattr(driver.scheduler, "tasksets", None)
+        or getattr(driver.scheduler, "_tasksets", ())
+    )
+    return (
+        len(driver.apps)
+        + len(driver.all_runs)
+        + len(obs.spans)
+        + len(obs.decisions.decisions)
+        + len(pools._apps)
+        + len(pools._heap)
+        + session.ctx.shuffle.shuffle_count()
+        + scheduler_tasksets
+    )
+
+
+def run_open_loop(tier: OpenLoopTier) -> dict[str, Any]:
+    """Submit ``tier.submissions`` short apps open-loop and reap each one."""
+    from repro.api import Session
+    from repro.workloads.registry import build_workload
+
+    session = Session(
+        cluster="motivational",
+        scheduler=tier.scheduler,
+        seed=tier.seed,
+        conf_overrides={"scheduler_mode": tier.scheduler_mode},
+        monitor_interval=None,
+    )
+    driver = session.driver
+    stats = {
+        "completed": 0,
+        "aborted": 0,
+        "tasks": 0,
+        "runtime_s": 0.0,
+        "queue_wait_s": 0.0,
+    }
+    checkpoint_every = max(1, tier.submissions // tier.checkpoints)
+    samples: list[dict[str, Any]] = []
+
+    def sink(record: Any) -> None:
+        stats["completed"] += 1
+        stats["aborted"] += int(record.aborted)
+        stats["tasks"] += record.tasks
+        stats["runtime_s"] += record.runtime_s
+        stats["queue_wait_s"] += record.queue_wait_s
+        if stats["completed"] % checkpoint_every == 0:
+            sample = {
+                "completed": stats["completed"],
+                "retained": _retained_entities(session),
+            }
+            if tier.trace_malloc:
+                sample["traced_kb"] = round(
+                    tracemalloc.get_traced_memory()[0] / 1024.0, 1
+                )
+            rss = _rss_kb()
+            if rss is not None:
+                sample["rss_kb"] = round(rss, 1)
+            samples.append(sample)
+
+    driver.enable_reclamation(sink)
+    arrivals = RandomSource(tier.seed).stream("appbench-arrivals")
+    submitted = 0
+
+    def submit_next() -> None:
+        nonlocal submitted
+        app = build_workload(tier.workload, session.env, **tier.overrides)
+        driver.submit(app)
+        submitted += 1
+        if submitted < tier.submissions:
+            session.sim.after(
+                float(arrivals.exponential(tier.mean_interarrival_s)),
+                submit_next,
+            )
+
+    if tier.trace_malloc:
+        tracemalloc.start()
+    t0 = time.perf_counter()
+    try:
+        submit_next()
+        session.sim.run()
+    finally:
+        if tier.trace_malloc:
+            tracemalloc.stop()
+    wall_s = time.perf_counter() - t0
+
+    session.ctx.obs.flush_released()
+    row: dict[str, Any] = {
+        "submissions": tier.submissions,
+        "scheduler": tier.scheduler,
+        "mode": tier.scheduler_mode,
+        "completed": stats["completed"],
+        "aborted": stats["aborted"],
+        "tasks": stats["tasks"],
+        "sim_horizon_s": round(session.sim.now, 1),
+        "mean_runtime_s": round(stats["runtime_s"] / max(1, stats["completed"]), 3),
+        "wall_s": round(wall_s, 3),
+        "apps_per_s": round(tier.submissions / wall_s, 1) if wall_s else 0.0,
+        "us_per_app": round(1e6 * wall_s / tier.submissions, 1),
+        "samples": samples,
+        "retained_final": _retained_entities(session),
+        "pool_rekeys": session.ctx.pools.rekeys,
+        "pool_compactions": session.ctx.pools.compactions,
+    }
+    if len(samples) >= 3:
+        # Compare a post-warmup checkpoint against the last: the first
+        # checkpoints land while rings/arenas are still filling toward their
+        # steady state, which is exactly the plateau the gate asserts.
+        early, late = samples[len(samples) // 3], samples[-1]
+        row["retained_growth"] = round(
+            late["retained"] / max(1, early["retained"]), 3
+        )
+        if "traced_kb" in early:
+            row["traced_growth"] = round(
+                late["traced_kb"] / max(1.0, early["traced_kb"]), 3
+            )
+        if "rss_kb" in early:
+            row["rss_growth"] = round(
+                late["rss_kb"] / max(1.0, early["rss_kb"]), 3
+            )
+    return row
+
+
+# -- harness -------------------------------------------------------------------
+
+
+def run_app_scale(scale: str = "smoke", seed: int = 7) -> dict[str, Any]:
+    """The full app-axis benchmark at one scale tier."""
+    churn_rows = [run_pools_churn(t, seed) for t in CHURN_TIERS[scale]]
+    parity = pools_parity_probe(CHURN_TIERS[scale][0], seed)
+    open_loop = run_open_loop(OPEN_LOOP_TIERS[scale])
+    shared = [r for r in churn_rows if "speedup" in r]
+    return {
+        "scale": scale,
+        "churn": churn_rows,
+        "parity": parity,
+        "open_loop": open_loop,
+        # The headline number: indexed vs frozen-sorted at the largest tier
+        # both engines ran.
+        "top_shared_speedup": shared[-1]["speedup"] if shared else None,
+    }
+
+
+def format_churn_table(rows: list[dict[str, Any]]) -> str:
+    header = (
+        f"{'apps':>9} {'active':>7} {'rounds':>6} {'sorted_s':>9} "
+        f"{'indexed_s':>9} {'speedup':>8} {'rekeys':>8} {'shares':>7}"
+    )
+    lines = [header]
+    for r in rows:
+        sorted_s = f"{r['sorted_s']:9.4f}" if "sorted_s" in r else f"{'-':>9}"
+        speedup = f"{r['speedup']:7.2f}x" if "speedup" in r else f"{'-':>8}"
+        lines.append(
+            f"{r['apps']:>9} {r['active']:>7} {r['rounds']:>6} {sorted_s} "
+            f"{r['indexed_s']:9.4f} {speedup} {r['rekeys']:>8} "
+            f"{r['retained_shares']:>7}"
+        )
+    return "\n".join(lines)
+
+
+def format_open_loop(row: dict[str, Any]) -> str:
+    lines = [
+        f"open loop: {row['submissions']} submissions "
+        f"({row['scheduler']}/{row['mode']}), "
+        f"{row['completed']} completed, {row['tasks']} tasks, "
+        f"sim horizon {row['sim_horizon_s']}s",
+        f"  wall {row['wall_s']}s = {row['apps_per_s']} apps/s "
+        f"({row['us_per_app']} us/app)",
+        f"  retained entities final={row['retained_final']} "
+        f"growth={row.get('retained_growth', '-')} "
+        f"traced growth={row.get('traced_growth', '-')} "
+        f"rss growth={row.get('rss_growth', '-')}",
+    ]
+    return "\n".join(lines)

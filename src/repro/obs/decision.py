@@ -20,6 +20,13 @@ from typing import Any, Callable, Iterable
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Span, SpanRecorder
 from repro.obs.windows import WindowedMetrics
+from repro.simulate.engine import COMPACT_MIN_DEAD
+
+# Per-task-key queue-admission histories are rings: task keys are shared
+# across applications of the same workload (keys are not app-prefixed), so
+# under an open-loop stream one key would otherwise accumulate every app's
+# admissions forever.  64 covers any plausible explain() session.
+MAX_ADMISSIONS_PER_KEY = 64
 
 # Reason codes for rejections (why a candidate placement did NOT happen).
 NO_FIT_MEMORY = "no-fit-memory"      # task's est. peak memory > node free heap
@@ -194,23 +201,38 @@ class DecisionTrace:
         self.max_rejections_per_task = max_rejections_per_task
         self.decisions: list[DispatchDecision] = []
         self.reason_counts: dict[str, int] = {}
-        self._queues_of: dict[str, list[tuple[float, str]]] = {}
+        self._queues_of: dict[str, deque[tuple[float, str]]] = {}
         self._decisions_of: dict[str, list[DispatchDecision]] = {}
         self._rejections_of: dict[str, deque[Rejection]] = {}
         self._rejections_dropped: dict[str, int] = {}
+        # App-state reclamation: decision counts per app (maintained on the
+        # write path), released apps' ids, and how many retained decisions
+        # they account for — swept on the shared half-dead schedule.
+        self._app_decision_counts: dict[str, int] = {}
+        self._released: set[str] = set()
+        self._released_decisions = 0
 
     # -- write path --------------------------------------------------------------
 
     def record_enqueue(self, time: float, task_key: str, queue: str) -> None:
         if not self.enabled:
             return
-        self._queues_of.setdefault(task_key, []).append((time, queue))
+        ring = self._queues_of.get(task_key)
+        if ring is None:
+            ring = self._queues_of[task_key] = deque(
+                maxlen=MAX_ADMISSIONS_PER_KEY
+            )
+        ring.append((time, queue))
 
     def record_launch(self, decision: DispatchDecision) -> None:
         if not self.enabled:
             return
         self.decisions.append(decision)
         self._decisions_of.setdefault(decision.task_key, []).append(decision)
+        if decision.app:
+            self._app_decision_counts[decision.app] = (
+                self._app_decision_counts.get(decision.app, 0) + 1
+            )
         self.metrics.inc(_launch_metric(decision.reason))
         if decision.wait_s is not None:
             self.metrics.observe("dispatch.latency_s", decision.wait_s)
@@ -255,6 +277,43 @@ class DecisionTrace:
             return
         self.reason_counts[reason] = self.reason_counts.get(reason, 0) + count
         self.metrics.inc(_reject_metric(reason), float(count))
+
+    # -- app-state reclamation -----------------------------------------------------
+
+    def release_app(self, app_id: str) -> None:
+        """Drop this application's decisions (service mode) — amortized.
+
+        The app is tombstoned with the decision count the write path already
+        maintained; the decision list (and its per-task grouping) is rebuilt
+        once released decisions are at least half the list (with the shared
+        compaction floor).  Summary tallies (``reason_counts``, metrics) are
+        aggregates and intentionally survive.
+        """
+        if not self.enabled:
+            return
+        count = self._app_decision_counts.pop(app_id, 0)
+        self._released.add(app_id)
+        self._released_decisions += count
+        if (
+            self._released_decisions >= COMPACT_MIN_DEAD
+            and self._released_decisions * 2 >= len(self.decisions)
+        ):
+            self.flush_released()
+
+    def flush_released(self) -> None:
+        """Sweep tombstoned apps' decisions immediately."""
+        if not self._released:
+            return
+        released = self._released
+        self.decisions = [
+            d for d in self.decisions if d.app not in released
+        ]
+        grouped: dict[str, list[DispatchDecision]] = {}
+        for d in self.decisions:
+            grouped.setdefault(d.task_key, []).append(d)
+        self._decisions_of = grouped
+        released.clear()
+        self._released_decisions = 0
 
     # -- read path ---------------------------------------------------------------
 
@@ -359,6 +418,31 @@ class Observability:
             self.decisions.reason_counts[reason] = (
                 self.decisions.reason_counts.get(reason, 0) + count
             )
+
+    def release_app(self, app_id: str) -> None:
+        """Release one reclaimed application's observability state.
+
+        Pops the per-app task-outcome counters and tombstones the app in the
+        decision trace and span ring (each sweeps on the shared half-dead
+        compaction schedule).  Cluster-level aggregates — reason tallies,
+        windows, series — are untouched: they are what service-mode
+        monitoring still wants after the app itself is gone.
+        """
+        if not self.enabled:
+            return
+        counters = self.metrics.counters
+        for outcome in ("succeeded", "oom", "killed", "failed", "launched"):
+            counters.pop(f"app.{app_id}.tasks.{outcome}", None)
+        self.decisions.release_app(app_id)
+        self.spans.release_app(app_id)
+
+    def flush_released(self) -> None:
+        """Force deferred release-compaction through (quiesce points call
+        this so idle-state memory and leak assertions are deterministic)."""
+        if not self.enabled:
+            return
+        self.decisions.flush_released()
+        self.spans.flush_released()
 
     def record_span(self, span: Span, trace: Any = None) -> None:
         """Record a finished causal span; mirror into the sim trace if given.

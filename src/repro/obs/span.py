@@ -21,6 +21,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.simulate.engine import COMPACT_MIN_DEAD
+
 # Span kinds, leaf to root.
 TASK = "task"
 STAGE = "stage"
@@ -105,6 +107,10 @@ class SpanRecorder:
         self.max_spans = max_spans
         self.spans: deque[Span] = deque(maxlen=max_spans)
         self.dropped = 0
+        # Apps released by the driver's reclamation path whose spans are
+        # still in the ring (tombstoned; swept on the shared half-dead
+        # compaction schedule rather than per release).
+        self._released: set[str] = set()
 
     def record(self, span: Span) -> None:
         if not self.enabled:
@@ -112,6 +118,31 @@ class SpanRecorder:
         if len(self.spans) == self.max_spans:
             self.dropped += 1
         self.spans.append(span)
+
+    # -- app-state reclamation ----------------------------------------------------
+
+    def release_app(self, app_id: str) -> None:
+        """Drop this application's spans (service mode).
+
+        O(1) now — the app id is tombstoned and the ring is swept once
+        enough released apps accumulate (the shared compaction floor), so an
+        open-loop stream of short apps pays an amortized O(1) per span.
+        """
+        if not self.enabled:
+            return
+        self._released.add(app_id)
+        if len(self._released) >= COMPACT_MIN_DEAD:
+            self.flush_released()
+
+    def flush_released(self) -> None:
+        """Sweep tombstoned apps' spans out of the ring immediately."""
+        if not self._released:
+            return
+        released = self._released
+        kept = [s for s in self.spans if s.attrs.get("app") not in released]
+        self.spans.clear()
+        self.spans.extend(kept)
+        released.clear()
 
     # -- read path ---------------------------------------------------------------
 

@@ -25,11 +25,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-# Compact only once this many cancelled entries have accumulated: tiny heaps
-# are cheaper to prune lazily than to rebuild, and the floor keeps a
-# cancel-heavy trickle (one live, one dead, repeat) from compacting on every
-# cancellation.  Amortized cost stays O(1) per cancel either way.
-_COMPACT_MIN_DEAD = 32
+# Compact only once this many dead entries have accumulated: tiny heaps and
+# lists are cheaper to prune lazily than to rebuild, and the floor keeps a
+# tombstone-heavy trickle (one live, one dead, repeat) from compacting on
+# every invalidation.  Amortized cost stays O(1) per tombstone either way.
+# Shared by every lazy-deletion structure in the repo — the event heap here,
+# the task queues (repro.core.queues), and the scheduling-pool heap
+# (repro.spark.pools) — so the half-dead compaction policy is tuned in one
+# place.
+COMPACT_MIN_DEAD = 32
 
 
 class SimulationError(RuntimeError):
@@ -158,7 +162,7 @@ class Simulator:
         """
         heap = self._heap
         dead = len(heap) - self._pending
-        if dead >= _COMPACT_MIN_DEAD and dead * 2 >= len(heap):
+        if dead >= COMPACT_MIN_DEAD and dead * 2 >= len(heap):
             self._heap = [e for e in heap if not e.handle.cancelled]
             heapq.heapify(self._heap)
             self.heap_compactions += 1

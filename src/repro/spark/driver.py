@@ -19,6 +19,7 @@ first live app and stop when the last one ends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cluster.monitor import ClusterMonitor
 from repro.obs.decision import Observability
@@ -30,6 +31,7 @@ from repro.spark.locality import Locality
 from repro.spark.runner import TaskRun
 from repro.spark.scheduler import SchedulerContext, TaskScheduler
 from repro.spark.speculation import SpeculationLoop
+from repro.spark.pools import validate_share
 from repro.spark.stage import Stage
 from repro.spark.task import TaskSpec
 from repro.spark.taskset import TaskSetAborted, TaskSetManager
@@ -108,6 +110,33 @@ class AppResult:
         return totals
 
 
+@dataclass(frozen=True)
+class AppRecord:
+    """The compact spill form of a finished application under reclamation.
+
+    Service mode cannot afford an :class:`AppResult` per app — that retains
+    every task attempt's :class:`TaskMetrics` plus live observability
+    references, i.e. O(tasks) memory *forever*.  An :class:`AppRecord` is a
+    few scalars: what an open-loop experiment aggregates (throughput,
+    latency, failure counts) survives; per-attempt detail is dropped when
+    the app's state is reaped.
+    """
+
+    app_id: str
+    app_name: str
+    pool: str
+    scheduler_name: str
+    submitted_at: float
+    finished_at: float
+    runtime_s: float
+    aborted: bool
+    tasks: int
+    tasks_succeeded: int
+    oom_task_failures: int
+    task_time_s: float
+    queue_wait_s: float
+
+
 class AppHandle:
     """One submitted application's lifecycle on the shared cluster.
 
@@ -136,6 +165,7 @@ class AppHandle:
         self.finish_time: float | None = None
         self.done = False
         self.aborted = False
+        self.reaped = False              # state reclaimed; only AppRecord left
         self.runs: list[TaskRun] = []
         self.tasksets: dict[int, TaskSetManager] = {}
         self.stage_done: set[int] = set()
@@ -148,8 +178,47 @@ class AppHandle:
         """Still owed cluster time: pending or running (not terminal)."""
         return not self.done and not self.aborted
 
+    def record(self) -> AppRecord:
+        """The compact spill form; valid once done or aborted."""
+        if self.is_active:
+            raise RuntimeError(
+                f"application {self.app_id} has not finished "
+                f"(t={self._driver.ctx.sim.now:.1f}s)"
+            )
+        start = self.submit_time if self.submit_time is not None else 0.0
+        end = (
+            self.finish_time
+            if self.finish_time is not None
+            else self._driver.ctx.sim.now
+        )
+        return AppRecord(
+            app_id=self.app_id,
+            app_name=self.app.name,
+            pool=self.pool,
+            scheduler_name=self._driver.scheduler.name,
+            submitted_at=start,
+            finished_at=end,
+            runtime_s=end - start,
+            aborted=self.aborted,
+            tasks=len(self.runs),
+            tasks_succeeded=sum(1 for r in self.runs if r.metrics.succeeded),
+            oom_task_failures=sum(
+                1 for r in self.runs if r.metrics.failed_oom
+            ),
+            task_time_s=sum(r.metrics.duration for r in self.runs),
+            queue_wait_s=sum(
+                r.metrics.extras.get("queued_s", 0.0) for r in self.runs
+            ),
+        )
+
     def result(self) -> AppResult:
         """This app's :class:`AppResult`; valid once done or aborted."""
+        if self.reaped:
+            raise RuntimeError(
+                f"application {self.app_id} was reclaimed: under "
+                f"enable_reclamation() only the compact AppRecord survives "
+                f"(use the record sink)"
+            )
         if self.is_active:
             raise RuntimeError(
                 f"application {self.app_id} has not finished "
@@ -205,8 +274,29 @@ class Driver:
         self._started = False            # executor fleet launched
         self._services_running = False   # monitor/speculation ticking
         self._scheduler_stopped = False  # scheduler.stop() happened (idle)
+        # Service mode (off by default — see enable_reclamation): reap each
+        # app's state at completion instead of retaining it for result().
+        self._reclaim = False
+        self._record_sink: "Callable[[AppRecord], None] | None" = None
 
     # -- public ------------------------------------------------------------------
+
+    def enable_reclamation(
+        self, record_sink: "Callable[[AppRecord], None] | None" = None
+    ) -> None:
+        """Switch to service mode: bounded memory over unbounded submissions.
+
+        On each app's completion its :class:`AppHandle` spills to a compact
+        :class:`AppRecord` (delivered to ``record_sink``, or dropped) and
+        every per-app structure is reclaimed eagerly — handle task runs,
+        the driver's app map, scheduling-pool shares, scheduler/TaskManager
+        queues, and the observability layer's per-app counters, decisions,
+        and spans.  ``all_runs`` stops accumulating entirely.  The default
+        (retaining) mode is untouched: experiments that want full
+        :class:`AppResult` fidelity simply never call this.
+        """
+        self._reclaim = True
+        self._record_sink = record_sink
 
     def submit(
         self,
@@ -234,6 +324,9 @@ class Driver:
             weight=app.weight if weight is None else weight,
             min_share=app.min_share if min_share is None else min_share,
         )
+        # Fail fast on shares the fair comparator cannot order — at submit
+        # time, not at the (possibly far-future) deferred activation.
+        validate_share(handle.weight, handle.min_share)
         self.apps[app_id] = handle
         if at is None or at <= self.ctx.sim.now:
             self._activate(handle)
@@ -343,23 +436,32 @@ class Driver:
             self.ctx.sim, self.ctx.cluster.fluid_resources()
         )
         self.ctx.obs.note_trace_state(self.ctx.trace)
+        # Force any deferred release-compaction through (no-op unless apps
+        # were reclaimed): idle memory is what's live, nothing tombstoned.
+        self.ctx.obs.flush_released()
 
     def _finish_app(self, handle: AppHandle) -> None:
         handle.done = True
         handle.finish_time = self.ctx.now
-        self.ctx.pools.deactivate(handle.app_id)
+        # release (not just deactivate): the share is also dropped from the
+        # pool map, keeping it O(active apps) over an unbounded stream.  No
+        # scheduling path consults a finished app's share; note_launch/
+        # note_end no-op on missing ids (late kill notifications).
+        self.ctx.pools.release(handle.app_id)
         self.scheduler.on_app_removed(handle.app_id)
         self._emit_app_span(handle, aborted=False)
         if not self._any_active():
             self._stop_services(sample=True)
         self.ctx.trace.record(self.ctx.now, "app_complete", app=handle.app_id)
+        if self._reclaim:
+            self._reap(handle)
 
     def _abort(self, handle: AppHandle) -> None:
         if handle.aborted:
             return
         handle.aborted = True
         handle.finish_time = self.ctx.now
-        self.ctx.pools.deactivate(handle.app_id)
+        self.ctx.pools.release(handle.app_id)
         self._emit_app_span(handle, aborted=True)
         if not self._any_active():
             self._stop_services(sample=False)
@@ -369,6 +471,35 @@ class Driver:
                     run.kill(reason="app-aborted")
         self.scheduler.on_app_removed(handle.app_id)
         self.ctx.trace.record(self.ctx.now, "app_aborted", app=handle.app_id)
+        if self._reclaim:
+            self._reap(handle)
+
+    def _reap(self, handle: AppHandle) -> None:
+        """Tear down a terminal app's state (service mode).
+
+        Spills the compact :class:`AppRecord` first, then releases every
+        per-app structure: the handle's run/taskset/stage maps, the driver's
+        app registry, the cached per-app metric names, and the observability
+        layer's counters/decisions/spans (tombstoned there, compacted on the
+        shared half-dead schedule).  Pools and scheduler state were already
+        released on the finish/abort path.
+        """
+        record = handle.record()
+        if self._record_sink is not None:
+            self._record_sink(record)
+        handle.reaped = True
+        for job in handle.app.jobs:
+            for stage in job.stages:
+                if stage.shuffle_id is not None:
+                    self.ctx.shuffle.release(stage.shuffle_id)
+        handle.runs.clear()
+        handle.tasksets.clear()
+        handle.stage_done.clear()
+        handle.current_job = None
+        self.apps.pop(handle.app_id, None)
+        for outcome in _TASK_METRIC:
+            _APP_METRIC.pop((handle.app_id, outcome), None)
+        self.ctx.obs.release_app(handle.app_id)
 
     # -- executors -----------------------------------------------------------------
 
@@ -442,12 +573,11 @@ class Driver:
                 continue
             reopened = 0
             for st in ts.states:
-                ran_here = any(
-                    r.metrics.succeeded and r.metrics.node == node_name
-                    for r in self.all_runs
-                    if r.task is st.spec and r.taskset is ts
-                )
-                if ran_here:
+                # Cumulative per-task success-node sets (recorded at attempt
+                # end) replace the old scan over every run the driver ever
+                # launched: O(1) per task instead of O(total attempts), and
+                # independent of all_runs retention (service mode drops it).
+                if st.success_nodes is not None and node_name in st.success_nodes:
                     ts.reopen_task(st.spec.index)
                     reopened += 1
             if reopened == 0:
@@ -529,7 +659,10 @@ class Driver:
         )
         run.metrics.extras["queued_s"] = queued
         ts.register_launch(spec, run)
-        self.all_runs.append(run)
+        if not self._reclaim:
+            # all_runs is the legacy whole-cluster view (tests/tooling);
+            # service mode cannot afford an ever-growing list of attempts.
+            self.all_runs.append(run)
         handle = self.apps.get(ts.app_id)
         if handle is not None:
             handle.runs.append(run)

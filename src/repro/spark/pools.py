@@ -24,15 +24,63 @@ sharing compose with heterogeneity-aware placement instead of replacing it.
 With fewer than two active applications :meth:`app_order` returns ``None``
 and the schedulers take their original single-app paths untouched — the
 single-tenant golden decision traces stay byte-identical.
+
+Indexing (the app-axis scale path)
+----------------------------------
+
+The pre-indexed implementation re-sorted *every application ever
+registered* on *every* offer round — O(total · log total) per round, which
+is what capped the control plane at a few dozen tenants.  The current
+implementation keeps one lazy-deletion binary heap of ``(key, token,
+app_id)`` entries (the PR-2 resource-queue playbook):
+
+* ``fifo`` keys are the immutable submission ``seq`` — entries are pushed
+  once and never re-keyed.
+* ``fair`` keys are :meth:`AppShare.fair_key`.  ``note_launch``/``note_end``
+  only *mark the app dirty*; the heap is re-keyed at the next
+  :meth:`app_order` call, and only for apps whose key actually changed
+  (push-new-token, lazy-delete-old — a dirty-version protocol, so a round
+  that launched K tasks re-keys at most K apps in O(K log A)).
+* Deactivation and release are O(1) tombstones; the heap compacts once at
+  least half of it is stale (with the shared
+  :data:`~repro.simulate.engine.COMPACT_MIN_DEAD` floor), so memory is
+  O(active), not O(ever-registered).
+
+:meth:`app_order` returns an :class:`AppOrder` — a *lazy* snapshot of the
+round's policy order.  Consumers that stop at the first app with runnable
+work (the dispatcher's offer loop) pay O(log A) per decision; consumers
+that want the whole order just iterate it to the end.  Keys are frozen for
+the lifetime of the snapshot (exactly the semantics of the old
+sort-once-per-round list).  :meth:`app_order_sorted` keeps the original
+full-sort implementation, frozen, as the parity/benchmark reference.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from typing import Iterator
+
+from repro.simulate.engine import COMPACT_MIN_DEAD
 
 FIFO = "fifo"
 FAIR = "fair"
 SCHEDULER_MODES = (FIFO, FAIR)
+
+
+def validate_share(weight: float, min_share: int) -> None:
+    """Reject share parameters the fair comparator cannot order.
+
+    ``weight <= 0`` would divide by zero (or invert the comparator) in
+    :meth:`AppShare.fair_key` and violates ``waterfill_weighted``'s contract;
+    negative ``min_share`` can never be satisfied.  Raising here (and from
+    :meth:`Driver.submit <repro.spark.driver.Driver.submit>`, *before* a
+    deferred activation is scheduled) keeps bad shares out of the heap.
+    """
+    if weight <= 0:
+        raise ValueError(f"pool weight must be > 0, got {weight}")
+    if min_share < 0:
+        raise ValueError(f"min_share must be >= 0, got {min_share}")
 
 
 @dataclass
@@ -53,7 +101,8 @@ class AppShare:
         Entities below their minimum share are "needy" and all precede the
         satisfied ones; needy entities order by how far below min-share they
         are, satisfied ones by tasks-per-weight.  Submission order breaks
-        ties so the ordering is total and deterministic.
+        ties so the ordering is total and deterministic — which is also what
+        makes heap order and sort order provably identical (no equal keys).
         """
         needy = self.running < self.min_share
         if needy:
@@ -61,13 +110,126 @@ class AppShare:
         return (1, self.running / self.weight, self.seq)
 
 
-@dataclass
+class AppOrder:
+    """One offer round's policy order over active apps, materialized lazily.
+
+    Iterating yields app ids best-first, pulling each next id from the pool
+    heap only on demand (a read-only frontier walk — the heap itself is
+    never mutated), so a consumer that stops after the first hit pays
+    O(log A) per element instead of O(A log A) per round.  Yielded ids are
+    memoized: re-iterating replays the same order, and ``== [..]`` (used by
+    tests) forces full materialization.
+
+    A snapshot is pinned to the heap state at creation.  The pools finalize
+    the live snapshot when :meth:`SchedulingPools.app_order` is called again
+    mid-round (the speculative path nests a second ordering inside a
+    dispatch round) and *expire* it on any structural mutation
+    (registration, release, compaction) — advancing an expired snapshot
+    raises instead of silently yielding a different round's order.
+    Consumers that may abandon a snapshot half-read call :meth:`close` so
+    the next round skips the finalize entirely.
+    """
+
+    __slots__ = ("_pools", "_memo", "_frontier", "_done", "_expired", "_closed")
+
+    def __init__(self, pools: "SchedulingPools"):
+        self._pools = pools
+        self._memo: list[str] = []
+        heap = pools._heap
+        # Frontier of heap positions to visit next, ordered by entry key
+        # (tokens are globally unique, so entries never compare equal and
+        # the position tie-breaker is never reached).
+        self._frontier: list[tuple[tuple, int]] = (
+            [(heap[0], 0)] if heap else []
+        )
+        self._done = not heap
+        self._expired = False
+        self._closed = False
+
+    def _advance(self) -> str | None:
+        """Move the next *live* app id from the frontier into the memo."""
+        if self._done:
+            return None
+        if self._expired:
+            raise RuntimeError(
+                "AppOrder snapshot expired: the pools mutated after this "
+                "offer round (iterate the order within its round, or call "
+                "app_order() again)"
+            )
+        pools = self._pools
+        heap = pools._heap
+        entries = pools._entry
+        frontier = self._frontier
+        while frontier:
+            entry, i = heappop(frontier)
+            left = 2 * i + 1
+            if left < len(heap):
+                heappush(frontier, (heap[left], left))
+                right = left + 1
+                if right < len(heap):
+                    heappush(frontier, (heap[right], right))
+            key, token, app_id = entry
+            cur = entries.get(app_id)
+            if cur is not None and cur[1] == token:
+                self._memo.append(app_id)
+                return app_id
+            # Stale entry (re-keyed, deactivated, or released): skip.
+        self._done = True
+        return None
+
+    def close(self) -> None:
+        """The consumer is finished with this round's order (it may be only
+        partially read); the next round can drop it without finalizing."""
+        self._closed = True
+
+    def materialize(self) -> list[str]:
+        """The full policy order as a list (drains the lazy walk)."""
+        while not self._done:
+            self._advance()
+        return self._memo
+
+    def __iter__(self) -> Iterator[str]:
+        i = 0
+        while True:
+            if i < len(self._memo):
+                yield self._memo[i]
+                i += 1
+            elif self._done or self._advance() is None:
+                return
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AppOrder):
+            other = other.materialize()
+        if isinstance(other, list):
+            return self.materialize() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shown = self._memo if self._done else [*self._memo, "..."]
+        return f"<AppOrder {shown}>"
+
+
 class SchedulingPools:
     """Cross-application share accounting + the per-round ordering policy."""
 
-    mode: str = FIFO
-    _apps: dict[str, AppShare] = field(default_factory=dict)
-    _seq: int = 0
+    def __init__(self, mode: str = FIFO):
+        self.mode = mode
+        self._apps: dict[str, AppShare] = {}   # insertion order == seq order
+        self._seq = 0
+        self._active = 0
+        # Lazy-deletion heap of (key, token, app_id); an entry is live iff
+        # its token matches _entry[app_id].  _dirty holds apps whose fair
+        # key inputs changed since the last re-key pass.
+        self._heap: list[tuple] = []
+        self._entry: dict[str, tuple] = {}     # app_id -> (key, token)
+        self._token = 0
+        self._dirty: set[str] = set()
+        self._stale = 0                        # dead heap entries
+        self._keyed_mode = mode                # mode the heap keys encode
+        self._live: AppOrder | None = None
+        # Introspection counters (exported by the app-scale benchmark).
+        self.rekeys = 0
+        self.compactions = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -78,10 +240,7 @@ class SchedulingPools:
         weight: float = 1.0,
         min_share: int = 0,
     ) -> AppShare:
-        if weight <= 0:
-            raise ValueError(f"pool weight must be > 0, got {weight}")
-        if min_share < 0:
-            raise ValueError(f"min_share must be >= 0, got {min_share}")
+        validate_share(weight, min_share)
         share = AppShare(
             app_id=app_id,
             pool=pool,
@@ -91,13 +250,36 @@ class SchedulingPools:
         )
         self._seq += 1
         self._apps[app_id] = share
+        self._active += 1
+        self._invalidate_live()
+        if self._keyed_mode != self.mode:
+            # The policy flipped since the heap was keyed (the driver sets
+            # .mode after construction): re-key everything once so fifo int
+            # keys and fair tuple keys never coexist in one heap.
+            self._rekey_all()
+        else:
+            self._push(share)
         return share
 
     def deactivate(self, app_id: str) -> None:
         """The application finished or aborted; drop it from future rounds."""
         share = self._apps.get(app_id)
-        if share is not None:
-            share.active = False
+        if share is None or not share.active:
+            return
+        share.active = False
+        self._active -= 1
+        self._dirty.discard(app_id)
+        if self._entry.pop(app_id, None) is not None:
+            self._stale += 1
+        self._invalidate_live()
+        self._maybe_compact()
+
+    def release(self, app_id: str) -> None:
+        """Deactivate *and* forget the share entirely (app-state
+        reclamation): pool memory stays O(active) over an unbounded
+        submission stream."""
+        self.deactivate(app_id)
+        self._apps.pop(app_id, None)
 
     def share_of(self, app_id: str) -> AppShare | None:
         return self._apps.get(app_id)
@@ -108,11 +290,15 @@ class SchedulingPools:
         share = self._apps.get(app_id)
         if share is not None:
             share.running += 1
+            if share.active and self.mode != FIFO:
+                self._dirty.add(app_id)
 
     def note_end(self, app_id: str) -> None:
         share = self._apps.get(app_id)
         if share is not None and share.running > 0:
             share.running -= 1
+            if share.active and self.mode != FIFO:
+                self._dirty.add(app_id)
 
     def running_tasks(self, app_id: str) -> int:
         share = self._apps.get(app_id)
@@ -120,17 +306,47 @@ class SchedulingPools:
 
     # -- queries --------------------------------------------------------------
 
+    def active_count(self) -> int:
+        return self._active
+
     def active_ids(self) -> list[str]:
         """Active application ids in submission order."""
-        return sorted(
-            (s.app_id for s in self._apps.values() if s.active),
-            key=lambda a: self._apps[a].seq,
-        )
+        # _apps is insertion-ordered and seq is assigned at insertion, so a
+        # filter preserves submission order without sorting.
+        return [s.app_id for s in self._apps.values() if s.active]
 
-    def app_order(self) -> list[str] | None:
+    def app_order(self) -> AppOrder | None:
         """Policy order for this dispatch round, or ``None`` when fewer than
         two applications are active (single-tenant fast path: callers keep
-        their original, pool-free code path)."""
+        their original, pool-free code path).
+
+        Keys dirtied since the previous round are re-applied first; the
+        returned :class:`AppOrder` then walks the heap lazily at frozen
+        keys.  A nested call mid-round (the speculative ordering inside a
+        dispatch round) finalizes the outer snapshot before re-keying, so
+        the outer round keeps observing its own frozen order — exactly the
+        old compute-the-list-once semantics.
+        """
+        live = self._live
+        if live is not None:
+            if not (live._done or live._closed):
+                live.materialize()
+            self._live = None
+        if self._active < 2:
+            return None
+        self._refresh()
+        order = AppOrder(self)
+        self._live = order
+        return order
+
+    def app_order_sorted(self) -> list[str] | None:
+        """Frozen reference implementation: the original full sort per round.
+
+        Kept verbatim for (a) the seeded-churn parity test, which asserts
+        the heap walk and this sort agree on every round, and (b) the
+        app-scale benchmark's baseline column.  Not used on any scheduling
+        path.
+        """
         active = [s for s in self._apps.values() if s.active]
         if len(active) < 2:
             return None
@@ -139,3 +355,70 @@ class SchedulingPools:
         else:
             active.sort(key=AppShare.fair_key)
         return [s.app_id for s in active]
+
+    # -- heap maintenance ------------------------------------------------------
+
+    def _key(self, share: AppShare):
+        return share.seq if self.mode == FIFO else share.fair_key()
+
+    def _push(self, share: AppShare) -> None:
+        token = self._token
+        self._token += 1
+        key = self._key(share)
+        self._entry[share.app_id] = (key, token)
+        heappush(self._heap, (key, token, share.app_id))
+
+    def _invalidate_live(self) -> None:
+        """A structural mutation is about to happen: any outstanding lazy
+        snapshot must not keep walking the heap.  Finished (or closed)
+        snapshots replay from their memo and are unaffected."""
+        live = self._live
+        if live is not None:
+            if not live._done:
+                live._expired = True
+            self._live = None
+
+    def _rekey_all(self) -> None:
+        """Rebuild the heap from scratch under the current mode's key."""
+        self._keyed_mode = self.mode
+        self._entry.clear()
+        self._heap.clear()
+        self._stale = 0
+        self._dirty.clear()
+        for share in self._apps.values():
+            if share.active:
+                self._push(share)
+
+    def _refresh(self) -> None:
+        """Apply deferred re-keys (dirty-version protocol) and compaction."""
+        if self._keyed_mode != self.mode:
+            self._rekey_all()
+            return
+        if self._dirty:
+            for app_id in self._dirty:
+                share = self._apps.get(app_id)
+                if share is None or not share.active:
+                    continue
+                key = self._key(share)
+                cur = self._entry.get(app_id)
+                if cur is not None and cur[0] == key:
+                    continue            # inputs moved but the key didn't
+                self._stale += 1        # the old entry becomes a tombstone
+                self._push(share)
+                self.rekeys += 1
+            self._dirty.clear()
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once at least half of it is stale tombstones
+        (with the shared floor, so small pools never thrash).  Pop order is
+        unchanged: every live (key, token) pair is preserved."""
+        if self._stale >= COMPACT_MIN_DEAD and self._stale * 2 >= len(self._heap):
+            self._invalidate_live()
+            self._heap = [
+                (key, token, app_id)
+                for app_id, (key, token) in self._entry.items()
+            ]
+            heapify(self._heap)
+            self._stale = 0
+            self.compactions += 1

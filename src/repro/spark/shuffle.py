@@ -32,6 +32,18 @@ class ShuffleManager:
         st.total_mb += mb
         st.maps_done += 1
 
+    def release(self, shuffle_id: str) -> None:
+        """Forget one shuffle entirely (its app finished and was reclaimed).
+
+        Shuffle ids embed the globally-unique stage id, so without this the
+        registry grows one entry per shuffle stage per submission — the last
+        per-app map in the data plane under an open-loop stream."""
+        self._shuffles.pop(shuffle_id, None)
+
+    def shuffle_count(self) -> int:
+        """Registered shuffles (leak-test introspection)."""
+        return len(self._shuffles)
+
     def unregister_node(self, shuffle_id: str, node: str) -> float:
         """Drop a node's map output (executor loss).  Returns MB lost."""
         st = self._shuffles.get(shuffle_id)

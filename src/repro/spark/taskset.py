@@ -43,6 +43,12 @@ class _TaskState:
     # First attempt's launch time; a later winning attempt's start minus this
     # is the straggler time blamed on the critical path.
     first_launch: float | None = None
+    # Nodes where any attempt of this task ever succeeded (including races
+    # that lost to an earlier success, and runs predating a reopen) — the
+    # shuffle-loss recovery check, cumulative for the taskset's lifetime so
+    # the driver never has to scan its full attempt history.  Lazily
+    # allocated: most tasks succeed once and never consult it.
+    success_nodes: set[str] | None = None
 
 
 class TaskSetManager:
@@ -204,6 +210,14 @@ class TaskSetManager:
             st.running.remove(run)
         m = run.metrics
         if m.succeeded:
+            # Record where the output landed before the duplicate-success
+            # early-out: a race that lost still materialized its map output
+            # on its node, and losing that node still only matters if no
+            # *other* success survives (see Driver._handle_shuffle_loss_for).
+            if m.node:
+                if st.success_nodes is None:
+                    st.success_nodes = set()
+                st.success_nodes.add(m.node)
             if st.finished:
                 return False
             st.finished = True

@@ -184,6 +184,175 @@ class TestTeardown:
         assert scheduler.tm.queues.invalidate_app(results[0].app_id) == 0
 
 
+class TestIndexedPoolOrdering:
+    """The lazy-deletion heap behind app_order() (DESIGN.md §15)."""
+
+    def test_equal_shares_tie_break_by_registration_seq(self):
+        pools = SchedulingPools(mode=FAIR)
+        for i in range(6):
+            pools.register(f"app@{i}", weight=1.0)
+        # All shares identical (0 running / weight 1): the unique
+        # registration seq is the deterministic tie-breaker, so the order
+        # is exactly submission order — every run, both engines.
+        expected = [f"app@{i}" for i in range(6)]
+        assert pools.app_order() == expected
+        assert pools.app_order_sorted() == expected
+        for i in range(6):
+            pools.note_launch(f"app@{i}")
+        assert pools.app_order() == expected
+
+    def test_seeded_churn_parity_heap_vs_frozen_sort(self):
+        from repro.experiments.appbench import (
+            PoolsChurnTier,
+            pools_parity_probe,
+        )
+
+        for mode in (FIFO, FAIR):
+            tier = PoolsChurnTier(apps=600, active=150, rounds=120, mode=mode)
+            probe = pools_parity_probe(tier, seed=11)
+            assert probe["parity_ok"], f"{mode}: {probe}"
+
+    def test_app_order_expires_on_structural_mutation(self):
+        pools = SchedulingPools(mode=FAIR)
+        for i in range(3):
+            pools.register(f"a@{i}")
+        order = pools.app_order()
+        assert next(iter(order)) == "a@0"
+        pools.register("a@3")  # structural mutation mid-walk
+        with pytest.raises(RuntimeError, match="expired"):
+            order.materialize()
+
+    def test_materialized_snapshot_survives_mutation(self):
+        pools = SchedulingPools(mode=FAIR)
+        for i in range(3):
+            pools.register(f"a@{i}")
+        order = pools.app_order()
+        frozen = list(order.materialize())
+        pools.release("a@0")
+        pools.register("a@3")
+        # Fully-drained snapshots replay from their memo, unaffected.
+        assert list(order) == frozen
+
+    def test_nested_app_order_freezes_the_outer_round(self):
+        pools = SchedulingPools(mode=FAIR)
+        for i in range(4):
+            pools.register(f"a@{i}")
+        outer = pools.app_order()
+        first = next(iter(outer))
+        pools.note_launch(first)  # re-key signal, not structural
+        inner = pools.app_order()  # nested call (speculative ordering)
+        # The outer snapshot was finalized at its own frozen keys: it still
+        # yields the round-start order, while the nested order sees the
+        # launch it recorded mid-round.
+        assert outer.materialize()[0] == first
+        assert inner.materialize()[0] != first
+
+    def test_release_keeps_share_table_at_active_size_and_compacts(self):
+        pools = SchedulingPools(mode=FAIR)
+        n = 200
+        for i in range(n):
+            pools.register(f"a@{i}")
+        for i in range(n - 2):
+            pools.release(f"a@{i}")
+        assert pools.active_count() == 2
+        assert len(pools._apps) == 2          # O(active), not O(ever)
+        assert pools.compactions >= 1         # tombstones were swept
+        assert len(pools._heap) <= 2 * 2 + 32  # live + sub-floor stragglers
+        assert pools.app_order() == [f"a@{n - 2}", f"a@{n - 1}"]
+
+    def test_mode_flip_rekeys_the_heap(self):
+        pools = SchedulingPools(mode=FIFO)
+        pools.register("a@0", weight=1.0)
+        pools.register("b@1", weight=4.0)
+        assert pools.app_order() == ["a@0", "b@1"]
+        for _ in range(4):
+            pools.note_launch("a@0")
+        pools.mode = FAIR  # the driver sets mode after construction
+        # 4/1 vs 0/4: b goes first under fair keys; the heap must have been
+        # rebuilt under the new comparator, not compare int vs tuple keys.
+        assert pools.app_order() == ["b@1", "a@0"]
+
+
+class TestSubmitValidation:
+    def test_submit_rejects_nonpositive_weight(self):
+        s = Session(
+            cluster=two_slot_cluster,
+            scheduler="spark",
+            seed=5,
+            conf_overrides={"scheduler_mode": FAIR},
+            monitor_interval=None,
+        )
+        with pytest.raises(ValueError, match="weight"):
+            s.submit(simple_app(n_map=2), weight=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            s.submit(simple_app(n_map=2), weight=-1.0)
+        with pytest.raises(ValueError, match="min_share"):
+            s.submit(simple_app(n_map=2), min_share=-2)
+        # Rejected submissions must leave no registered state behind.
+        assert s.driver.apps == {}
+        assert s.ctx.pools.active_count() == 0
+
+
+class TestReclamation:
+    """Service mode: N submit/complete cycles leave no per-app state."""
+
+    def test_whole_driver_teardown_retains_no_per_app_state(self):
+        s = Session(
+            cluster=two_slot_cluster,
+            scheduler="rupam",
+            seed=5,
+            conf_overrides={"scheduler_mode": FAIR},
+            monitor_interval=None,
+        )
+        records = []
+        s.driver.enable_reclamation(records.append)
+        cycles = 40  # past the 32-tombstone compaction floor
+        for i in range(cycles):
+            # Two contending apps per cycle so the pools/fair path engages.
+            s.driver.submit(simple_app(n_map=4, template="a"), weight=2.0)
+            s.driver.submit(simple_app(n_map=4, template="b"))
+            s.sim.run()
+        assert len(records) == 2 * cycles
+        assert all(not r.aborted for r in records)
+        reaped = {r.app_id for r in records}
+
+        # Driver: the app registry and metric-name cache are empty.
+        assert s.driver.apps == {}
+        from repro.spark.driver import _APP_METRIC
+
+        assert not {k for k in _APP_METRIC if k[0] in reaped}
+
+        # Scheduler/TM: queues and stage maps hold no reaped taskset.
+        scheduler = s.scheduler
+        assert isinstance(scheduler, RupamScheduler)
+        for app_id in reaped:
+            assert scheduler.tm.retained_app_state(app_id) == {
+                "queue_tasksets": 0,
+                "stage_tasksets": 0,
+            }
+
+        # Pools: shares released, heap swept down to sub-floor stragglers.
+        pools = s.ctx.pools
+        assert pools.active_count() == 0
+        assert not set(pools._apps) & reaped
+        assert len(pools._heap) < 32
+
+        # Data plane: every shuffle was released with its app.
+        assert s.ctx.shuffle.shuffle_count() == 0
+
+        # Observability: after the deferred sweeps flush, no span, decision,
+        # or per-app counter references a reaped app.
+        obs = s.ctx.obs
+        obs.flush_released()
+        for app_id in reaped:
+            assert obs.spans.of_app(app_id) == []
+        assert not {d.app for d in obs.decisions.decisions} & reaped
+        assert not [k for k in obs.metrics.counters if k.startswith("app.")]
+
+        # NodeTable: rows track nodes, never apps.
+        assert len(scheduler.rm.table.row_of) == len(s.cluster.nodes)
+
+
 class TestDecisionTraces:
     @pytest.mark.parametrize("scheduler", ["spark", "rupam"])
     def test_launch_decisions_carry_app_ids(self, scheduler):
