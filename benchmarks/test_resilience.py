@@ -1,0 +1,106 @@
+"""Resilience smoke benchmark: churn determinism + golden-signature gate.
+
+Runs the resilience figure twice at the CI-sized ``bench`` scale and asserts
+the two passes are byte-identical — same applied event log, same recovery
+latencies, same wasted-work totals for every (scenario x scheduler) cell.
+Cluster dynamics draw only from the dedicated ``cluster-dynamics`` RNG
+stream, so the whole elastic-cluster replay is a pure function of the seed.
+
+The first pass is also compared against the golden signatures in
+``benchmarks/golden/resilience_smoke_baseline.json`` so any change to
+departure handling, shuffle-loss recovery, or the autoscaler control loop
+shows up as a reviewable diff rather than a silent drift.  The gate further
+asserts that recovery actually completed (no aborted apps anywhere, nonzero
+recovery latency wherever capacity was lost) and that the quiet ``none``
+scenario matches a dynamics-free session byte-for-byte (dynamics-off
+parity).
+
+``RUPAM_BENCH_SCALE=paper`` upgrades to the contended ``smoke`` scale.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.experiments.resilience import (
+    SCENARIO_NAMES,
+    get_resilience_scale,
+    run_figure_resilience,
+    run_scenario,
+    scenario_signature,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "resilience_smoke_baseline.json"
+
+DEPARTURE_SCENARIOS = ("decommission", "preempt", "rackfail")
+
+
+def _signatures(result) -> dict[str, list]:
+    return {o.label: scenario_signature(o) for o in result.outcomes}
+
+
+def test_resilience_determinism(bench_scale, bench_artifact):
+    rs_scale = "bench" if bench_scale == "smoke" else "smoke"
+
+    t0 = time.perf_counter()
+    first = run_figure_resilience(rs_scale)
+    figure_wall_s = time.perf_counter() - t0
+    second = run_figure_resilience(rs_scale)
+
+    sig1, sig2 = _signatures(first), _signatures(second)
+    assert json.dumps(sig1, sort_keys=True) == json.dumps(sig2, sort_keys=True), (
+        "resilience figure is not deterministic across two in-process runs"
+    )
+    assert first.render() == second.render()
+
+    # Recovery completed everywhere: no scenario aborted an app, and every
+    # capacity-losing scenario both killed attempts and re-ran them.
+    for o in first.outcomes:
+        assert o.aborted_apps == 0, f"{o.label} aborted an app"
+        if o.scenario in DEPARTURE_SCENARIOS:
+            assert o.failed_attempts > 0, f"{o.label} lost no work?"
+            assert o.recovery_latency_s > 0, f"{o.label} never recovered"
+
+    # Dynamics-off parity: the quiet scenario built with events=None matches
+    # an independent replay — the dynamics subsystem existing does not
+    # perturb a session that doesn't use it.
+    sc = get_resilience_scale(rs_scale)
+    for scheduler in ("spark", "rupam"):
+        replay = run_scenario("none", scheduler, sc)
+        assert scenario_signature(replay) == sig1[f"none/{scheduler}"], (
+            f"dynamics-off replay diverged for {scheduler}"
+        )
+
+    if rs_scale == "bench" and GOLDEN.exists():
+        golden = json.loads(GOLDEN.read_text())
+        assert golden["scale"] == rs_scale
+        assert sig1 == golden["signatures"], (
+            "resilience outcomes diverged from the golden baseline; if "
+            "intentional, regenerate benchmarks/golden/"
+            "resilience_smoke_baseline.json"
+        )
+
+    bench_artifact.name = "resilience"
+    bench_artifact.attach(
+        {
+            "scale": rs_scale,
+            "scenarios": list(SCENARIO_NAMES),
+            "deterministic": True,
+            "figure_wall_s": round(figure_wall_s, 3),
+            "outcomes": {
+                o.label: {
+                    "makespan_s": round(o.makespan_s, 3),
+                    "recovery_latency_s": round(o.recovery_latency_s, 3),
+                    "wasted_work_s": round(o.wasted_work_s, 3),
+                    "p99_slowdown": round(o.p99_slowdown, 4),
+                    "failed_attempts": o.failed_attempts,
+                    "events": len(o.events),
+                }
+                for o in first.outcomes
+            },
+        }
+    )
+    emit(first.render())

@@ -26,6 +26,17 @@ Quick start::
 __version__ = "1.0.0"
 
 
+_DYNAMICS_EXPORTS = (
+    "ClusterTimeline",
+    "AutoscalePolicy",
+    "NodeJoin",
+    "NodeDecommission",
+    "SpotPreemption",
+    "RackFailure",
+    "ExecutorFailure",
+)
+
+
 def __getattr__(name):
     # Lazy import keeps `import repro` light (no numpy/cluster modules) for
     # tooling that only wants __version__.
@@ -33,7 +44,11 @@ def __getattr__(name):
         from repro.api import Session
 
         return Session
+    if name in _DYNAMICS_EXPORTS:
+        from repro.cluster import dynamics
+
+        return getattr(dynamics, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-__all__ = ["__version__", "Session"]
+__all__ = ["__version__", "Session", *_DYNAMICS_EXPORTS]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.dynamics import ClusterDynamics, ClusterEvent, ClusterTimeline
 from repro.cluster.monitor import ClusterMonitor
 from repro.cluster.presets import (
     hydra_cluster,
@@ -100,6 +101,11 @@ class Session:
         monitor_interval: utilization sampling period; ``None`` disables it.
         trace / trace_max_events / observe: observability toggles, as on
             :class:`~repro.experiments.runner.RunSpec`.
+        events: a :class:`~repro.cluster.dynamics.ClusterTimeline` of node
+            churn / preemption / rack-failure events (and optional autoscale
+            policy) to play against this session's cluster.  ``None`` (the
+            default) builds no dynamics machinery at all, so the run is
+            byte-identical to one from before this API existed.
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class Session:
         trace_max_events: int | None = None,
         observe: bool = True,
         driver_node: str | None = None,
+        events: ClusterTimeline | None = None,
     ):
         # Construction order mirrors the historical run_once() exactly so a
         # one-app Session replays the same event/RNG sequence byte-for-byte.
@@ -184,6 +191,30 @@ class Session:
             raise ValueError(f"unknown scheduler {scheduler!r}")
         self.driver = Driver(self.ctx, self.scheduler, monitor=self.monitor)
         self.handles: list[AppHandle] = []
+        # Cluster dynamics are strictly opt-in: without a timeline no
+        # dynamics object exists and nothing extra is scheduled (golden-trace
+        # parity with dynamics-free builds).
+        self.dynamics = (
+            ClusterDynamics(self.driver, events) if events is not None else None
+        )
+
+    # -- cluster lifecycle -------------------------------------------------------
+
+    def inject(self, event: ClusterEvent, at: float | None = None) -> None:
+        """Inject one cluster event (``NodeJoin`` / ``NodeDecommission`` /
+        ``SpotPreemption`` / ``RackFailure`` / ``ExecutorFailure``), now or
+        at a future simulated time.
+
+        The public successor of the test-only ``driver.kill_executor`` poke::
+
+            s = Session(cluster="hydra", scheduler="rupam")
+            s.submit("lr", size_gb=4.0)
+            s.inject(SpotPreemption(node="thor2"), at=30.0)
+            s.run_until_idle()
+        """
+        if self.dynamics is None:
+            self.dynamics = ClusterDynamics(self.driver, ClusterTimeline())
+        self.dynamics.inject(event, at=at)
 
     # -- submission ------------------------------------------------------------
 

@@ -43,9 +43,12 @@ FIGURES: dict[str, str] = {
     "fig8": "repro.experiments.fig8:run_fig8",
     "fig9": "repro.experiments.fig9:run_fig9",
     "multitenant": "repro.experiments.multitenant:run_figure_multitenant",
+    "resilience": "repro.experiments.resilience:run_figure_resilience",
 }
 
-SCALED_FIGURES = {"fig5", "fig6", "table5", "fig7", "fig8", "fig9", "multitenant"}
+SCALED_FIGURES = {
+    "fig5", "fig6", "table5", "fig7", "fig8", "fig9", "multitenant", "resilience",
+}
 
 
 def _resolve(spec: str) -> Callable:

@@ -45,6 +45,31 @@ class Cluster:
     def node(self, name: str) -> Node:
         return self._by_name[name]
 
+    # -- membership churn (elastic clusters) ---------------------------------
+
+    def add_node(self, spec: NodeSpec) -> Node:
+        """A node joins the live cluster (provisioning, spot capacity)."""
+        if spec.name in self._by_name:
+            raise ValueError(f"node {spec.name!r} already in cluster")
+        node = Node(self.sim, spec)
+        self.nodes.append(node)
+        self._by_name[node.name] = node
+        self._racks.setdefault(spec.rack, []).append(node)
+        return node
+
+    def remove_node(self, name: str) -> Node:
+        """A node leaves (decommission, preemption, failure)."""
+        node = self._by_name.pop(name, None)
+        if node is None:
+            raise KeyError(f"node {name!r} not in cluster")
+        self.nodes.remove(node)
+        rack = self._racks.get(node.spec.rack)
+        if rack is not None:
+            rack.remove(node)
+            if not rack:
+                del self._racks[node.spec.rack]
+        return node
+
     def fluid_resources(self) -> "Iterator":
         """Every rate-type resource in the cluster (for counter sweeps)."""
         for n in self.nodes:

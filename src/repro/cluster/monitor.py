@@ -137,7 +137,12 @@ class ClusterMonitor:
         n_nodes = 0
         for node in self.cluster:
             snap = node.utilization_snapshot()
-            self.node_series[node.name].append(
+            series = self.node_series.get(node.name)
+            if series is None:
+                # The node joined after construction (cluster dynamics); its
+                # series simply starts at its first sampled tick.
+                series = self.node_series[node.name] = NodeSeries(node.name)
+            series.append(
                 UtilizationSample(
                     time=self.sim.now,
                     cpu=snap["cpu"],

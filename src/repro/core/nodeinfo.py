@@ -206,6 +206,16 @@ class NodeTable:
         if row is None:
             return
         self._name_of[row] = None
+        # Zero the dynamic columns: under churn this row will be free-listed
+        # to the next joining node, which must not inherit the departed
+        # occupant's last heartbeat between register() and its own first
+        # scatter.
+        self.time[row] = 0.0
+        self.cpuutil[row] = 0.0
+        self.diskutil[row] = 0.0
+        self.netutil[row] = 0.0
+        self.gpus_idle[row] = 0.0
+        self.freememory_mb[row] = 0.0
         self._free.append(row)
         self.epoch += 1
 

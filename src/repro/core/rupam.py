@@ -116,7 +116,7 @@ class RupamScheduler(TaskScheduler):
     # -- availability: "enough resources", not "a free core" ---------------------------
 
     def available_for(self, ex: "Executor", kind: ResourceKind) -> bool:
-        if not ex.alive or ex.free_slots <= 0:
+        if not ex.alive or ex.draining or ex.free_slots <= 0:
             return False
         counts = self._kind_counts.get(ex.executor_id, {})
         running = counts.get(kind, 0)
@@ -180,6 +180,17 @@ class RupamScheduler(TaskScheduler):
         self._kind_counts.pop(executor.executor_id, None)
         if self.rm is not None:
             self.rm.forget(executor.node.name)
+
+    def on_node_removed(self, node_name: str) -> None:
+        """Node departure: break every optExecutor lock pinned to it.
+
+        The executor itself was already dropped via ``on_executor_removed``;
+        what remains are queue entries (and the TM's lock cache) still
+        targeting the departed node — those would otherwise sit out the full
+        ``lock_break_wait_s`` before any other node could take them.
+        """
+        if self.tm is not None:
+            self.tm.invalidate_node_locks(node_name)
 
     def on_task_end(self, run: "TaskRun", app_id: str | None = None) -> None:
         assert self.tm is not None

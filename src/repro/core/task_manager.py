@@ -129,6 +129,21 @@ class TaskManager:
             else:
                 del self._stage_tasksets[template_id]
 
+    def invalidate_node_locks(self, node_name: str) -> int:
+        """Break every cached optExecutor lock targeting a departed node.
+
+        Clears the lock cache entries and re-targets the queues' live entries
+        to "unlocked" so any node may take them immediately — without this,
+        tasks pinned to the departed node would wait out ``lock_break_wait_s``
+        (or forever, were lock-breaking disabled).  Returns the number of
+        locks broken.
+        """
+        keys = [k for k, n in self._locked.items() if n == node_name]
+        for key in keys:
+            del self._locked[key]
+            self.queues.update_lock(key, None)
+        return len(keys)
+
     def retained_app_state(self, app_id: str) -> dict[str, int]:
         """Count live structures still referencing this app — the teardown
         leak tests assert every value is zero after the app is released.
@@ -251,6 +266,11 @@ class TaskManager:
         placement that "achieved the best performance").
         """
         if rec.best_node is None:
+            return None
+        # Never pin to a node that has left the cluster (the record's
+        # best_node can outlive the machine under churn); a static cluster
+        # always passes this check, so dynamics-free runs are unchanged.
+        if not self.ctx.cluster.has_node(rec.best_node):
             return None
         fully_characterized = len(rec.history_resources) == 5
         if not (fully_characterized or rec.runs >= self.cfg.lock_after_runs):

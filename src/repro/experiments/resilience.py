@@ -1,0 +1,375 @@
+"""Resilience experiment: schedulers under an elastic, failing cluster.
+
+The same workload trace is replayed on the multirack cluster under each
+churn *scenario* — a quiet baseline, a node join, a graceful decommission, a
+spot preemption landing mid-shuffle, a correlated rack failure, and a
+queue-depth autoscaler — for both schedulers (stock Spark and RUPAM).  Every
+scenario is a declarative :class:`~repro.cluster.dynamics.ClusterTimeline`
+played through the ``Session(events=...)`` lifecycle API.
+
+Reported per (scenario x scheduler):
+
+* **makespan** — first submission to last completion;
+* **recovery latency** — from the first departure event to the last
+  successful re-run of a task attempt the event killed;
+* **wasted work** — total executor-seconds burned by attempts that did not
+  succeed (killed mid-drain, lost with their node, failed fetches);
+* **P99 slowdown** — P99 successful-task duration over the same scheduler's
+  quiet-baseline P99 (tail damage the churn caused).
+
+Everything is a pure function of ``(scale, seed)``: events fire at fixed
+simulated times, dynamics randomness draws only from the dedicated
+``cluster-dynamics`` stream, and ``scenario_signature`` is the
+byte-comparable fingerprint the determinism benchmark gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api import Session
+from repro.cluster.dynamics import (
+    AutoscalePolicy,
+    ClusterTimeline,
+    NodeDecommission,
+    NodeJoin,
+    RackFailure,
+    SpotPreemption,
+)
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.presets import GB, GBE_MBPS, THOR_CPU, THOR_DISK
+from repro.experiments.pool import RunCache
+from repro.experiments.report import render_table
+
+SCHEDULERS: tuple[str, ...] = ("spark", "rupam")
+
+# Scenario names in report order; each maps to a timeline builder below.
+SCENARIO_NAMES: tuple[str, ...] = (
+    "none",
+    "join",
+    "decommission",
+    "preempt",
+    "rackfail",
+    "autoscale",
+)
+
+
+@dataclass(frozen=True)
+class ResilienceScale:
+    """Knobs of one experiment size."""
+
+    base_seed: int
+    event_at_s: float        # when the churn event lands (mid-shuffle-ish)
+    second_app_at_s: float   # keeps services running so autoscale can release
+    max_sim_time: float
+    # workload name -> builder overrides
+    workloads: dict[str, dict[str, Any]]
+
+
+SCALES: dict[str, ResilienceScale] = {
+    # The event time is tuned so the departure lands while the terasort
+    # shuffle is in flight: map outputs exist (shuffle loss has something to
+    # lose) and reducers still need them (the FetchFailed path must recover).
+    "smoke": ResilienceScale(
+        base_seed=11,
+        event_at_s=6.0,
+        second_app_at_s=20.0,
+        max_sim_time=10_000.0,
+        workloads={
+            "terasort": {"size_gb": 2.0, "partitions": 96, "reducers": 48},
+            "lr": {"size_gb": 1.0, "iterations": 1, "partitions": 96},
+        },
+    ),
+    # CI-sized: the determinism benchmark runs the whole figure twice.
+    "bench": ResilienceScale(
+        base_seed=11,
+        event_at_s=4.0,
+        second_app_at_s=15.0,
+        max_sim_time=10_000.0,
+        workloads={
+            "terasort": {"size_gb": 1.0, "partitions": 48, "reducers": 24},
+            "lr": {"size_gb": 0.5, "iterations": 1, "partitions": 48},
+        },
+    ),
+    "paper": ResilienceScale(
+        base_seed=11,
+        event_at_s=20.0,
+        second_app_at_s=90.0,
+        max_sim_time=50_000.0,
+        workloads={
+            "terasort": {"size_gb": 8.0, "partitions": 384, "reducers": 192},
+            "lr": {"size_gb": 4.0, "iterations": 2, "partitions": 384},
+        },
+    ),
+}
+
+
+def get_resilience_scale(scale: str) -> ResilienceScale:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+# The multirack driver runs on r0-stack1 (rack0), so rack2 can fail whole.
+VICTIM_NODE = "r1-thor1"
+FAILED_RACK = "rack2"
+
+
+def _join_spec(name: str = "elastic-1", rack: str = "rack1") -> NodeSpec:
+    """A thor-class machine joining the cluster (the common spot shape)."""
+    return NodeSpec(
+        name=name,
+        cpu=THOR_CPU,
+        memory_mb=16 * GB,
+        net_mbps=GBE_MBPS,
+        disk=THOR_DISK,
+        rack=rack,
+    )
+
+
+def build_timeline(scenario: str, sc: ResilienceScale) -> ClusterTimeline | None:
+    """The declarative event schedule for one scenario (None = quiet)."""
+    at = sc.event_at_s
+    if scenario == "none":
+        return None
+    if scenario == "join":
+        return ClusterTimeline([(at, NodeJoin(_join_spec()))])
+    if scenario == "decommission":
+        return ClusterTimeline([(at, NodeDecommission(node=VICTIM_NODE))])
+    if scenario == "preempt":
+        return ClusterTimeline([(at, SpotPreemption(node=VICTIM_NODE))])
+    if scenario == "rackfail":
+        return ClusterTimeline([(at, RackFailure(rack=FAILED_RACK))])
+    if scenario == "autoscale":
+        return ClusterTimeline(
+            autoscale=AutoscalePolicy(template=_join_spec(name="scale-tmpl"))
+        )
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _conf_overrides(scenario: str) -> dict[str, Any]:
+    over: dict[str, Any] = {}
+    if scenario == "autoscale":
+        # React to shallow queues and release promptly once they drain, so
+        # both the up and the down leg fit inside one short run.
+        over.update(
+            autoscale_up_pending_per_slot=0.2,
+            autoscale_interval_s=0.5,
+            autoscale_down_idle_s=4.0,
+            autoscale_max_nodes=3,
+            provision_delay_s=3.0,
+        )
+    return over
+
+
+# The autoscale scenario splits the *first* app's input into this many times
+# more tasks: the static multirack fleet has more slots than the base trace
+# has tasks, so without finer partitions queue depth — the autoscaler's input
+# signal — never forms under either scheduler.  The second app stays at base
+# granularity, so after the burst the provisioned nodes idle out and the
+# down leg (graceful release) fires within the same run.
+AUTOSCALE_TASK_MULTIPLIER = 16
+
+
+def _workload_overrides(
+    scenario: str, index: int, over: dict[str, Any]
+) -> dict[str, Any]:
+    if scenario != "autoscale" or index > 0:
+        return dict(over)
+    out = dict(over)
+    for key in ("partitions", "reducers"):
+        if key in out:
+            out[key] = out[key] * AUTOSCALE_TASK_MULTIPLIER
+    return out
+
+
+@dataclass
+class ScenarioOutcome:
+    """One (scenario, scheduler) cell of the resilience grid."""
+
+    scenario: str
+    scheduler: str
+    makespan_s: float
+    recovery_latency_s: float
+    wasted_work_s: float
+    p99_task_s: float
+    failed_attempts: int
+    aborted_apps: int
+    events: list[tuple[float, str, dict[str, Any]]]
+    # Filled in once the scheduler's quiet baseline is known.
+    p99_slowdown: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario}/{self.scheduler}"
+
+
+@dataclass
+class ResilienceResult:
+    scale: str
+    seed: int
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+
+    def outcome(self, scenario: str, scheduler: str) -> ScenarioOutcome:
+        for o in self.outcomes:
+            if o.scenario == scenario and o.scheduler == scheduler:
+                return o
+        raise KeyError((scenario, scheduler))
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "Scenario",
+                "Makespan (s)",
+                "Recovery (s)",
+                "Wasted (s)",
+                "P99 slowdown",
+                "Failed attempts",
+            ],
+            [
+                (
+                    o.label,
+                    f"{o.makespan_s:.1f}",
+                    f"{o.recovery_latency_s:.1f}",
+                    f"{o.wasted_work_s:.1f}",
+                    f"{o.p99_slowdown:.2f}x",
+                    str(o.failed_attempts),
+                )
+                for o in self.outcomes
+            ],
+            title=f"Resilience under cluster dynamics (seed {self.seed})",
+        )
+
+
+def _p99(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(0.99 * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _departure_time(
+    events: list[tuple[float, str, dict[str, Any]]],
+) -> float | None:
+    """When capacity was first lost (the clock recovery latency starts on)."""
+    for at, name, _attrs in events:
+        if name in ("NodeDecommission", "SpotPreemption", "RackFailure"):
+            return at
+    return None
+
+
+def run_scenario(
+    scenario: str, scheduler: str, sc: ResilienceScale
+) -> ScenarioOutcome:
+    """Replay the workload trace under one scenario and measure the damage."""
+    session = Session(
+        cluster="multirack",
+        scheduler=scheduler,
+        seed=sc.base_seed,
+        conf_overrides=_conf_overrides(scenario),
+        monitor_interval=None,
+        events=build_timeline(scenario, sc),
+    )
+    for i, (wl, over) in enumerate(sorted(sc.workloads.items())):
+        session.submit(
+            wl,
+            at=sc.second_app_at_s if i else None,
+            **_workload_overrides(scenario, i, over),
+        )
+    results = session.run_until_idle(until=sc.max_sim_time)
+
+    metrics = [m for r in results for m in r.task_metrics]
+    failed = [m for m in metrics if not m.succeeded]
+    wasted = sum(m.duration for m in failed)
+    events = session.dynamics.applied if session.dynamics is not None else []
+
+    # Recovery latency: from the departure to the last successful re-run of
+    # a task identity the departure killed.
+    recovery = 0.0
+    dep_at = _departure_time(events)
+    if dep_at is not None:
+        hit = {
+            (m.stage_id, m.task_key)
+            for m in failed
+            if m.finish_time >= dep_at
+        }
+        recovered = [
+            m.finish_time
+            for m in metrics
+            if m.succeeded and (m.stage_id, m.task_key) in hit
+        ]
+        if recovered:
+            recovery = max(recovered) - dep_at
+
+    makespan = max(r.finished_at for r in results) - min(
+        r.submitted_at for r in results
+    )
+    return ScenarioOutcome(
+        scenario=scenario,
+        scheduler=scheduler,
+        makespan_s=makespan,
+        recovery_latency_s=recovery,
+        wasted_work_s=wasted,
+        p99_task_s=_p99([m.duration for m in metrics if m.succeeded]),
+        failed_attempts=len(failed),
+        aborted_apps=sum(1 for r in results if r.aborted),
+        events=list(events),
+    )
+
+
+def scenario_signature(outcome: ScenarioOutcome) -> list[Any]:
+    """The byte-comparable fingerprint the determinism gate uses."""
+    return [
+        outcome.scenario,
+        outcome.scheduler,
+        outcome.makespan_s,
+        outcome.recovery_latency_s,
+        outcome.wasted_work_s,
+        outcome.p99_task_s,
+        outcome.failed_attempts,
+        outcome.aborted_apps,
+        # JSON-native (no tuples) so the fingerprint equals its own
+        # round-trip through the golden baseline file.
+        [
+            [at, name, [[k, v] for k, v in sorted(attrs.items())]]
+            for at, name, attrs in outcome.events
+        ],
+    ]
+
+
+def run_figure_resilience(
+    scale: str = "smoke",
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+    seed: int | None = None,
+) -> ResilienceResult:
+    """The `repro figure resilience` entry point.
+
+    ``jobs``/``cache`` are accepted for CLI-signature parity with the other
+    scaled figures but unused: sessions with live cluster dynamics are not
+    cacheable run specs, and the grid is small enough to run serially.
+    """
+    sc = get_resilience_scale(scale)
+    if seed is not None:
+        sc = ResilienceScale(
+            base_seed=seed,
+            event_at_s=sc.event_at_s,
+            second_app_at_s=sc.second_app_at_s,
+            max_sim_time=sc.max_sim_time,
+            workloads=sc.workloads,
+        )
+    result = ResilienceResult(scale=scale, seed=sc.base_seed)
+    baselines: dict[str, float] = {}
+    for scenario in SCENARIO_NAMES:
+        for scheduler in SCHEDULERS:
+            outcome = run_scenario(scenario, scheduler, sc)
+            if scenario == "none":
+                baselines[scheduler] = outcome.p99_task_s
+            base = baselines.get(scheduler, 0.0)
+            outcome.p99_slowdown = (
+                outcome.p99_task_s / base if base > 0 else 1.0
+            )
+            result.outcomes.append(outcome)
+    return result

@@ -11,6 +11,13 @@ import zlib
 
 import numpy as np
 
+# The cluster-dynamics subsystem (node churn, preemption timing, autoscale
+# synthesis) draws exclusively from this named stream.  Streams are
+# independently seeded, so enabling dynamics never perturbs the draws any
+# other consumer sees — golden traces from dynamics-free runs stay
+# byte-identical.
+DYNAMICS_STREAM = "cluster-dynamics"
+
 
 class RandomSource:
     """A tree of named, independently-seeded numpy Generators."""

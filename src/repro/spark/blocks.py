@@ -32,6 +32,34 @@ class BlockManager:
         # cache_key -> node holding the cached partition
         self._cache_locations: dict[str, str] = {}
 
+    # -- membership churn ------------------------------------------------------
+
+    def add_node(self, name: str, rack: str) -> None:
+        """Register a node that joined the cluster after construction."""
+        self._rack_of[name] = rack
+
+    def remove_node(self, name: str) -> int:
+        """A node left: its block replicas and cached partitions are gone.
+
+        Blocks with surviving replicas keep them; a block whose only replica
+        lived on the departed node loses its placement entirely — tasks then
+        read it remotely from cold storage (locality ``ANY``).  Returns the
+        number of replicas dropped.
+        """
+        self._rack_of.pop(name, None)
+        dropped = 0
+        for block_id, locs in list(self._block_locations.items()):
+            if name not in locs:
+                continue
+            dropped += 1
+            kept = tuple(n for n in locs if n != name)
+            if kept:
+                self._block_locations[block_id] = kept
+            else:
+                del self._block_locations[block_id]
+        self.drop_cached_on_node(name)
+        return dropped
+
     # -- placement ------------------------------------------------------------
 
     def put_block(self, block_id: str, nodes: Iterable[str]) -> None:

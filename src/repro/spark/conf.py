@@ -56,6 +56,24 @@ class SparkConf:
     # (cf. spark.scheduler.mode): "fifo" serves apps in submission order,
     # "fair" runs Spark's FairSchedulingAlgorithm over app weights/minShares.
     scheduler_mode: str = "fifo"
+    # Cluster-dynamics knobs (repro.cluster.dynamics).  A spot preemption
+    # gives draining executors this much notice before the node vanishes
+    # (cf. the EC2 two-minute warning, scaled to simulated workloads).
+    preemption_warning_s: float = 2.0
+    # A graceful decommission waits at most this long for running tasks to
+    # drain before the node is removed anyway.
+    decommission_drain_s: float = 60.0
+    # Autoscaler request -> node joined (cloud control-plane latency).
+    provision_delay_s: float = 10.0
+    # Autoscaler control loop: evaluate every interval; scale up while
+    # pending tasks exceed up_pending_per_slot x total slots; release an
+    # autoscaled node idle for down_idle_s; fleet size stays within
+    # [min_nodes, max_nodes] nodes added by the autoscaler.
+    autoscale_interval_s: float = 5.0
+    autoscale_up_pending_per_slot: float = 2.0
+    autoscale_down_idle_s: float = 30.0
+    autoscale_min_nodes: int = 0
+    autoscale_max_nodes: int = 4
 
     def with_overrides(self, **kwargs) -> "SparkConf":
         """Functional update."""
@@ -82,4 +100,22 @@ class SparkConf:
         if self.scheduler_mode not in ("fifo", "fair"):
             raise ValueError(
                 f"scheduler_mode must be 'fifo' or 'fair', got {self.scheduler_mode!r}"
+            )
+        if self.preemption_warning_s < 0:
+            raise ValueError("preemption_warning_s must be >= 0")
+        if self.decommission_drain_s < 0:
+            raise ValueError("decommission_drain_s must be >= 0")
+        if self.provision_delay_s < 0:
+            raise ValueError("provision_delay_s must be >= 0")
+        if self.autoscale_interval_s <= 0:
+            raise ValueError("autoscale_interval_s must be positive")
+        if self.autoscale_up_pending_per_slot <= 0:
+            raise ValueError("autoscale_up_pending_per_slot must be positive")
+        if self.autoscale_down_idle_s < 0:
+            raise ValueError("autoscale_down_idle_s must be >= 0")
+        if self.autoscale_min_nodes < 0:
+            raise ValueError("autoscale_min_nodes must be >= 0")
+        if self.autoscale_max_nodes < self.autoscale_min_nodes:
+            raise ValueError(
+                "autoscale_max_nodes must be >= autoscale_min_nodes"
             )

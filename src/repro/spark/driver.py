@@ -18,9 +18,11 @@ first live app and stop when the last one ends.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from repro.cluster.hardware import NodeSpec
 from repro.cluster.monitor import ClusterMonitor
 from repro.obs.decision import Observability
 from repro.obs.span import Span
@@ -35,6 +37,10 @@ from repro.spark.pools import validate_share
 from repro.spark.stage import Stage
 from repro.spark.task import TaskSpec
 from repro.spark.taskset import TaskSetAborted, TaskSetManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.dynamics import ClusterDynamics
+    from repro.simulate.engine import EventHandle
 
 # Per-task metric names are cached: the f-string builds showed up in the
 # observability-overhead gate (two per task attempt across a whole run).
@@ -274,6 +280,13 @@ class Driver:
         self._started = False            # executor fleet launched
         self._services_running = False   # monitor/speculation ticking
         self._scheduler_stopped = False  # scheduler.stop() happened (idle)
+        # Cluster-dynamics engine, when the session runs with one (its
+        # autoscaler control loop follows the service start/stop lifecycle).
+        self.dynamics: "ClusterDynamics | None" = None
+        # Nodes mid-departure: name -> (reason, deadline timer).  Their
+        # executors are draining (no new tasks); a decommission leaves as
+        # soon as its tasks finish, a preemption at the deadline regardless.
+        self._draining: dict[str, tuple[str, "EventHandle"]] = {}
         # Service mode (off by default — see enable_reclamation): reap each
         # app's state at completion instead of retaining it for result().
         self._reclaim = False
@@ -417,6 +430,8 @@ class Driver:
                 self.scheduler.resume()
                 self._scheduler_stopped = False
             self._services_running = True
+            if self.dynamics is not None:
+                self.dynamics.on_services_start()
 
     def _stop_services(self, sample: bool) -> None:
         """Last active app ended: quiesce the periodic machinery."""
@@ -428,6 +443,8 @@ class Driver:
                 self.monitor.sample_now()
             self.monitor.stop()
         self._services_running = False
+        if self.dynamics is not None:
+            self.dynamics.on_services_stop()
         # Quiesce point: fold the simulation core's counters into the run's
         # metrics (delta-tracked, so repeated idle/wake cycles don't double
         # count), and snapshot trace/span ring health so silent drops surface
@@ -510,6 +527,9 @@ class Driver:
         heap = min(heap, max_heap)
         slots = self.scheduler.executor_slots_for(node_name)
         ex = Executor(self.ctx, node, heap, slots)
+        # A node mid-departure relaunching its executor (OOM during the
+        # warning window) comes back already draining.
+        ex.draining = node_name in self._draining
         self.executors[node_name] = ex
         self.ctx.trace.record(
             self.ctx.now, "executor_up", node=node_name, heap_mb=heap, slots=slots
@@ -517,7 +537,27 @@ class Driver:
         self.scheduler.on_executor_added(ex)
 
     def kill_executor(self, executor: Executor) -> None:
-        """The OS killed this JVM (severe memory overcommit)."""
+        """Kill one executor process (the node itself stays up).
+
+        .. deprecated:: External callers should inject an
+           :class:`~repro.cluster.dynamics.ExecutorFailure` through
+           :meth:`repro.api.Session.inject` instead of poking the driver.
+        """
+        warnings.warn(
+            "driver.kill_executor is deprecated; inject "
+            "ExecutorFailure(node=...) through Session.inject instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._fail_executor(executor)
+
+    def _fail_executor(self, executor: Executor) -> None:
+        """The OS killed this JVM (severe memory overcommit).
+
+        The machine survives: local shuffle files outlive the process when
+        the external shuffle service is on, and a replacement executor is
+        relaunched after ``executor_recovery_s`` while any app is active.
+        """
         if not executor.alive:
             return
         self.executor_kills += 1
@@ -538,9 +578,121 @@ class Driver:
             )
 
     def _relaunch_executor(self, node_name: str) -> None:
-        if not self._any_active() or node_name in self.executors:
+        if (
+            not self._any_active()
+            or node_name in self.executors
+            or not self.ctx.cluster.has_node(node_name)  # departed meanwhile
+        ):
             return
         self._launch_executor(node_name)
+
+    # -- cluster membership (driven by repro.cluster.dynamics) --------------------
+
+    def add_node(self, spec: NodeSpec) -> None:
+        """A machine joins the live cluster (provisioning, spot capacity).
+
+        Registers it with the topology and block manager and — when the
+        executor fleet is up and running — launches its executor immediately.
+        While the driver idles, the wake path in :meth:`_ensure_services`
+        brings the executor up with the rest of the fleet.
+        """
+        self.ctx.cluster.add_node(spec)
+        self.ctx.blocks.add_node(spec.name, spec.rack)
+        self.ctx.obs.metrics.inc("cluster.node_joins")
+        self.ctx.trace.record(self.ctx.now, "node_join", node=spec.name)
+        self.scheduler.on_node_added(spec.name)
+        if self._started and self._services_running:
+            self._launch_executor(spec.name)
+
+    def decommission_node(self, name: str, drain_s: float | None = None) -> None:
+        """Graceful departure: drain running tasks, then leave.
+
+        The node's executor stops accepting work immediately; the node is
+        removed as soon as its running tasks finish, or after ``drain_s``
+        (default ``conf.decommission_drain_s``) with stragglers killed.
+        """
+        self._check_departure(name)
+        if drain_s is None:
+            drain_s = self.ctx.conf.decommission_drain_s
+        self.ctx.trace.record(
+            self.ctx.now, "node_decommission", node=name, drain_s=drain_s
+        )
+        ex = self.executors.get(name)
+        if ex is None or not ex.running or drain_s <= 0:
+            self.remove_node(name, reason="decommission")
+            return
+        ex.draining = True
+        self._draining[name] = (
+            "decommission",
+            self.ctx.sim.after(drain_s, self.remove_node, name, "decommission"),
+        )
+
+    def preempt_node(self, name: str, warning_s: float | None = None) -> None:
+        """Spot preemption: a warning now, the machine gone at the deadline.
+
+        Unlike a decommission, early drain does not save the node — the
+        provider reclaims it at ``warning_s`` (default
+        ``conf.preemption_warning_s``) no matter what; tasks still running
+        then are killed and its shuffle outputs are lost.
+        """
+        self._check_departure(name)
+        if warning_s is None:
+            warning_s = self.ctx.conf.preemption_warning_s
+        self.ctx.trace.record(
+            self.ctx.now, "preemption_warning", node=name, warning_s=warning_s
+        )
+        if warning_s <= 0:
+            self.remove_node(name, reason="preemption")
+            return
+        ex = self.executors.get(name)
+        if ex is not None:
+            ex.draining = True
+        self._draining[name] = (
+            "preemption",
+            self.ctx.sim.after(warning_s, self.remove_node, name, "preemption"),
+        )
+
+    def remove_node(self, name: str, reason: str = "failure") -> None:
+        """Hard departure: the machine leaves the cluster now.
+
+        Running tasks are killed; the node's disks leave with it, so its map
+        outputs are lost *even under the external shuffle service* (that
+        only survives process death on a live machine) and recovered through
+        the FetchFailed path; block replicas and scheduler state pinned to
+        the node are dropped.
+        """
+        if not self.ctx.cluster.has_node(name):
+            return
+        self._check_driver_node(name)
+        entry = self._draining.pop(name, None)
+        if entry is not None and entry[1].pending:
+            entry[1].cancel()
+        self.ctx.obs.metrics.inc("cluster.node_removals")
+        self.ctx.trace.record(
+            self.ctx.now, "node_removed", node=name, reason=reason
+        )
+        ex = self.executors.pop(name, None)
+        if ex is not None:
+            self.scheduler.on_executor_removed(ex)
+            ex.kill()
+        self._handle_shuffle_loss(name)
+        self.ctx.blocks.remove_node(name)
+        self.ctx.cluster.remove_node(name)
+        self.scheduler.on_node_removed(name)
+
+    def _check_departure(self, name: str) -> None:
+        if not self.ctx.cluster.has_node(name):
+            raise KeyError(f"node {name!r} not in cluster")
+        self._check_driver_node(name)
+        if name in self._draining:
+            raise ValueError(f"node {name!r} is already departing")
+
+    def _check_driver_node(self, name: str) -> None:
+        if name == self.ctx.driver_node:
+            raise ValueError(
+                f"cannot remove driver node {name!r} (the cluster master "
+                f"and result sink live there)"
+            )
 
     def _handle_shuffle_loss(self, node_name: str) -> None:
         """Spark's FetchFailed path: map output that lived only in the dead
@@ -708,6 +860,14 @@ class Driver:
         self.scheduler.on_task_end(run, app_id or None)
         if stage_completed and handle is not None:
             self._on_stage_complete(handle, ts)
+        # A decommissioning node leaves the moment its last task drains (a
+        # preempted one stays until the provider's deadline regardless).
+        node_name = run.executor.node.name
+        entry = self._draining.get(node_name)
+        if entry is not None and entry[0] == "decommission":
+            ex = self.executors.get(node_name)
+            if ex is not None and ex.alive and not ex.running:
+                self.remove_node(node_name, reason="decommission")
 
     def _on_stage_complete(self, handle: AppHandle, ts: TaskSetManager) -> None:
         stage = ts.stage

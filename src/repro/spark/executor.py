@@ -40,6 +40,9 @@ class Executor:
         self.memory = ExecutorMemory(ctx.conf, heap_mb)
         self.running: list["TaskRun"] = []
         self.alive = True
+        # Draining executors finish their running tasks but accept no new
+        # ones (graceful decommission / spot-preemption warning window).
+        self.draining = False
         self.launched_at = ctx.sim.now
         self.tasks_completed = 0
         # The node's CPU rate is derated by this executor's GC drag.
@@ -58,7 +61,7 @@ class Executor:
         return self.memory.free_mb
 
     def has_capacity(self) -> bool:
-        return self.alive and self.free_slots > 0
+        return self.alive and not self.draining and self.free_slots > 0
 
     # -- task lifecycle hooks (called by TaskRun) ---------------------------------
 

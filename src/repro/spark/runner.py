@@ -131,7 +131,7 @@ class TaskRun:
         if kill_executor and ctx.driver is not None:
             # Executor death kills this task too (with failed_oom attribution).
             self.metrics.failed_oom = True
-            ctx.driver.kill_executor(self.executor)
+            ctx.driver._fail_executor(self.executor)
         else:
             self._end(success=False, oom=True)
 

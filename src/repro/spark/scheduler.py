@@ -143,6 +143,19 @@ class TaskScheduler(ABC):
         """Application teardown: release any per-app scheduler state (queued
         entries, lock-index entries, taskset lists).  Default: no-op."""
 
+    # -- cluster membership churn (repro.cluster.dynamics) -----------------------
+
+    def on_node_added(self, node_name: str) -> None:
+        """A node joined the cluster.  Executor launch follows separately
+        through :meth:`on_executor_added`; most schedulers need nothing
+        here.  Default: no-op."""
+
+    def on_node_removed(self, node_name: str) -> None:
+        """A node left the cluster for good (decommission, preemption, rack
+        failure) — distinct from a transient executor death on a node that
+        stays.  Schedulers drop any state pinned to the node (e.g. RUPAM's
+        optExecutor locks).  Default: no-op."""
+
     @abstractmethod
     def revive(self) -> None:
         """Try to place pending work on available executors."""

@@ -37,11 +37,34 @@ class TestSparkConf:
             {"storage_fraction": -0.1},
             {"speculation_quantile": 0.0},
             {"speculation_multiplier": 0.5},
+            # Cluster-dynamics knobs are validated at construction too.
+            {"preemption_warning_s": -1.0},
+            {"decommission_drain_s": -0.5},
+            {"provision_delay_s": -1.0},
+            {"autoscale_interval_s": 0.0},
+            {"autoscale_up_pending_per_slot": 0.0},
+            {"autoscale_down_idle_s": -1.0},
+            {"autoscale_min_nodes": -1},
+            {"autoscale_min_nodes": 5, "autoscale_max_nodes": 2},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ValueError):
             SparkConf(**kwargs)
+
+    def test_dynamics_defaults(self):
+        conf = SparkConf()
+        assert conf.preemption_warning_s == 2.0
+        assert conf.decommission_drain_s == 60.0
+        assert conf.provision_delay_s == 10.0
+        assert conf.autoscale_max_nodes >= conf.autoscale_min_nodes
+
+    def test_dynamics_overrides_roundtrip(self):
+        conf = SparkConf().with_overrides(
+            preemption_warning_s=0.0, autoscale_max_nodes=8
+        )
+        assert conf.preemption_warning_s == 0.0
+        assert conf.autoscale_max_nodes == 8
 
 
 class TestMetricsHelpers:

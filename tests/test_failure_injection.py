@@ -1,121 +1,135 @@
-"""Failure-injection tests: executor death, shuffle survival, recovery paths."""
+"""Failure-injection tests: executor death, shuffle survival, recovery paths.
+
+Failures are injected through the public lifecycle API —
+``Session.inject(ExecutorFailure(node=...), at=...)`` — which replaced the
+old test-only ``driver.kill_executor`` poke (kept as a deprecation shim,
+covered at the bottom).
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.rupam import RupamScheduler
-from repro.simulate.engine import Simulator
-from repro.spark.application import Application, Job
+from repro.api import Session
+from repro.cluster.dynamics import ExecutorFailure
 from repro.spark.conf import SparkConf
-from repro.spark.default_scheduler import DefaultScheduler
-from repro.spark.driver import Driver
-from repro.spark.stage import Stage, StageKind
-from repro.spark.task import TaskSpec
-from tests.conftest import hetero_cluster, make_ctx, simple_app, tiny_cluster
+from tests.conftest import hetero_cluster, simple_app, tiny_cluster
+
+
+def make_session(conf=None, cluster=tiny_cluster, scheduler="spark") -> Session:
+    return Session(
+        cluster=cluster,
+        scheduler=scheduler,
+        seed=1,
+        conf=conf or SparkConf().with_overrides(jitter_sigma=0.0),
+        monitor_interval=None,
+    )
 
 
 class TestExecutorDeath:
-    def _running_driver(self, conf=None):
-        sim = Simulator()
-        cluster = tiny_cluster(sim)
-        ctx = make_ctx(cluster, conf=conf or SparkConf().with_overrides(jitter_sigma=0.0))
-        driver = Driver(ctx, DefaultScheduler())
-        return sim, ctx, driver
-
     def test_kill_mid_run_recovers_and_completes(self):
-        sim, ctx, driver = self._running_driver(
+        s = make_session(
             conf=SparkConf().with_overrides(jitter_sigma=0.0, executor_recovery_s=2.0)
         )
-        app = simple_app(n_map=9, compute=8.0)
-        driver.submit(app)
+        s.submit(simple_app(n_map=9, compute=8.0))
         # Kill one executor shortly after launch.
-        sim.at(0.5, lambda: driver.kill_executor(driver.executors["n1"]))
-        sim.run()
-        assert driver._app_done
-        assert driver.executor_kills == 1
+        s.inject(ExecutorFailure(node="n1"), at=0.5)
+        s.run_until_idle()
+        assert s.driver._app_done
+        assert s.driver.executor_kills == 1
         # The executor came back and the node was reused.
-        assert "n1" in driver.executors
+        assert "n1" in s.driver.executors
 
     def test_shuffle_output_survives_executor_death(self):
         """External-shuffle-service semantics: map outputs on local disk
         outlive the JVM."""
-        sim, ctx, driver = self._running_driver()
+        s = make_session()
         app = simple_app(n_map=4, compute=1.0, shuffle_mb=25.0)
-        map_stage = next(s for s in app.jobs[0].stages if s.is_map)
-        driver.submit(app)
+        map_stage = next(st for st in app.jobs[0].stages if st.is_map)
+        s.submit(app)
 
         def kill_after_maps():
-            if ctx.shuffle.total_output_mb(map_stage.shuffle_id) > 0:
-                driver.kill_executor(driver.executors["n2"])
+            if s.ctx.shuffle.total_output_mb(map_stage.shuffle_id) > 0:
+                s.inject(ExecutorFailure(node="n2"))
             else:
-                sim.after(0.5, kill_after_maps)
+                s.sim.after(0.5, kill_after_maps)
 
-        sim.after(0.5, kill_after_maps)
-        sim.run()
-        assert driver._app_done
-        assert ctx.shuffle.total_output_mb(map_stage.shuffle_id) == pytest.approx(
+        s.sim.after(0.5, kill_after_maps)
+        s.run_until_idle()
+        assert s.driver._app_done
+        assert s.ctx.shuffle.total_output_mb(map_stage.shuffle_id) == pytest.approx(
             100.0, rel=0.3
         )
 
     def test_cached_blocks_lost_on_death(self):
-        sim, ctx, driver = self._running_driver()
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        ex = driver.executors["n1"]
-        ex.cache_partition("k1", 50.0)
-        driver.kill_executor(ex)
-        assert ctx.blocks.cached_location("k1") is None
+        s = make_session()
+        for node in s.cluster:
+            s.driver._launch_executor(node.name)
+        s.driver.executors["n1"].cache_partition("k1", 50.0)
+        s.inject(ExecutorFailure(node="n1"))
+        s.sim.run()
+        assert s.blocks.cached_location("k1") is None
 
     def test_double_kill_is_idempotent(self):
-        sim, ctx, driver = self._running_driver()
-        for node in ctx.cluster:
-            driver._launch_executor(node.name)
-        ex = driver.executors["n1"]
-        driver.kill_executor(ex)
-        driver.kill_executor(ex)
-        assert driver.executor_kills == 1
+        s = make_session()
+        for node in s.cluster:
+            s.driver._launch_executor(node.name)
+        s.inject(ExecutorFailure(node="n1"))
+        s.inject(ExecutorFailure(node="n1"))
+        s.sim.run()
+        assert s.driver.executor_kills == 1
 
     def test_no_relaunch_after_app_done(self):
-        sim, ctx, driver = self._running_driver(
+        s = make_session(
             conf=SparkConf().with_overrides(jitter_sigma=0.0, executor_recovery_s=500.0)
         )
-        res = driver.run(simple_app(n_map=2, compute=0.5))
-        assert driver._app_done
+        s.submit(simple_app(n_map=2, compute=0.5))
+        s.run_until_idle()
+        assert s.driver._app_done
         # Kill after completion: no recovery event should keep the sim alive.
-        ex = next(iter(driver.executors.values()))
-        driver.kill_executor(ex)
-        sim.run()
-        assert sim.peek_time() is None
+        victim = next(iter(s.driver.executors))
+        s.inject(ExecutorFailure(node=victim))
+        s.sim.run()
+        assert s.sim.peek_time() is None
 
 
 class TestRupamUnderFailures:
     def test_rupam_survives_executor_kill(self):
-        sim = Simulator()
-        cluster = hetero_cluster(sim)
-        ctx = make_ctx(cluster, conf=SparkConf().with_overrides(
-            jitter_sigma=0.0, executor_recovery_s=2.0))
-        driver = Driver(ctx, RupamScheduler())
-        app = simple_app(n_map=9, compute=8.0, jobs=2)
-        driver.submit(app)
-        sim.at(0.5, lambda: driver.kill_executor(driver.executors["fast"]))
-        sim.run()
-        assert driver._app_done
+        s = make_session(
+            conf=SparkConf().with_overrides(jitter_sigma=0.0, executor_recovery_s=2.0),
+            cluster=hetero_cluster,
+            scheduler="rupam",
+        )
+        s.submit(simple_app(n_map=9, compute=8.0, jobs=2))
+        s.inject(ExecutorFailure(node="fast"), at=0.5)
+        s.run_until_idle()
+        assert s.driver._app_done
 
     def test_aborted_app_reports_aborted(self):
-        sim = Simulator()
-        cluster = tiny_cluster(sim)
-        conf = SparkConf().with_overrides(
-            jitter_sigma=0.0, max_task_failures=2, executor_memory_mb=1500.0,
-            oom_kill_overcommit=99.0,
+        s = make_session(
+            conf=SparkConf().with_overrides(
+                jitter_sigma=0.0, max_task_failures=2, executor_memory_mb=1500.0,
+                oom_kill_overcommit=99.0,
+            )
         )
-        ctx = make_ctx(cluster, conf=conf)
         # A task that cannot fit anywhere: certain OOM, quick abort.
-        app = simple_app(n_map=2, compute=2.0, peak_mb=5000.0)
-        driver = Driver(ctx, DefaultScheduler())
-        res = driver.run(app)
+        handle = s.submit(simple_app(n_map=2, compute=2.0, peak_mb=5000.0))
+        s.run_until_idle()
+        res = handle.result()
         assert res.aborted
         assert res.oom_task_failures >= 2
         # No dangling work after abort.
-        for ex in driver.executors.values():
+        for ex in s.driver.executors.values():
             assert not ex.running
+
+
+class TestDeprecatedKillExecutor:
+    def test_kill_executor_shim_warns_and_still_works(self):
+        s = make_session()
+        for node in s.cluster:
+            s.driver._launch_executor(node.name)
+        ex = s.driver.executors["n1"]
+        with pytest.warns(DeprecationWarning, match="Session.inject"):
+            s.driver.kill_executor(ex)
+        assert not ex.alive
+        assert s.driver.executor_kills == 1

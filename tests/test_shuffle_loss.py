@@ -39,7 +39,7 @@ def test_app_completes_after_shuffle_loss(scheduler_cls):
 
     def kill_after_maps():
         if ctx.shuffle.local_fraction(map_stage.shuffle_id, victim_name) > 0:
-            driver.kill_executor(driver.executors[victim_name])
+            driver._fail_executor(driver.executors[victim_name])
         else:
             sim.after(0.3, kill_after_maps)
 
@@ -78,7 +78,7 @@ def test_shuffle_loss_traced_and_consumers_blocked(monkeypatch):
                     for node in ctx.cluster
                 ] if mb > 0
             )
-            driver.kill_executor(driver.executors[producer])
+            driver._fail_executor(driver.executors[producer])
             events.append("killed")
         elif not driver._app_done:
             sim.after(0.2, kill_when_reducing)
@@ -98,7 +98,7 @@ def test_no_reopen_when_consumers_done(sim):
     successes_before = sum(1 for r in driver.all_runs if r.metrics.succeeded)
     # Too late to matter: app done; kill guard returns immediately.
     ex = next(iter(driver.executors.values()))
-    driver.kill_executor(ex)
+    driver._fail_executor(ex)
     assert sum(1 for r in driver.all_runs if r.metrics.succeeded) == successes_before
 
 
