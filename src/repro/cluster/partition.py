@@ -1,0 +1,142 @@
+"""Rack-partitioning of a cluster into simulation shards.
+
+The sharded engine (:mod:`repro.simulate.shard`) splits a cluster into
+logical partitions along rack boundaries: racks are the unit of placement
+because every intra-rack interaction (node-local fluid work, rack-local
+transfers at factor 1.0) stays inside one partition, leaving network
+transfers and scheduler interactions as the only cross-partition edges
+(DESIGN.md §17).
+
+The partition is a pure function of the rack topology and the requested
+shard count — **never** of worker-process placement or wall-clock state —
+which is what makes ``shards=N`` bit-identical to ``shards=1``: the same
+logical partitions run the same per-partition event sequences whether they
+execute serially in one process or forked across many.
+
+The driver's rack is always pinned to shard 0 (the driver/scheduler and the
+network fabric live there); the remaining racks are balanced greedily by
+core-weight, largest first, ties broken by rack name and then by lowest
+shard id, so the plan is deterministic for a given topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["ShardPlan", "partition_cluster", "plan_for_cluster"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic assignment of racks (and their nodes) to shards.
+
+    ``shards`` is the effective count — the request clamped to the rack
+    count, since a rack is never split.  Shard 0 hosts the driver rack.
+    """
+
+    requested: int
+    shards: int
+    shard_racks: tuple[tuple[str, ...], ...]
+    shard_of_rack: dict[str, int] = field(repr=False)
+    shard_of_node: dict[str, int] = field(repr=False)
+    shard_weight: tuple[float, ...] = ()
+    driver_shard: int = 0
+
+    def shard_of(self, node_name: str) -> int:
+        """Shard owning ``node_name`` (driver shard for unknown nodes, so a
+        late-joining node counts as scheduler-side until re-planned)."""
+        return self.shard_of_node.get(node_name, self.driver_shard)
+
+    def is_cross_shard(self, node_a: str, node_b: str) -> bool:
+        return self.shard_of(node_a) != self.shard_of(node_b)
+
+    def nodes_of(self, shard: int) -> list[str]:
+        return [n for n, s in self.shard_of_node.items() if s == shard]
+
+
+def partition_cluster(
+    racks: Mapping[str, Sequence[str]],
+    shards: int,
+    driver_rack: str | None = None,
+    weight_of: Callable[[str], float] | None = None,
+) -> ShardPlan:
+    """Partition ``racks`` (rack name -> node names) into ``shards`` groups.
+
+    Args:
+        racks: the topology, as produced by :attr:`Cluster.racks`.
+        shards: requested shard count (>= 1); clamped to the rack count.
+        driver_rack: rack pinned to shard 0 (default: first rack in
+            iteration order — deterministic, racks are insertion-ordered).
+        weight_of: per-node balance weight (default 1.0 per node); the
+            greedy packer balances the sum of node weights per shard.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if not racks:
+        raise ValueError("cannot partition an empty cluster")
+    rack_names = list(racks)
+    if driver_rack is None:
+        driver_rack = rack_names[0]
+    elif driver_rack not in racks:
+        raise ValueError(f"driver rack {driver_rack!r} not in topology")
+
+    def rack_weight(rack: str) -> float:
+        nodes = racks[rack]
+        if weight_of is None:
+            return float(len(nodes))
+        return sum(weight_of(n) for n in nodes)
+
+    effective = max(1, min(shards, len(rack_names)))
+    members: list[list[str]] = [[] for _ in range(effective)]
+    loads = [0.0] * effective
+    members[0].append(driver_rack)
+    loads[0] = rack_weight(driver_rack)
+    # Largest-first greedy onto the least-loaded shard; all ties break
+    # deterministically (by rack name in the sort, lowest shard id in min()).
+    rest = sorted(
+        (r for r in rack_names if r != driver_rack),
+        key=lambda r: (-rack_weight(r), r),
+    )
+    for rack in rest:
+        target = min(range(effective), key=lambda k: (loads[k], k))
+        members[target].append(rack)
+        loads[target] += rack_weight(rack)
+
+    shard_of_rack: dict[str, int] = {}
+    shard_of_node: dict[str, int] = {}
+    for k, rack_group in enumerate(members):
+        for rack in rack_group:
+            shard_of_rack[rack] = k
+            for node in racks[rack]:
+                shard_of_node[node] = k
+    return ShardPlan(
+        requested=shards,
+        shards=effective,
+        shard_racks=tuple(tuple(g) for g in members),
+        shard_of_rack=shard_of_rack,
+        shard_of_node=shard_of_node,
+        shard_weight=tuple(loads),
+    )
+
+
+def plan_for_cluster(
+    cluster: "Cluster", shards: int, driver_node: str | None = None
+) -> ShardPlan:
+    """Plan for a live :class:`Cluster`, balancing by core count and pinning
+    the driver node's rack to shard 0."""
+    racks = {
+        rack: [n.name for n in nodes] for rack, nodes in cluster.racks.items()
+    }
+    driver_rack = None
+    if driver_node is not None and cluster.has_node(driver_node):
+        driver_rack = cluster.rack_of(driver_node)
+    return partition_cluster(
+        racks,
+        shards,
+        driver_rack=driver_rack,
+        weight_of=lambda name: float(cluster.node(name).spec.cpu.cores),
+    )

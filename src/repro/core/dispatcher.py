@@ -40,9 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.spark.task import TaskSpec
     from repro.spark.taskset import TaskSetManager
 
-# Kill switch for the batch offer pass (RUPAM_BATCH_DISPATCH=0 forces the
-# scalar scan everywhere) — pure perf toggle, both paths pick identically.
-_BATCH_DISPATCH = os.environ.get("RUPAM_BATCH_DISPATCH", "1") != "0"
+# Kill switch for the batch offer pass: pure perf toggle, both paths pick
+# identically.  Resolution order (the env always wins, so an operator can
+# still force the scalar scan on a run whose code sets the conf knob):
+# RUPAM_BATCH_DISPATCH env > SparkConf.batch_dispatch > on.
+def batch_dispatch_enabled(conf=None) -> bool:
+    env = os.environ.get("RUPAM_BATCH_DISPATCH")
+    if env is not None:
+        return env != "0"
+    if conf is not None and getattr(conf, "batch_dispatch", None) is not None:
+        return bool(conf.batch_dispatch)
+    return True
 
 
 class Dispatcher:
@@ -97,8 +105,8 @@ class Dispatcher:
         # interned spec-key codes (the array twin of _mem_memo; NaN = unset).
         self._est_cache: np.ndarray | None = None
         # Instance-level batch toggle (benchmarks/parity tests flip it to
-        # compare engines in-process); seeded from RUPAM_BATCH_DISPATCH.
-        self.batch_enabled = _BATCH_DISPATCH
+        # compare engines in-process); seeded from the env/conf resolution.
+        self.batch_enabled = batch_dispatch_enabled(ctx.conf)
         # Candidate-list cache, valid within one dispatch call (invalidated
         # at every dispatch() entry; see _dispatch_round).
         self._mets_cache: list[NodeMetrics] | None = None

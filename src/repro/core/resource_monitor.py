@@ -96,10 +96,23 @@ class ResourceMonitor:
         a subset of the dirty set) — the dispatcher uses it to patch its
         cached candidate list instead of rebuilding it every round.
         """
-        batch: list[tuple[int, NodeMetrics]] = []
         table = self.table
+        now = self.ctx.now
+        # Single-pass column accumulation (DESIGN.md §14): the heartbeat
+        # batch fills the scatter columns while each node is visited — no
+        # per-node snapshot dicts and no second pass re-reading NodeMetrics
+        # attributes.  The whole tick still lands as ONE NodeTable.scatter
+        # over exactly the dirty-node set.
+        names: list[str] = []
+        rows: list[int] = []
+        cpu_col: list[float] = []
+        disk_col: list[float] = []
+        net_col: list[float] = []
+        gpu_idle_col: list[float] = []
+        freemem_col: list[float] = []
         for ex in self._executors():
-            name = ex.node.name
+            node = ex.node
+            name = node.name
             if not ex.alive:
                 # A dead executor no longer reports; drop any low-memory flag
                 # it left behind (forget() removes the rest on deregistration).
@@ -109,7 +122,28 @@ class ResourceMonitor:
             if not force and self._signatures.get(name) == sig:
                 continue
             self._signatures[name] = sig
-            self.executor_data[name] = m = self._collect(ex)
+            spec = node.spec
+            cpuutil = node.cpu.utilization()
+            netutil = node.net.utilization()
+            diskutil = node.disk.utilization()
+            gpus_idle = node.gpus_idle()
+            free_mb = ex.memory.free_mb
+            self.executor_data[name] = m = NodeMetrics(
+                name=name,
+                time=now,
+                core_rate=spec.cpu.core_rate,
+                cores=spec.cpu.cores,
+                gpus=spec.gpu.count if spec.gpu else 0,
+                ssd=spec.disk.is_ssd,
+                netbandwidth=spec.net_mbps,
+                disk_bandwidth=spec.disk.read_mbps,
+                memory_mb=spec.memory_mb,
+                cpuutil=cpuutil,
+                diskutil=diskutil,
+                netutil=netutil,
+                gpus_idle=gpus_idle,
+                freememory_mb=free_mb,
+            )
             self.dirty_nodes.add(name)
             row = table.row_of.get(name)
             if row is None:
@@ -123,32 +157,44 @@ class ResourceMonitor:
                     disk_bandwidth=m.disk_bandwidth,
                     memory_mb=m.memory_mb,
                 )
-            batch.append((row, m))
+            names.append(name)
+            rows.append(row)
+            cpu_col.append(cpuutil)
+            disk_col.append(diskutil)
+            net_col.append(netutil)
+            gpu_idle_col.append(float(gpus_idle))
+            freemem_col.append(free_mb)
             usable = ex.memory.usable_mb
             # Flag only genuine OOM danger (overcommitted heap), not a heap
             # that is merely well-used by tasks that fit.
             if (
                 usable > 0
-                and ex.memory.free_mb < self.low_memory_fraction * usable
+                and free_mb < self.low_memory_fraction * usable
                 and ex.memory.overcommit_ratio() > 1.0
             ):
                 self.low_memory_nodes.add(name)
             else:
                 self.low_memory_nodes.discard(name)
-        if batch:
+        if rows:
             # One scatter per tick covering exactly the changed nodes.
-            rows = np.array([r for r, _ in batch], dtype=np.intp)
             table.scatter(
-                rows,
-                time=np.array([m.time for _, m in batch]),
-                cpuutil=np.array([m.cpuutil for _, m in batch]),
-                diskutil=np.array([m.diskutil for _, m in batch]),
-                netutil=np.array([m.netutil for _, m in batch]),
-                gpus_idle=np.array([float(m.gpus_idle) for _, m in batch]),
-                freememory_mb=np.array([m.freememory_mb for _, m in batch]),
+                np.array(rows, dtype=np.intp),
+                time=np.full(len(rows), now),
+                cpuutil=np.array(cpu_col),
+                diskutil=np.array(disk_col),
+                netutil=np.array(net_col),
+                gpus_idle=np.array(gpu_idle_col),
+                freememory_mb=np.array(freemem_col),
             )
+            # Heartbeat batches from non-driver shards are cross-shard
+            # edges under a shard plan (DESIGN.md §17).
+            plan = self.ctx.shard_plan
+            if plan is not None and self.ctx.shard_counters is not None:
+                self.ctx.shard_counters.cross_shard_msgs += sum(
+                    1 for n in names if plan.shard_of(n) != plan.driver_shard
+                )
         self.beats += 1
-        return [m.name for _, m in batch]
+        return names
 
     def consume_dirty(self) -> set[str]:
         """Nodes re-collected since the previous call (and reset the set)."""
@@ -167,6 +213,13 @@ class ResourceMonitor:
         self.dirty_nodes.add(node_name)
 
     def _collect(self, ex: "Executor") -> NodeMetrics:
+        """Scalar reference report for one executor.
+
+        Kept as the readable specification of what a heartbeat carries; the
+        hot path (:meth:`collect_now`) builds the same values in a single
+        column-accumulating pass, and the scalar-parity test holds the two
+        bit-identical.
+        """
         node = ex.node
         snap = node.utilization_snapshot()
         spec = node.spec

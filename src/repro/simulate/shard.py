@@ -1,0 +1,520 @@
+"""Sharded simulation: conservative time-window sync across partitions.
+
+The cluster is split along rack boundaries into logical partitions
+(:mod:`repro.cluster.partition`), each owning one :class:`Simulator`
+(a :class:`ShardProgram`).  Shard 0 hosts the driver/scheduler and the
+network fabric; the only cross-shard edges are network transfers and
+scheduler interactions (offer rounds, heartbeat batches, task-end
+callbacks), so node-local fluid work simulates fully in parallel between
+barriers.
+
+Synchronization is classic conservative PDES: every barrier round the
+orchestrator gathers each shard's ``(now, next event, lookahead)``, picks
+
+    bound = min(min lookahead, earliest pending work + window cap)
+
+and advances every shard to ``bound``.  ``lookahead`` is each shard's
+*input horizon* — the earliest simulated time at which its behavior could
+depend on a message it has not yet received (the dispatcher's next wake
+time on shard 0; the next possible grant/transfer arrival on node shards).
+Advancing a shard up to its own input horizon is always safe, and because
+the bound is computed from gathered values only, the barrier sequence —
+and therefore every shard's event sequence — is a pure function of the
+programs, identical whether shards run serially in one process or forked
+across workers.
+
+Determinism rules (the parity argument, DESIGN.md §17):
+
+* messages are totally ordered by ``(time, src shard, per-src seq)`` and
+  delivered in that order at the barrier, ascending shard id;
+* each shard's end-of-instant ``defer`` flushes run FIFO inside its own
+  engine, and barrier processing (deliver / advance / collect) walks
+  shards in ascending id, which is the shard-id tie-break for
+  cross-shard flush ordering;
+* programs never read wall clock, worker identity, or process state.
+
+Process fan-out reuses the experiment pool's machinery: the ``fork`` start
+method (workers inherit the program factory, no pickling of closures),
+worker counts from :func:`repro.experiments.pool.resolve_jobs`
+(``RUPAM_JOBS``), and :class:`ShardRunError` mirrors ``PoolRunError`` —
+the failing shard id rides on the exception (``.shard``) with the worker's
+traceback chained as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simulate.engine import Simulator
+
+__all__ = [
+    "ShardCounters",
+    "ShardMessage",
+    "ShardProgram",
+    "ShardRunError",
+    "ShardedSimulation",
+    "resolve_shard_workers",
+    "run_windowed",
+]
+
+
+class ShardRunError(RuntimeError):
+    """One shard failed.  ``shard`` identifies which; the worker's original
+    exception (or its formatted traceback, for forked workers) is chained as
+    ``__cause__`` — the :class:`~repro.experiments.pool.PoolRunError`
+    convention."""
+
+    def __init__(self, shard: int, message: str):
+        super().__init__(message)
+        self.shard = shard
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-shard edge: takes effect at simulated ``time`` on ``dst``.
+
+    ``(time, src, seq)`` is a total order (``seq`` is per-source and
+    monotone), so delivery order never depends on process placement.
+    """
+
+    time: float
+    src: int
+    seq: int
+    dst: int
+    kind: str
+    payload: Any = None
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.src, self.seq)
+
+
+@dataclass
+class ShardCounters:
+    """Shard-protocol accounting, flushed through the PR-6 quiesce path
+    (``Observability.record_shard_counters``) as ``shard.*`` metrics."""
+
+    shards: int = 1
+    windows: int = 0
+    barrier_waits: int = 0
+    cross_shard_msgs: int = 0
+    # Pending histogram samples: window widths (bound - earliest pending
+    # work), drained into the ``shard.lookahead_s`` histogram at quiesce.
+    lookahead_samples: list[float] = field(default_factory=list)
+
+    def observe_window(self, width: float) -> None:
+        self.windows += 1
+        self.lookahead_samples.append(max(0.0, width))
+
+    def merge_from(self, other: "ShardCounters") -> None:
+        self.windows += other.windows
+        self.barrier_waits += other.barrier_waits
+        self.cross_shard_msgs += other.cross_shard_msgs
+        self.lookahead_samples.extend(other.lookahead_samples)
+
+
+class ShardProgram:
+    """One logical partition: a private :class:`Simulator` plus model state.
+
+    Subclasses schedule their initial events in :meth:`bootstrap`, react to
+    cross-shard input in :meth:`on_message`, and emit via :meth:`send`.
+    Everything a program does must be a function of ``(shard_id, ctor
+    args, delivered messages)`` — that is the whole determinism contract.
+    """
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.sim = Simulator()
+        self._outbox: list[ShardMessage] = []
+        self._seq = 0
+
+    # -- model hooks --------------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Schedule the partition's initial events."""
+
+    def on_message(self, msg: ShardMessage) -> None:
+        """Apply one delivered cross-shard message (ascending sort order)."""
+        raise NotImplementedError
+
+    def lookahead(self) -> float:
+        """Input horizon: earliest simulated time this shard's behavior can
+        depend on a message not yet delivered.  ``inf`` means "never" —
+        safe only for programs that receive nothing."""
+        return math.inf
+
+    def snapshot(self) -> Any:
+        """Picklable result state, collected once the simulation drains."""
+        return None
+
+    # -- protocol plumbing (orchestrator-facing) -----------------------------
+
+    def send(
+        self, dst: int, kind: str, payload: Any = None, time: float | None = None
+    ) -> None:
+        """Queue a message taking effect at ``time`` (default: now)."""
+        self._seq += 1
+        self._outbox.append(
+            ShardMessage(
+                time=self.sim.now if time is None else time,
+                src=self.shard_id,
+                seq=self._seq,
+                dst=dst,
+                kind=kind,
+                payload=payload,
+            )
+        )
+
+    def deliver(self, msgs: list[ShardMessage]) -> None:
+        for m in sorted(msgs, key=ShardMessage.sort_key):
+            self.on_message(m)
+
+    def advance(self, bound: float) -> None:
+        self.sim.run(until=bound)
+        # Settle end-of-instant flushes before the barrier reads deadlines
+        # or the outbox: FIFO inside this shard, and the orchestrator walks
+        # shards in ascending id (the cross-shard tie-break).
+        self.sim.flush_now()
+
+    def next_time(self) -> float | None:
+        return self.sim.peek_time()
+
+    def take_outbox(self) -> list[ShardMessage]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def status(self) -> tuple[float, float | None, float]:
+        return (self.sim.now, self.next_time(), self.lookahead())
+
+
+def resolve_shard_workers(workers: int | None, n_shards: int) -> int:
+    """Worker count for the fork executor: explicit > ``RUPAM_JOBS`` > 1,
+    capped at the shard count (reuses the experiment pool's resolution)."""
+    # Imported lazily: experiments.* sits above simulate.* in the layering
+    # (runner imports the Session facade), so a module-level import here
+    # would be circular.
+    from repro.experiments.pool import resolve_jobs
+
+    return max(1, min(resolve_jobs(workers), n_shards))
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _decade_bucket(width: float) -> str:
+    """Decade label for a lookahead-window width (telemetry only)."""
+    if width <= 0.0:
+        return "0"
+    if math.isinf(width):  # pragma: no cover - bounds are clamped finite
+        return "inf"
+    return f"1e{math.ceil(math.log10(width)):+03d}"
+
+
+class ShardedSimulation:
+    """Conservative-time-window orchestrator over N :class:`ShardProgram`\\ s.
+
+    Args:
+        factory: ``shard_id -> ShardProgram`` — called once per shard, in the
+            worker process that owns the shard (fork executor) or in-process
+            (serial executor).  Must be deterministic per shard id.
+        n_shards: logical partition count (fixed by the plan, not by worker
+            placement).
+        workers: process count; ``None`` defers to ``RUPAM_JOBS``, 1 forces
+            the serial executor.  Shard 0 always runs in the parent — the
+            driver/scheduler shard is the coordinator's local workload.
+        window_s: cap on how far past the earliest pending work a barrier
+            window may reach (``inf`` = lookahead-only windows).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], ShardProgram],
+        n_shards: int,
+        workers: int | None = None,
+        window_s: float = math.inf,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.factory = factory
+        self.n_shards = n_shards
+        self.workers = resolve_shard_workers(workers, n_shards)
+        self.window_s = window_s
+        self.counters = ShardCounters(shards=n_shards)
+        self.lookahead_hist: dict[str, int] = {}
+
+    # -- shared barrier arithmetic ------------------------------------------
+
+    def _bound(
+        self,
+        nows: list[float],
+        nexts: list[float | None],
+        lookaheads: list[float],
+        pending: list[list[ShardMessage]],
+    ) -> float | None:
+        """The next barrier bound, or None when the system is drained.
+
+        Earliest pending work is the least of every shard's next event and
+        every undelivered message's effect time (clamped to its recipient's
+        clock — late-timestamped notifications apply on arrival).
+        """
+        t_min = math.inf
+        for t in nexts:
+            if t is not None and t < t_min:
+                t_min = t
+        for dst, msgs in enumerate(pending):
+            for m in msgs:
+                eff = max(m.time, nows[dst])
+                if eff < t_min:
+                    t_min = eff
+        if t_min is math.inf:
+            return None
+        horizon = min(lookaheads)
+        bound = min(horizon, t_min + self.window_s)
+        # Progress guarantee: a shard's input horizon can never trail the
+        # earliest pending work (emission requires processing an event), so
+        # a smaller horizon means a program under-reported — clamp rather
+        # than stall.  And when nothing constrains the window (every input
+        # horizon infinite, no window cap — the drain tail), advance exactly
+        # to the earliest pending work instead of to infinity.
+        if bound < t_min or math.isinf(bound):
+            bound = t_min
+        self.counters.observe_window(bound - t_min)
+        b = _decade_bucket(bound - t_min)
+        self.lookahead_hist[b] = self.lookahead_hist.get(b, 0) + 1
+        for t in nexts:
+            if t is None or t > bound:
+                self.counters.barrier_waits += 1
+        return bound
+
+    def _route(
+        self, out: list[ShardMessage], pending: list[list[ShardMessage]]
+    ) -> None:
+        for m in out:
+            if not 0 <= m.dst < self.n_shards:
+                raise ShardRunError(
+                    m.src, f"shard {m.src} sent to unknown shard {m.dst}"
+                )
+            if m.dst != m.src:
+                self.counters.cross_shard_msgs += 1
+            pending[m.dst].append(m)
+
+    # -- executors ----------------------------------------------------------
+
+    def run(self, until: float | None = None) -> list[Any]:
+        """Drive every shard to completion; returns snapshots by shard id."""
+        if self.n_shards > 1 and self.workers > 1 and _fork_available():
+            return self._run_forked(until)
+        return self._run_serial(until)
+
+    def _run_serial(self, until: float | None) -> list[Any]:
+        programs: list[ShardProgram] = []
+        for k in range(self.n_shards):
+            try:
+                p = self.factory(k)
+                p.bootstrap()
+            except Exception as exc:
+                raise ShardRunError(k, f"shard {k} failed to start: {exc}") from exc
+            programs.append(p)
+        pending: list[list[ShardMessage]] = [[] for _ in range(self.n_shards)]
+        for p in programs:
+            self._route(p.take_outbox(), pending)  # bootstrap-time sends
+        while True:
+            statuses = [p.status() for p in programs]
+            nows = [s[0] for s in statuses]
+            nexts = [s[1] for s in statuses]
+            lookaheads = [s[2] for s in statuses]
+            bound = self._bound(nows, nexts, lookaheads, pending)
+            if bound is None or (until is not None and bound > until):
+                break
+            # Two-phase round, exactly like the fork executor: every shard
+            # sees only messages from *previous* rounds (inboxes snapshot),
+            # and this round's emissions land in the next round's pending.
+            inboxes, pending = pending, [[] for _ in range(self.n_shards)]
+            outboxes: list[list[ShardMessage]] = []
+            for k, p in enumerate(programs):
+                try:
+                    if inboxes[k]:
+                        p.deliver(inboxes[k])
+                    p.advance(bound)
+                    outboxes.append(p.take_outbox())
+                except ShardRunError:
+                    raise
+                except Exception as exc:
+                    raise ShardRunError(
+                        k, f"shard {k} failed at t<={bound:.6f}: {exc}"
+                    ) from exc
+            for out in outboxes:
+                self._route(out, pending)
+        return [p.snapshot() for p in programs]
+
+    def _run_forked(self, until: float | None) -> list[Any]:
+        ctx = multiprocessing.get_context("fork")
+        conns = []
+        procs = []
+        try:
+            for k in range(1, self.n_shards):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child_conn, k, self.factory),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+
+            def ask(k: int) -> tuple:
+                """Receive shard k's reply, converting failures to
+                ShardRunError (the PoolRunError convention)."""
+                try:
+                    reply = conns[k - 1].recv()
+                except EOFError as exc:
+                    raise ShardRunError(
+                        k, f"shard {k} worker died without reporting"
+                    ) from exc
+                if reply[0] == "error":
+                    raise ShardRunError(
+                        k, f"shard {k} failed: {reply[1]}"
+                    ) from RuntimeError(reply[2])
+                return reply
+
+            try:
+                p0 = self.factory(0)
+                p0.bootstrap()
+            except Exception as exc:
+                raise ShardRunError(0, f"shard 0 failed to start: {exc}") from exc
+
+            # Initial gather (shard 0 local, the rest from their workers),
+            # harvesting bootstrap-time sends from every shard.
+            pending: list[list[ShardMessage]] = [[] for _ in range(self.n_shards)]
+            statuses: list[tuple] = [p0.status()]
+            self._route(p0.take_outbox(), pending)
+            for k in range(1, self.n_shards):
+                reply = ask(k)
+                statuses.append(reply[1])
+                self._route(reply[2], pending)
+            while True:
+                nows = [s[0] for s in statuses]
+                nexts = [s[1] for s in statuses]
+                lookaheads = [s[2] for s in statuses]
+                bound = self._bound(nows, nexts, lookaheads, pending)
+                if bound is None or (until is not None and bound > until):
+                    break
+                # One round trip per window: workers deliver + advance
+                # concurrently while the parent advances shard 0.
+                for k in range(1, self.n_shards):
+                    conns[k - 1].send(("step", bound, pending[k]))
+                    pending[k] = []
+                try:
+                    if pending[0]:
+                        p0.deliver(pending[0])
+                        pending[0] = []
+                    p0.advance(bound)
+                    out0 = p0.take_outbox()
+                except Exception as exc:
+                    raise ShardRunError(
+                        0, f"shard 0 failed at t<={bound:.6f}: {exc}"
+                    ) from exc
+                statuses = [p0.status()]
+                self._route(out0, pending)
+                for k in range(1, self.n_shards):
+                    reply = ask(k)
+                    statuses.append(reply[1])
+                    self._route(reply[2], pending)
+            snapshots = [p0.snapshot()]
+            for k in range(1, self.n_shards):
+                conns[k - 1].send(("finish",))
+                snapshots.append(ask(k)[1])
+            return snapshots
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - cleanup path
+                    proc.terminate()
+                    proc.join()
+
+
+def _shard_worker(conn, shard_id: int, factory) -> None:
+    """Worker body: one shard's program, stepped by pipe commands.
+
+    Every failure is reported as ``("error", summary, traceback)`` so the
+    parent can raise :class:`ShardRunError` with the shard id attached.
+    """
+    try:
+        program = factory(shard_id)
+        program.bootstrap()
+        conn.send(("status", program.status(), program.take_outbox()))
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "step":
+                _, bound, inbox = cmd
+                if inbox:
+                    program.deliver(inbox)
+                program.advance(bound)
+                conn.send(("status", program.status(), program.take_outbox()))
+            elif cmd[0] == "finish":
+                conn.send(("snapshot", program.snapshot()))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown shard command {cmd[0]!r}")
+    except EOFError:  # pragma: no cover - parent died
+        return
+    except Exception as exc:
+        try:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class WindowedRunStats:
+    """Accounting from one :func:`run_windowed` drive."""
+
+    windows: int = 0
+    barrier_waits: int = 0
+    lookahead_samples: list[float] = field(default_factory=list)
+
+
+def run_windowed(
+    sim: Simulator, window_s: float, until: float | None = None
+) -> WindowedRunStats:
+    """Drain ``sim`` in conservative time windows of at most ``window_s``.
+
+    This is the degenerate single-heap deployment of the shard protocol —
+    every logical partition colocated, barriers as chained ``run(until=)``
+    calls.  The event sequence is bit-identical to one monolithic
+    ``run()`` (the windowed-equivalence regression tests pin this down),
+    so ``Session(shards=N)`` matches ``shards=1`` by construction while
+    still exercising — and accounting for — the barrier discipline.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    stats = WindowedRunStats()
+    while True:
+        t = sim.peek_time()
+        if t is None:
+            break
+        if until is not None and t > until:
+            sim.run(until=until)
+            break
+        bound = t + window_s
+        if until is not None and bound > until:
+            bound = until
+        sim.run(until=bound)
+        stats.windows += 1
+        stats.lookahead_samples.append(bound - t)
+        if sim.peek_time() is None and sim.now < bound:
+            stats.barrier_waits += 1
+    return stats

@@ -452,6 +452,7 @@ class Driver:
         self.ctx.obs.record_sim_counters(
             self.ctx.sim, self.ctx.cluster.fluid_resources()
         )
+        self.ctx.obs.record_shard_counters(self.ctx.shard_counters)
         self.ctx.obs.note_trace_state(self.ctx.trace)
         # Force any deferred release-compaction through (no-op unless apps
         # were reclaimed): idle memory is what's live, nothing tombstoned.
@@ -819,6 +820,13 @@ class Driver:
         if handle is not None:
             handle.runs.append(run)
         self.ctx.pools.note_launch(ts.app_id)
+        sc = self.ctx.shard_counters
+        if sc is not None and self.ctx.shard_plan.shard_of(
+            executor.node.name
+        ) != self.ctx.shard_plan.driver_shard:
+            # A launch RPC to a node outside the driver shard is a
+            # cross-shard scheduler interaction (DESIGN.md §17).
+            sc.cross_shard_msgs += 1
         self.ctx.obs.metrics.inc("tasks.launched")
         if ts.app_id:
             self.ctx.obs.metrics.inc(_app_metric(ts.app_id, "launched"))
@@ -836,6 +844,12 @@ class Driver:
             if m.succeeded
             else "oom" if m.failed_oom else "killed" if m.killed else "failed"
         )
+        sc = self.ctx.shard_counters
+        if sc is not None and self.ctx.shard_plan.shard_of(
+            run.executor.node.name
+        ) != self.ctx.shard_plan.driver_shard:
+            # Task-end callback travelling back to the driver shard.
+            sc.cross_shard_msgs += 1
         self.ctx.obs.metrics.inc(_TASK_METRIC[outcome])
         ts = run.taskset
         app_id = ts.app_id

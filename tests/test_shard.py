@@ -1,0 +1,468 @@
+"""Sharded simulation: partition rules, conservative-window protocol,
+cross-shard-count determinism, and the windowed-drain engine contract.
+
+The load-bearing properties (DESIGN.md §17):
+
+* the rack partition is a pure function of the topology — never of worker
+  placement — so ``shards=N`` and ``shards=1`` describe the same system;
+* the orchestrator's barrier sequence is computed from gathered values
+  only, so the serial and forked executors are bit-identical;
+* ``Simulator.run(until=)`` windows compose: chained bounded runs replay
+  the exact event (and deferred-flush) sequence of one monolithic run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+import pytest
+
+from repro.api import Session
+from repro.cluster.partition import partition_cluster, plan_for_cluster
+from repro.experiments.schedbench import (
+    run_shard_world,
+    shard_bench_plan,
+    shard_signature,
+)
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import FluidResource
+from repro.simulate.shard import (
+    ShardCounters,
+    ShardMessage,
+    ShardProgram,
+    ShardRunError,
+    ShardedSimulation,
+    resolve_shard_workers,
+    run_windowed,
+)
+
+
+class TestPartition:
+    RACKS = {
+        "r0": ["a0", "a1"],
+        "r1": ["b0", "b1", "b2"],
+        "r2": ["c0"],
+        "r3": ["d0", "d1"],
+    }
+
+    def test_racks_never_split_and_all_nodes_assigned(self):
+        plan = partition_cluster(self.RACKS, shards=3)
+        assert plan.shards == 3
+        seen = {}
+        for rack, nodes in self.RACKS.items():
+            shards_of_rack = {plan.shard_of(n) for n in nodes}
+            assert len(shards_of_rack) == 1  # a rack is never split
+            seen[rack] = shards_of_rack.pop()
+        assert set(seen.values()) <= set(range(3))
+        assert sorted(plan.shard_of_node) == sorted(
+            n for nodes in self.RACKS.values() for n in nodes
+        )
+
+    def test_driver_rack_pinned_to_shard_zero(self):
+        plan = partition_cluster(self.RACKS, shards=4, driver_rack="r2")
+        assert plan.shard_of("c0") == plan.driver_shard == 0
+
+    def test_clamps_to_rack_count(self):
+        plan = partition_cluster(self.RACKS, shards=10)
+        assert plan.requested == 10
+        assert plan.shards == 4
+
+    def test_single_shard_is_identity(self):
+        plan = partition_cluster(self.RACKS, shards=1)
+        assert plan.shards == 1
+        assert all(plan.shard_of(n) == 0 for ns in self.RACKS.values() for n in ns)
+
+    def test_plan_is_deterministic(self):
+        a = partition_cluster(self.RACKS, shards=3, driver_rack="r1")
+        b = partition_cluster(dict(reversed(self.RACKS.items())), 3, "r1")
+        assert a == b  # input order never leaks into the plan
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_cluster(self.RACKS, shards=0)
+        with pytest.raises(ValueError):
+            partition_cluster({}, shards=1)
+        with pytest.raises(ValueError):
+            partition_cluster(self.RACKS, shards=2, driver_rack="nope")
+
+    def test_weight_balancing(self):
+        racks = {f"r{i}": [f"n{i}"] for i in range(8)}
+        heavy = {"n0": 100.0}
+        plan = partition_cluster(
+            racks, shards=2, weight_of=lambda n: heavy.get(n, 1.0)
+        )
+        # Greedy largest-first: the heavy rack takes one shard, everything
+        # else packs onto the other.
+        light = [plan.shard_of(f"n{i}") for i in range(1, 8)]
+        assert len(set(light)) == 1
+        assert plan.shard_of("n0") != light[0]
+
+    def test_unknown_node_defaults_to_driver_shard(self):
+        plan = partition_cluster(self.RACKS, shards=3)
+        assert plan.shard_of("late-joiner") == plan.driver_shard
+
+    def test_plan_for_cluster_pins_driver_node(self):
+        from repro.cluster.presets import multirack_cluster
+
+        cluster = multirack_cluster(Simulator())
+        plan = plan_for_cluster(cluster, shards=2, driver_node="r0-stack1")
+        assert plan.shard_of("r0-stack1") == 0
+        assert plan.shards == 2
+
+
+class TestWindowedRun:
+    """Satellite: run(until=) windows must compose exactly (defer flushes
+    at window bounds included) — the engine contract the shard barriers
+    and the Session windowed drain both lean on."""
+
+    @staticmethod
+    def _fluid_world(sim):
+        """A resource with overlapping weighted flows: every acquire and
+        completion triggers deferred refits, so window bounds land in the
+        middle of live flush activity."""
+        res = FluidResource(sim, capacity=4.0, name="bench")
+        done: list[tuple[str, float]] = []
+
+        def spawn(tag, work, weight):
+            res.acquire(
+                work,
+                weight=weight,
+                on_complete=lambda fh, t=tag: done.append((t, sim.now)),
+            )
+
+        for i in range(6):
+            sim.at(0.4 * i, spawn, f"t{i}", 1.0 + 0.37 * i, 1.0 + (i % 3))
+        return done
+
+    def test_windowed_drain_matches_monolithic_run(self):
+        mono = Simulator()
+        expect = self._fluid_world(mono)
+        mono.run()
+
+        for window in (0.1, 0.5, 1.0, 3.0, math.inf):
+            sim = Simulator()
+            got = self._fluid_world(sim)
+            stats = run_windowed(sim, window)
+            assert [(t, x.hex()) for t, x in got] == [
+                (t, x.hex()) for t, x in expect
+            ], f"window={window}"
+            assert stats.windows >= 1
+
+    def test_windowed_drain_respects_until(self):
+        sim = Simulator()
+        got = self._fluid_world(sim)
+        run_windowed(sim, 0.5, until=1.0)
+        assert sim.now <= 1.0
+        later = [t for t, x in got if x > 1.0]
+        assert later == []
+
+    def test_run_until_in_past_is_noop(self):
+        """Regression: a bound at or before the parked clock must never
+        move time backwards (the barriers chain such calls)."""
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        sim.run(until=1.0)  # stale bound: no-op, not time travel
+        assert sim.now == 2.0
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_flush_now_settles_deferred_work(self):
+        sim = Simulator()
+        ran = []
+        sim.defer(lambda: ran.append(sim.now))
+        sim.flush_now()
+        assert ran == [0.0]
+        sim.flush_now()  # idempotent when nothing is pending
+        assert ran == [0.0]
+
+    def test_window_chaining_equals_single_run_with_defers(self):
+        """Chained run(until=) calls hitting the same instant repeatedly
+        (zero-width windows) still flush each instant exactly once."""
+        mono = Simulator()
+        expect = self._fluid_world(mono)
+        mono.run()
+
+        sim = Simulator()
+        got = self._fluid_world(sim)
+        while True:
+            t = sim.peek_time()
+            if t is None:
+                break
+            sim.run(until=t)  # one instant per window, worst case
+            sim.flush_now()
+        assert [(t, x.hex()) for t, x in got] == [
+            (t, x.hex()) for t, x in expect
+        ]
+
+
+class _PingPong(ShardProgram):
+    """Two-shard protocol exerciser: shard 0 sends a token, shard 1 returns
+    it, each hop at +1s; both record delivery times."""
+
+    def __init__(self, shard_id, hops=6):
+        super().__init__(shard_id)
+        self.hops = hops
+        self.log: list[tuple[float, int]] = []
+
+    def bootstrap(self):
+        if self.shard_id == 0:
+            self.send(1, "token", 0, time=1.0)
+
+    def lookahead(self):
+        return self.sim.now + 1.0
+
+    def on_message(self, msg):
+        self.log.append((msg.time, msg.payload))
+        if msg.payload + 1 < self.hops:
+            self.send(
+                1 - self.shard_id, "token", msg.payload + 1, time=msg.time + 1.0
+            )
+
+    def snapshot(self):
+        return self.log
+
+
+class TestShardedSimulation:
+    def test_message_total_order(self):
+        msgs = [
+            ShardMessage(2.0, 1, 1, 0, "a"),
+            ShardMessage(1.0, 2, 9, 0, "b"),
+            ShardMessage(1.0, 0, 4, 0, "c"),
+            ShardMessage(1.0, 0, 2, 0, "d"),
+        ]
+        assert [m.kind for m in sorted(msgs, key=ShardMessage.sort_key)] == [
+            "d", "c", "b", "a",
+        ]
+
+    def test_ping_pong_serial_and_forked_agree(self):
+        serial = ShardedSimulation(_PingPong, n_shards=2, workers=1).run()
+        forked = ShardedSimulation(_PingPong, n_shards=2, workers=2).run()
+        assert serial == forked
+        assert serial[1][0] == (1.0, 0)  # first token lands at its timestamp
+        assert len(serial[0]) + len(serial[1]) == 6
+
+    def test_counters_account_windows_and_messages(self):
+        sharded = ShardedSimulation(_PingPong, n_shards=2, workers=1)
+        sharded.run()
+        assert sharded.counters.cross_shard_msgs == 6
+        assert sharded.counters.windows >= 6
+        assert len(sharded.counters.lookahead_samples) == sharded.counters.windows
+        assert sum(sharded.lookahead_hist.values()) == sharded.counters.windows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedSimulation(_PingPong, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedSimulation(_PingPong, n_shards=2, window_s=0.0)
+
+    def test_unknown_destination_is_a_shard_error(self):
+        class Lost(ShardProgram):
+            def bootstrap(self):
+                self.send(5, "into-the-void")
+
+            def on_message(self, msg):  # pragma: no cover
+                pass
+
+        with pytest.raises(ShardRunError) as ei:
+            ShardedSimulation(Lost, n_shards=2, workers=1).run()
+        assert ei.value.shard == 0
+
+    def test_resolve_shard_workers(self, monkeypatch):
+        monkeypatch.delenv("RUPAM_JOBS", raising=False)
+        assert resolve_shard_workers(8, n_shards=3) == 3  # capped at shards
+        assert resolve_shard_workers(1, n_shards=8) == 1
+        monkeypatch.setenv("RUPAM_JOBS", "2")
+        assert resolve_shard_workers(None, n_shards=8) == 2
+
+    def test_counters_merge(self):
+        a = ShardCounters(shards=2, windows=3, cross_shard_msgs=5)
+        a.lookahead_samples.append(1.0)
+        b = ShardCounters(shards=2, windows=1, barrier_waits=2)
+        b.lookahead_samples.append(0.5)
+        a.merge_from(b)
+        assert (a.windows, a.barrier_waits, a.cross_shard_msgs) == (4, 2, 5)
+        assert a.lookahead_samples == [1.0, 0.5]
+
+
+class _Crasher(ShardProgram):
+    """Shard 1 dies mid-simulation; everyone else keeps working."""
+
+    def bootstrap(self):
+        self.sim.at(1.0, self._work)
+
+    def _work(self):
+        if self.shard_id == 1:
+            raise ValueError("injected shard failure")
+
+    def on_message(self, msg):  # pragma: no cover
+        pass
+
+
+class TestCrashPropagation:
+    """Satellite: worker crashes surface as ShardRunError with the failing
+    shard id attached — the PoolRunError convention."""
+
+    def test_serial_executor_attaches_shard_id(self):
+        with pytest.raises(ShardRunError) as ei:
+            ShardedSimulation(_Crasher, n_shards=3, workers=1).run()
+        assert ei.value.shard == 1
+        assert isinstance(ei.value.__cause__, ValueError)
+
+    def test_forked_executor_attaches_shard_id_and_traceback(self):
+        with pytest.raises(ShardRunError) as ei:
+            ShardedSimulation(_Crasher, n_shards=3, workers=3).run()
+        assert ei.value.shard == 1
+        # The worker's traceback rides over the pipe as the chained cause.
+        assert "injected shard failure" in str(ei.value.__cause__)
+
+    def test_bootstrap_failure_names_the_shard(self):
+        class BadStart(ShardProgram):
+            def bootstrap(self):
+                if self.shard_id == 2:
+                    raise RuntimeError("no rack for me")
+
+            def on_message(self, msg):  # pragma: no cover
+                pass
+
+        with pytest.raises(ShardRunError) as ei:
+            ShardedSimulation(BadStart, n_shards=3, workers=1).run()
+        assert ei.value.shard == 2
+
+
+class TestBenchWorldDeterminism:
+    """The cross-shard-count determinism suite, on the CI-sized world."""
+
+    NODES, TASKS = 120, 1200
+
+    def test_signatures_identical_across_shard_counts(self):
+        sigs = {}
+        for shards in (1, 2, 4, 7):
+            _, snaps = run_shard_world(self.NODES, self.TASKS, shards=shards)
+            sigs[shards] = shard_signature(snaps)
+        assert len(set(sigs.values())) == 1, sigs
+
+    def test_forked_matches_serial(self):
+        _, serial = run_shard_world(self.NODES, self.TASKS, 4, workers=1)
+        _, forked = run_shard_world(self.NODES, self.TASKS, 4, workers=4)
+        assert shard_signature(serial) == shard_signature(forked)
+
+    def test_window_cap_changes_barriers_not_results(self):
+        base, snaps = run_shard_world(self.NODES, self.TASKS, 4, workers=1)
+        capped, capped_snaps = run_shard_world(
+            self.NODES, self.TASKS, 4, workers=1, window_s=0.5
+        )
+        assert shard_signature(snaps) == shard_signature(capped_snaps)
+        assert capped.counters.windows > base.counters.windows
+
+    def test_every_task_completes(self):
+        _, snaps = run_shard_world(self.NODES, self.TASKS, 4, workers=1)
+        done = sum(row[1] for snap in snaps for row in snap)
+        assert done == self.TASKS
+
+    def test_plan_independent_of_shard_request(self):
+        # The rack topology (hence node->rack) is fixed; only the
+        # rack->shard packing varies with the request.
+        p2, p4 = shard_bench_plan(64, 2), shard_bench_plan(64, 4)
+        assert set(p2.shard_of_node) == set(p4.shard_of_node)
+
+
+def _session_signature(shards: int, scheduler: str) -> tuple[str, dict]:
+    s = Session(
+        cluster="multirack", scheduler=scheduler, seed=11, shards=shards
+    )
+    s.submit("lr", size_gb=2.0)
+    s.submit("terasort", at=10.0, size_gb=1.0)
+    results = s.run_until_idle()
+    blob = json.dumps(
+        [
+            [
+                r.app_id,
+                r.runtime_s.hex(),
+                [
+                    (m.task_key, m.attempt, m.node, m.finish_time.hex())
+                    for m in r.task_metrics
+                ],
+            ]
+            for r in results
+        ],
+        sort_keys=True,
+    )
+    counters = {
+        k: v
+        for k, v in s.ctx.obs.metrics.counters.items()
+        if k.startswith("shard.")
+    }
+    return hashlib.sha256(blob.encode()).hexdigest(), counters
+
+
+class TestSessionSharding:
+    """Session(shards=N) must reproduce shards=1 byte-for-byte — for both
+    schedulers — while accounting the shard protocol."""
+
+    @pytest.mark.parametrize("scheduler", ["spark", "rupam"])
+    def test_shard_counts_byte_identical(self, scheduler):
+        base, _ = _session_signature(1, scheduler)
+        for shards in (2, 4, 7):
+            sig, counters = _session_signature(shards, scheduler)
+            assert sig == base, f"shards={shards} diverged"
+            assert counters["shard.windows"] >= 1.0
+            assert counters["shard.cross_shard_msgs"] >= 1.0
+
+    def test_shards_one_emits_no_shard_counters(self):
+        _, counters = _session_signature(1, "spark")
+        assert counters == {}
+
+    def test_conf_knob_selects_shards(self):
+        s = Session(
+            cluster="multirack",
+            scheduler="spark",
+            conf_overrides={"sim_shards": 3},
+        )
+        assert s.shards == 3
+        assert s.ctx.shard_plan is not None
+        assert s.ctx.shard_plan.shards == 3
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError):
+            Session(cluster="multirack", shards=0)
+
+    def test_shards_clamp_to_rack_count(self):
+        s = Session(cluster="multirack", scheduler="spark", shards=64)
+        assert s.ctx.shard_plan.requested == 64
+        assert s.ctx.shard_plan.shards == len(s.cluster.racks)
+
+
+class TestHeartbeatBatchParity:
+    """Satellite: the single-pass heartbeat batch must be bit-identical to
+    the scalar reference collector."""
+
+    def _rupam_session(self, **kwargs):
+        s = Session(cluster="multirack", scheduler="rupam", seed=3, **kwargs)
+        s.submit("lr", size_gb=2.0)
+        return s
+
+    def test_collect_now_matches_scalar_reference(self):
+        s = self._rupam_session()
+        s.sim.run(until=20.0)  # mid-flight: real utilization everywhere
+        rm = s.scheduler.rm
+        assert rm is not None
+        rm.collect_now(force=True)
+        live = [ex for ex in rm._executors() if ex.alive]
+        assert live
+        for ex in live:
+            name = ex.node.name
+            assert rm.executor_data[name] == rm._collect(ex), name
+            row = rm.table.row_of[name]
+            m = rm.executor_data[name]
+            assert rm.table.cpuutil[row] == m.cpuutil
+            assert rm.table.freememory_mb[row] == m.freememory_mb
+
+    def test_heartbeats_count_as_cross_shard_edges(self):
+        s = self._rupam_session(shards=4)
+        before = s.ctx.shard_counters.cross_shard_msgs
+        s.run_until_idle()
+        assert s.ctx.shard_counters.cross_shard_msgs > before
